@@ -1,0 +1,137 @@
+// Figure 7: Distribution of Running Times.
+//   (a) per-insertion IncSPC times: median / p25 / p75 vs index time
+//   (b) per-deletion DecSPC times: median / p25 / p75 vs index time
+//   (c) query time: BiBFS vs labeling on the original index and after
+//       the incremental and decremental batches.
+// Shapes: inc distributions tight and far below the index-time line; dec
+// dispersed (paper §4.3.1 observation ii); labeling queries orders of
+// magnitude below BiBFS and unchanged by maintenance.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "dspc/baseline/bibfs_counting.h"
+#include "dspc/common/rng.h"
+#include "dspc/common/stats.h"
+#include "dspc/common/stopwatch.h"
+#include "dspc/core/dynamic_spc.h"
+#include "dspc/graph/update_stream.h"
+
+namespace {
+
+using namespace dspc;
+
+/// Mean per-query seconds over `count` random pairs.
+template <typename QueryFn>
+double TimeQueries(size_t n, size_t count, uint64_t seed, QueryFn&& query) {
+  Rng rng(seed);
+  // Materialize pairs first so RNG cost is outside the timed region.
+  std::vector<std::pair<Vertex, Vertex>> pairs(count);
+  for (auto& p : pairs) {
+    p.first = static_cast<Vertex>(rng.NextBounded(n));
+    p.second = static_cast<Vertex>(rng.NextBounded(n));
+  }
+  uint64_t acc = 0;
+  Stopwatch sw;
+  for (const auto& [s, t] : pairs) acc += query(s, t).count;
+  const double elapsed = sw.ElapsedSeconds();
+  volatile uint64_t sink = acc;  // keep the loop observable
+  (void)sink;
+  return elapsed / static_cast<double>(count);
+}
+
+}  // namespace
+
+int main() {
+  using namespace dspc::bench;
+
+  const size_t insertions = InsertionsPerGraph();
+  const size_t deletions = DeletionsPerGraph();
+  const size_t queries = QueriesPerGraph();
+
+  std::printf("Figure 7: Distribution of Running Times\n\n");
+  std::printf(
+      "%-6s | %10s %10s %10s %10s | %10s %10s %10s %10s | %10s\n", "Graph",
+      "inc p25", "inc med", "inc p75", "inc max", "dec p25", "dec med",
+      "dec p75", "dec max", "L time");
+  PrintRule(10);
+
+  struct QueryRow {
+    std::string name;
+    double bibfs;
+    double ori;
+    double inc;
+    double dec;
+  };
+  std::vector<QueryRow> query_rows;
+
+  for (Dataset& d : MakeDatasets()) {
+    double build_seconds = 0.0;
+    SpcIndex index = BuildOrLoadIndex(d, &build_seconds);
+    DynamicSpcIndex dyn(d.graph, std::move(index));
+    const size_t n = dyn.graph().NumVertices();
+
+    QueryRow row;
+    row.name = d.name;
+    {
+      BiBfsCounter bibfs(dyn.graph());
+      row.bibfs = TimeQueries(n, queries, 401, [&](Vertex s, Vertex t) {
+        return bibfs.Query(s, t);
+      });
+    }
+    row.ori = TimeQueries(
+        n, queries, 401, [&](Vertex s, Vertex t) { return dyn.Query(s, t); });
+
+    // Figure 7(a): per-insertion distribution.
+    SampleStats inc_stats;
+    for (const Edge& e : SampleNonEdges(dyn.graph(), insertions, 402)) {
+      Stopwatch sw;
+      dyn.InsertEdge(e.u, e.v);
+      inc_stats.Add(sw.ElapsedSeconds());
+    }
+    row.inc = TimeQueries(
+        n, queries, 403, [&](Vertex s, Vertex t) { return dyn.Query(s, t); });
+
+    // Figure 7(b): per-deletion distribution.
+    SampleStats dec_stats;
+    for (const Edge& e : SampleEdges(dyn.graph(), deletions, 404)) {
+      Stopwatch sw;
+      dyn.RemoveEdge(e.u, e.v);
+      dec_stats.Add(sw.ElapsedSeconds());
+    }
+    row.dec = TimeQueries(
+        n, queries, 405, [&](Vertex s, Vertex t) { return dyn.Query(s, t); });
+    query_rows.push_back(row);
+
+    std::printf(
+        "%-6s | %10s %10s %10s %10s | %10s %10s %10s %10s | %10s\n",
+        d.name.c_str(), FormatSeconds(inc_stats.P25()).c_str(),
+        FormatSeconds(inc_stats.Median()).c_str(),
+        FormatSeconds(inc_stats.P75()).c_str(),
+        FormatSeconds(inc_stats.Max()).c_str(),
+        FormatSeconds(dec_stats.P25()).c_str(),
+        FormatSeconds(dec_stats.Median()).c_str(),
+        FormatSeconds(dec_stats.P75()).c_str(),
+        FormatSeconds(dec_stats.Max()).c_str(),
+        FormatSeconds(build_seconds).c_str());
+    std::fflush(stdout);
+  }
+
+  std::printf("\nFigure 7(c): Query Time (avg over %zu random pairs)\n\n",
+              queries);
+  std::printf("%-6s %12s %12s %12s %12s %10s\n", "Graph", "BiBFS", "ori",
+              "inc", "dec", "speedup");
+  PrintRule(6);
+  for (const QueryRow& row : query_rows) {
+    std::printf("%-6s %12s %12s %12s %12s %9.0fx\n", row.name.c_str(),
+                FormatSeconds(row.bibfs).c_str(),
+                FormatSeconds(row.ori).c_str(), FormatSeconds(row.inc).c_str(),
+                FormatSeconds(row.dec).c_str(),
+                row.ori > 0 ? row.bibfs / row.ori : 0.0);
+  }
+  std::printf(
+      "\nShape check vs paper: labeling beats BiBFS by orders of magnitude;\n"
+      "ori/inc/dec labeling times are nearly identical (updates do not\n"
+      "degrade the index).\n");
+  return 0;
+}

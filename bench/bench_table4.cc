@@ -1,0 +1,69 @@
+// Table 4: Index Size (MB), Index Time and Average Inc/Dec Update Time.
+//
+// For each graph: build (or load) the SPC-Index, report its size under
+// the paper's packed 64-bit encoding, the HP-SPC construction time (the
+// reconstruction baseline), the average IncSPC time over random edge
+// insertions, and the average DecSPC time over random edge deletions.
+// The expected shape (paper §4.2.1/§4.3.1): IncSPC is orders of magnitude
+// below the index time; DecSPC is slower than IncSPC but still far below
+// reconstruction.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "dspc/common/stopwatch.h"
+#include "dspc/core/dynamic_spc.h"
+#include "dspc/graph/update_stream.h"
+
+int main() {
+  using namespace dspc;
+  using namespace dspc::bench;
+
+  const size_t insertions = InsertionsPerGraph();
+  const size_t deletions = DeletionsPerGraph();
+  std::printf(
+      "Table 4: Index Size (MB), Index Time and Average Inc/Dec Update "
+      "Time (sec)\n");
+  std::printf("(%zu random insertions, %zu random deletions per graph)\n\n",
+              insertions, deletions);
+  std::printf("%-6s %10s %10s %12s %12s %10s %10s\n", "Graph", "L Size",
+              "L Time", "IncSPC", "DecSPC", "Inc spd", "Dec spd");
+  PrintRule(7);
+
+  for (Dataset& d : MakeDatasets()) {
+    double build_seconds = 0.0;
+    SpcIndex index = BuildOrLoadIndex(d, &build_seconds);
+    const IndexSizeStats size = index.SizeStats();
+
+    DynamicSpcIndex dyn(d.graph, std::move(index));
+
+    // Incremental phase.
+    const std::vector<Edge> inserts =
+        SampleNonEdges(dyn.graph(), insertions, 201);
+    Stopwatch inc_watch;
+    for (const Edge& e : inserts) dyn.InsertEdge(e.u, e.v);
+    const double inc_avg =
+        inserts.empty() ? 0.0 : inc_watch.ElapsedSeconds() / inserts.size();
+
+    // Decremental phase (delete edges of the updated graph, as the paper
+    // samples from the current graph).
+    const std::vector<Edge> deletes = SampleEdges(dyn.graph(), deletions, 202);
+    Stopwatch dec_watch;
+    for (const Edge& e : deletes) dyn.RemoveEdge(e.u, e.v);
+    const double dec_avg =
+        deletes.empty() ? 0.0 : dec_watch.ElapsedSeconds() / deletes.size();
+
+    std::printf("%-6s %10s %10s %12s %12s %9.0fx %9.0fx\n", d.name.c_str(),
+                FormatMb(size.packed_bytes).c_str(),
+                FormatSeconds(build_seconds).c_str(),
+                FormatSeconds(inc_avg).c_str(),
+                FormatSeconds(dec_avg).c_str(),
+                inc_avg > 0 ? build_seconds / inc_avg : 0.0,
+                dec_avg > 0 ? build_seconds / dec_avg : 0.0);
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nShape check vs paper: IncSPC 2-4 orders below L Time; DecSPC slower\n"
+      "than IncSPC but 1-2 orders below L Time.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Friend recommendation on a dynamic social network (paper Figure 1).
+//
+// Users at distance 2 with more shortest paths share more mutual friends.
+// The dynamic index keeps recommendations current while friendships are
+// added and removed — the scenario that motivates DSPC in the paper's
+// introduction.
+
+#include <cstdio>
+
+#include "dspc/apps/recommendation.h"
+#include "dspc/common/rng.h"
+#include "dspc/core/dynamic_spc.h"
+#include "dspc/graph/generators.h"
+
+using namespace dspc;
+
+namespace {
+
+void ShowRecommendations(const DynamicSpcIndex& index, Vertex user) {
+  const auto recs = RecommendFriends(index, user, 5);
+  std::printf("top-%zu recommendations for user %u:\n", recs.size(), user);
+  for (const Recommendation& r : recs) {
+    std::printf("  user %-6u  mutual friends: %llu\n", r.candidate,
+                static_cast<unsigned long long>(r.paths));
+  }
+}
+
+}  // namespace
+
+int main() {
+  // A scale-free social network: preferential attachment mirrors how
+  // social graphs grow.
+  const size_t kUsers = 2000;
+  Graph social = GenerateBarabasiAlbert(kUsers, 3, 2024);
+  std::printf("social network: %zu users, %zu friendships\n",
+              social.NumVertices(), social.NumEdges());
+
+  DynamicSpcIndex index(std::move(social));
+  const Vertex user = 42;
+
+  std::printf("\n=== initial state ===\n");
+  ShowRecommendations(index, user);
+
+  // The network evolves: the user makes two new friends, and one of the
+  // user's friends unfriends them.
+  std::printf("\n=== user %u befriends two suggested users ===\n", user);
+  const auto before = RecommendFriends(index, user, 2);
+  for (const Recommendation& r : before) {
+    index.InsertEdge(user, r.candidate);
+    std::printf("  added friendship %u - %u\n", user, r.candidate);
+  }
+  ShowRecommendations(index, user);
+
+  std::printf("\n=== churn: 50 random friendships added, 10 removed ===\n");
+  Rng rng(7);
+  size_t added = 0;
+  while (added < 50) {
+    const auto a = static_cast<Vertex>(rng.NextBounded(kUsers));
+    const auto b = static_cast<Vertex>(rng.NextBounded(kUsers));
+    if (index.InsertEdge(a, b).applied) ++added;
+  }
+  size_t removed = 0;
+  while (removed < 10) {
+    const auto edges = index.graph().Edges();
+    const Edge e = edges[rng.NextBounded(edges.size())];
+    if (index.RemoveEdge(e.u, e.v).applied) ++removed;
+  }
+  ShowRecommendations(index, user);
+
+  std::printf(
+      "\nEvery ranking above was computed from the live index — %zu\n"
+      "friendship changes were absorbed by IncSPC/DecSPC, not rebuilds.\n",
+      added + removed + before.size());
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Group betweenness monitoring (paper Section 1, Puzis et al.).
+//
+// Group betweenness B(C) measures how much of the network's shortest-path
+// traffic a vertex set C intercepts — e.g. placing monitors or
+// influencers. Shortest-path *counting* is its building block; the
+// dynamic index keeps B(C) computable as the network changes.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "dspc/apps/betweenness.h"
+#include "dspc/core/dynamic_spc.h"
+#include "dspc/graph/generators.h"
+
+using namespace dspc;
+
+namespace {
+
+void Report(const Graph& g, const DynamicSpcIndex& index,
+            const std::vector<Vertex>& group) {
+  std::printf("  B({");
+  for (size_t i = 0; i < group.size(); ++i) {
+    std::printf(i == 0 ? "%u" : ", %u", group[i]);
+  }
+  std::printf("}) = %.2f\n", GroupBetweenness(g, index, group));
+}
+
+}  // namespace
+
+int main() {
+  // A small-world communication network.
+  Graph net = GenerateWattsStrogatz(600, 3, 0.1, 99);
+  std::printf("network: %zu nodes, %zu links\n", net.NumVertices(),
+              net.NumEdges());
+  DynamicSpcIndex index(net);
+
+  // Pick the three highest-betweenness vertices as the candidate group.
+  const std::vector<double> bc = BrandesBetweenness(index.graph());
+  std::vector<Vertex> by_score(index.graph().NumVertices());
+  for (Vertex v = 0; v < by_score.size(); ++v) by_score[v] = v;
+  std::sort(by_score.begin(), by_score.end(),
+            [&](Vertex a, Vertex b) { return bc[a] > bc[b]; });
+  const std::vector<Vertex> group = {by_score[0], by_score[1], by_score[2]};
+
+  std::printf("\ntop-3 central vertices: %u (%.1f), %u (%.1f), %u (%.1f)\n",
+              by_score[0], bc[by_score[0]], by_score[1], bc[by_score[1]],
+              by_score[2], bc[by_score[2]]);
+
+  std::printf("\n=== initial coverage ===\n");
+  Report(index.graph(), index, group);
+  Report(index.graph(), index, {group[0]});
+
+  // A new shortcut appears between two distant regions: traffic reroutes.
+  std::printf("\n=== network change: shortcut 10 - 300 appears ===\n");
+  index.InsertEdge(10, 300);
+  Report(index.graph(), index, group);
+
+  // A monitored vertex loses links (e.g. partial failure).
+  std::printf("\n=== network change: vertex %u loses 2 links ===\n", group[0]);
+  const std::vector<Vertex> nbrs = index.graph().Neighbors(group[0]);
+  for (size_t i = 0; i < 2 && i < nbrs.size(); ++i) {
+    index.RemoveEdge(group[0], nbrs[i]);
+  }
+  Report(index.graph(), index, group);
+
+  std::printf(
+      "\nEach B(C) evaluation used exact shortest-path counts from the\n"
+      "maintained index plus one avoidance BFS per source — no rebuilds.\n");
+  return 0;
+}

@@ -1,0 +1,128 @@
+#include "dspc/apps/betweenness.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "dspc/baseline/bfs_counting.h"
+
+namespace dspc {
+
+std::vector<double> BrandesBetweenness(const Graph& graph) {
+  const size_t n = graph.NumVertices();
+  std::vector<double> centrality(n, 0.0);
+  std::vector<Distance> dist(n);
+  std::vector<double> sigma(n);
+  std::vector<double> delta(n);
+  std::vector<Vertex> order;  // vertices in non-decreasing distance
+  order.reserve(n);
+
+  for (Vertex s = 0; s < n; ++s) {
+    std::fill(dist.begin(), dist.end(), kInfDistance);
+    std::fill(sigma.begin(), sigma.end(), 0.0);
+    std::fill(delta.begin(), delta.end(), 0.0);
+    order.clear();
+    dist[s] = 0;
+    sigma[s] = 1.0;
+    std::queue<Vertex> queue;
+    queue.push(s);
+    while (!queue.empty()) {
+      const Vertex v = queue.front();
+      queue.pop();
+      order.push_back(v);
+      for (const Vertex w : graph.Neighbors(v)) {
+        if (dist[w] == kInfDistance) {
+          dist[w] = dist[v] + 1;
+          queue.push(w);
+        }
+        if (dist[w] == dist[v] + 1) sigma[w] += sigma[v];
+      }
+    }
+    // Dependency accumulation in reverse BFS order.
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const Vertex w = *it;
+      for (const Vertex v : graph.Neighbors(w)) {
+        if (dist[v] + 1 == dist[w]) {
+          delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
+        }
+      }
+      if (w != s) centrality[w] += delta[w];
+    }
+  }
+  // Each unordered pair was counted from both endpoints.
+  for (double& c : centrality) c /= 2.0;
+  return centrality;
+}
+
+double PairDependency(const DynamicSpcIndex& index, Vertex s, Vertex t,
+                      Vertex v) {
+  if (v == s || v == t || s == t) return 0.0;
+  const SpcResult st = index.Query(s, t);
+  if (st.count == 0) return 0.0;
+  const SpcResult sv = index.Query(s, v);
+  if (sv.dist == kInfDistance || sv.dist >= st.dist) return 0.0;
+  const SpcResult vt = index.Query(v, t);
+  if (vt.dist == kInfDistance || sv.dist + vt.dist != st.dist) return 0.0;
+  return static_cast<double>(sv.count) * static_cast<double>(vt.count) /
+         static_cast<double>(st.count);
+}
+
+double VertexBetweenness(const DynamicSpcIndex& index, Vertex v) {
+  const size_t n = index.graph().NumVertices();
+  double total = 0.0;
+  for (Vertex s = 0; s < n; ++s) {
+    if (s == v) continue;
+    for (Vertex t = s + 1; t < n; ++t) {
+      if (t == v) continue;
+      total += PairDependency(index, s, t, v);
+    }
+  }
+  return total;
+}
+
+double GroupBetweenness(const Graph& graph, const DynamicSpcIndex& index,
+                        const std::vector<Vertex>& group) {
+  const size_t n = graph.NumVertices();
+  std::vector<uint8_t> in_group(n, 0);
+  for (const Vertex v : group) in_group[v] = 1;
+
+  // BFS with counting on G \ C, reused per source.
+  std::vector<Distance> dist(n);
+  std::vector<PathCount> count(n);
+
+  double total = 0.0;
+  for (Vertex s = 0; s < n; ++s) {
+    if (in_group[s] != 0) continue;
+    std::fill(dist.begin(), dist.end(), kInfDistance);
+    std::fill(count.begin(), count.end(), 0);
+    dist[s] = 0;
+    count[s] = 1;
+    std::queue<Vertex> queue;
+    queue.push(s);
+    while (!queue.empty()) {
+      const Vertex v = queue.front();
+      queue.pop();
+      for (const Vertex w : graph.Neighbors(v)) {
+        if (in_group[w] != 0) continue;  // paths must avoid the group
+        if (dist[w] == kInfDistance) {
+          dist[w] = dist[v] + 1;
+          count[w] = count[v];
+          queue.push(w);
+        } else if (dist[w] == dist[v] + 1) {
+          count[w] += count[v];
+        }
+      }
+    }
+    for (Vertex t = s + 1; t < n; ++t) {
+      if (in_group[t] != 0) continue;
+      const SpcResult st = index.Query(s, t);
+      if (st.count == 0) continue;
+      // Shortest s-t paths avoiding C entirely (same length only).
+      const PathCount avoiding = dist[t] == st.dist ? count[t] : 0;
+      const PathCount through = st.count - avoiding;
+      total += static_cast<double>(through) / static_cast<double>(st.count);
+    }
+  }
+  return total;
+}
+
+}  // namespace dspc

@@ -1,0 +1,44 @@
+// Betweenness applications of shortest-path counting (paper §1).
+//
+// Shortest-path counts are the building block of betweenness centrality:
+// the pair dependency of v on (s,t) is spc(s,v)*spc(v,t)/spc(s,t) when v
+// lies on a shortest s-t path. Group betweenness B(C) (Puzis et al.,
+// paper's Eq. in §1) additionally needs the number of shortest paths
+// avoiding the whole group, which one BFS on G \ C provides. The
+// SPC-Index answers the per-pair counts, so these analyses stay cheap on
+// dynamic graphs.
+
+#ifndef DSPC_APPS_BETWEENNESS_H_
+#define DSPC_APPS_BETWEENNESS_H_
+
+#include <vector>
+
+#include "dspc/core/dynamic_spc.h"
+#include "dspc/graph/graph.h"
+
+namespace dspc {
+
+/// Exact betweenness centrality of every vertex via Brandes' algorithm
+/// (unordered pairs, endpoints excluded). O(nm). The reference baseline.
+std::vector<double> BrandesBetweenness(const Graph& graph);
+
+/// Dependency of vertex v on pair (s, t): the fraction of shortest s-t
+/// paths through v (0 when s,t disconnected or v is an endpoint).
+/// Three index queries.
+double PairDependency(const DynamicSpcIndex& index, Vertex s, Vertex t,
+                      Vertex v);
+
+/// Exact betweenness of a single vertex using index queries for all pairs.
+/// O(n^2) queries — practical for analysis of a handful of vertices.
+double VertexBetweenness(const DynamicSpcIndex& index, Vertex v);
+
+/// Group betweenness B(C) = sum over pairs s,t not in C of
+/// delta_st(C)/delta_st, where delta_st(C) counts shortest s-t paths
+/// through at least one member of C. delta_st(C) = spc(s,t) minus the
+/// number of equally-short paths avoiding C, which a BFS on G \ C yields.
+double GroupBetweenness(const Graph& graph, const DynamicSpcIndex& index,
+                        const std::vector<Vertex>& group);
+
+}  // namespace dspc
+
+#endif  // DSPC_APPS_BETWEENNESS_H_

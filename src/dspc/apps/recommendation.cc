@@ -1,0 +1,33 @@
+#include "dspc/apps/recommendation.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace dspc {
+
+std::vector<Recommendation> RecommendFriends(const DynamicSpcIndex& index,
+                                             Vertex user, size_t k) {
+  const Graph& graph = index.graph();
+  std::vector<Recommendation> out;
+  if (!graph.IsValidVertex(user)) return out;
+
+  // Candidates: friends-of-friends that are not already friends.
+  std::unordered_set<Vertex> seen;
+  for (const Vertex f : graph.Neighbors(user)) {
+    for (const Vertex ff : graph.Neighbors(f)) {
+      if (ff == user || graph.HasEdge(user, ff)) continue;
+      if (!seen.insert(ff).second) continue;
+      const SpcResult r = index.Query(user, ff);
+      out.push_back(Recommendation{ff, r.dist, r.count});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Recommendation& a, const Recommendation& b) {
+              if (a.paths != b.paths) return a.paths > b.paths;
+              return a.candidate < b.candidate;
+            });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+}  // namespace dspc

@@ -1,0 +1,31 @@
+// Friend recommendation by shortest-path counting (the paper's Figure 1
+// motivation): among users at distance 2, more shortest paths mean more
+// common friends, so rank candidates by spc(u, c).
+
+#ifndef DSPC_APPS_RECOMMENDATION_H_
+#define DSPC_APPS_RECOMMENDATION_H_
+
+#include <vector>
+
+#include "dspc/core/dynamic_spc.h"
+#include "dspc/graph/graph.h"
+
+namespace dspc {
+
+/// One recommendation: a non-friend candidate with its tie strength.
+struct Recommendation {
+  Vertex candidate;
+  Distance dist;    ///< shortest distance from the user (>= 2)
+  PathCount paths;  ///< number of shortest paths (= common friends at d=2)
+};
+
+/// Ranks the top-k friend candidates for `user`: vertices at distance 2
+/// ordered by descending shortest-path count (i.e. common-friend count),
+/// ties by smaller id. Counts come from the dynamic index, so rankings
+/// stay current as the social graph changes.
+std::vector<Recommendation> RecommendFriends(const DynamicSpcIndex& index,
+                                             Vertex user, size_t k);
+
+}  // namespace dspc
+
+#endif  // DSPC_APPS_RECOMMENDATION_H_

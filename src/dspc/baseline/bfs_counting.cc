@@ -1,0 +1,91 @@
+#include "dspc/baseline/bfs_counting.h"
+
+#include <queue>
+
+namespace dspc {
+
+namespace {
+
+/// Shared BFS-counting kernel. NeighborsFn maps a vertex to a range of
+/// neighbor vertices. If `target` is valid, stops once target's level is
+/// fully processed (counts into `target` are then final).
+template <typename NeighborsFn>
+SsspCounts BfsCountImpl(size_t n, Vertex source, NeighborsFn&& neighbors,
+                        Vertex target) {
+  SsspCounts out;
+  out.dist.assign(n, kInfDistance);
+  out.count.assign(n, 0);
+  if (source >= n) return out;
+  out.dist[source] = 0;
+  out.count[source] = 1;
+  std::queue<Vertex> queue;
+  queue.push(source);
+  while (!queue.empty()) {
+    const Vertex v = queue.front();
+    queue.pop();
+    // Once we pop a vertex strictly deeper than the target, every path to
+    // target has been accumulated.
+    if (target != kInvalidVertex && out.dist[v] > out.dist[target]) break;
+    for (const Vertex w : neighbors(v)) {
+      if (out.dist[w] == kInfDistance) {
+        out.dist[w] = out.dist[v] + 1;
+        out.count[w] = out.count[v];
+        queue.push(w);
+      } else if (out.dist[w] == out.dist[v] + 1) {
+        out.count[w] += out.count[v];
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+SsspCounts BfsCount(const Graph& graph, Vertex source) {
+  return BfsCountImpl(
+      graph.NumVertices(), source,
+      [&](Vertex v) -> const std::vector<Vertex>& { return graph.Neighbors(v); },
+      kInvalidVertex);
+}
+
+SpcResult BfsCountPair(const Graph& graph, Vertex s, Vertex t) {
+  if (s >= graph.NumVertices() || t >= graph.NumVertices()) return SpcResult{};
+  if (s == t) return SpcResult{0, 1};
+  const SsspCounts sssp = BfsCountImpl(
+      graph.NumVertices(), s,
+      [&](Vertex v) -> const std::vector<Vertex>& { return graph.Neighbors(v); },
+      t);
+  return SpcResult{sssp.dist[t], sssp.count[t]};
+}
+
+SsspCounts BfsCount(const Digraph& graph, Vertex source) {
+  return BfsCountImpl(
+      graph.NumVertices(), source,
+      [&](Vertex v) -> const std::vector<Vertex>& {
+        return graph.OutNeighbors(v);
+      },
+      kInvalidVertex);
+}
+
+SsspCounts BfsCountReverse(const Digraph& graph, Vertex source) {
+  return BfsCountImpl(
+      graph.NumVertices(), source,
+      [&](Vertex v) -> const std::vector<Vertex>& {
+        return graph.InNeighbors(v);
+      },
+      kInvalidVertex);
+}
+
+SpcResult BfsCountPair(const Digraph& graph, Vertex s, Vertex t) {
+  if (s >= graph.NumVertices() || t >= graph.NumVertices()) return SpcResult{};
+  if (s == t) return SpcResult{0, 1};
+  const SsspCounts sssp = BfsCountImpl(
+      graph.NumVertices(), s,
+      [&](Vertex v) -> const std::vector<Vertex>& {
+        return graph.OutNeighbors(v);
+      },
+      t);
+  return SpcResult{sssp.dist[t], sssp.count[t]};
+}
+
+}  // namespace dspc

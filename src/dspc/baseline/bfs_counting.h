@@ -1,0 +1,49 @@
+// Textbook BFS shortest-path counting (paper Section 1): ground truth for
+// every test in the repository and the single-source building block used
+// by Brandes betweenness.
+
+#ifndef DSPC_BASELINE_BFS_COUNTING_H_
+#define DSPC_BASELINE_BFS_COUNTING_H_
+
+#include <vector>
+
+#include "dspc/common/types.h"
+#include "dspc/graph/digraph.h"
+#include "dspc/graph/graph.h"
+
+namespace dspc {
+
+/// Distance and number of shortest paths for one vertex pair. Disconnected
+/// pairs report {kInfDistance, 0}.
+struct SpcResult {
+  Distance dist = kInfDistance;
+  PathCount count = 0;
+
+  friend bool operator==(const SpcResult&, const SpcResult&) = default;
+};
+
+/// Per-vertex single-source results.
+struct SsspCounts {
+  std::vector<Distance> dist;   ///< dist[v] = sd(source, v)
+  std::vector<PathCount> count;  ///< count[v] = spc(source, v)
+};
+
+/// Single-source BFS with path counting. O(n + m).
+SsspCounts BfsCount(const Graph& graph, Vertex source);
+
+/// Pair query via BFS from `s`, early-exit once `t`'s level completes.
+SpcResult BfsCountPair(const Graph& graph, Vertex s, Vertex t);
+
+/// Directed single-source counting (follows out-arcs).
+SsspCounts BfsCount(const Digraph& graph, Vertex source);
+
+/// Directed single-source counting on the reverse graph (follows in-arcs):
+/// dist[v] = sd(v, source).
+SsspCounts BfsCountReverse(const Digraph& graph, Vertex source);
+
+/// Directed pair query s -> t.
+SpcResult BfsCountPair(const Digraph& graph, Vertex s, Vertex t);
+
+}  // namespace dspc
+
+#endif  // DSPC_BASELINE_BFS_COUNTING_H_

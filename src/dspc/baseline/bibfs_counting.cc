@@ -1,0 +1,99 @@
+#include "dspc/baseline/bibfs_counting.h"
+
+#include <algorithm>
+
+namespace dspc {
+
+BiBfsCounter::BiBfsCounter(const Graph& graph) : graph_(&graph) {
+  const size_t n = graph.NumVertices();
+  fwd_.dist.assign(n, kInfDistance);
+  fwd_.count.assign(n, 0);
+  bwd_.dist.assign(n, kInfDistance);
+  bwd_.count.assign(n, 0);
+}
+
+bool BiBfsCounter::ExpandLevel(Side* side) {
+  if (side->frontier.empty()) return false;
+  side->next.clear();
+  for (const Vertex v : side->frontier) {
+    for (const Vertex w : graph_->Neighbors(v)) {
+      if (side->dist[w] == kInfDistance) {
+        side->dist[w] = side->level + 1;
+        side->count[w] = side->count[v];
+        side->next.push_back(w);
+        touched_.push_back(w);
+      } else if (side->dist[w] == side->level + 1) {
+        side->count[w] += side->count[v];
+      }
+    }
+  }
+  ++side->level;
+  std::swap(side->frontier, side->next);
+  return true;
+}
+
+SpcResult BiBfsCounter::Query(Vertex s, Vertex t) {
+  const size_t n = graph_->NumVertices();
+  if (s >= n || t >= n) return SpcResult{};
+  if (s == t) return SpcResult{0, 1};
+
+  touched_.clear();
+  fwd_.level = 0;
+  bwd_.level = 0;
+  fwd_.dist[s] = 0;
+  fwd_.count[s] = 1;
+  bwd_.dist[t] = 0;
+  bwd_.count[t] = 1;
+  fwd_.frontier.assign(1, s);
+  bwd_.frontier.assign(1, t);
+  touched_.push_back(s);
+  touched_.push_back(t);
+
+  SpcResult result;
+  while (true) {
+    // Grow the cheaper side (paper: "the side with the smaller queue").
+    Side* grow = fwd_.frontier.size() <= bwd_.frontier.size() ? &fwd_ : &bwd_;
+    Side* other = grow == &fwd_ ? &bwd_ : &fwd_;
+    if (grow->frontier.empty()) break;  // disconnected
+    if (!ExpandLevel(grow)) break;
+
+    // Meeting check over the freshly completed level: counts on both sides
+    // are final for these vertices, and each shortest path crosses this
+    // level set exactly once.
+    Distance best = kInfDistance;
+    for (const Vertex w : grow->frontier) {
+      if (other->dist[w] != kInfDistance) {
+        best = std::min(best, grow->dist[w] + other->dist[w]);
+      }
+    }
+    if (best != kInfDistance) {
+      PathCount total = 0;
+      for (const Vertex w : grow->frontier) {
+        if (other->dist[w] != kInfDistance &&
+            grow->dist[w] + other->dist[w] == best) {
+          total += grow->count[w] * other->count[w];
+        }
+      }
+      result = SpcResult{best, total};
+      break;
+    }
+  }
+
+  last_visited_ = touched_.size();
+  for (const Vertex v : touched_) {
+    fwd_.dist[v] = kInfDistance;
+    fwd_.count[v] = 0;
+    bwd_.dist[v] = kInfDistance;
+    bwd_.count[v] = 0;
+  }
+  fwd_.frontier.clear();
+  bwd_.frontier.clear();
+  return result;
+}
+
+SpcResult BiBfsCountPair(const Graph& graph, Vertex s, Vertex t) {
+  BiBfsCounter counter(graph);
+  return counter.Query(s, t);
+}
+
+}  // namespace dspc

@@ -1,0 +1,58 @@
+// Bidirectional BFS shortest-path counting — the online query competitor
+// in the paper's Figure 7(c) ("BiBFS ... conducts BFS searches from both
+// query vertices and selects the side with the smaller queue size to
+// continue each iteration until a common vertex from both sides is found").
+
+#ifndef DSPC_BASELINE_BIBFS_COUNTING_H_
+#define DSPC_BASELINE_BIBFS_COUNTING_H_
+
+#include "dspc/baseline/bfs_counting.h"
+#include "dspc/graph/graph.h"
+
+namespace dspc {
+
+/// Reusable bidirectional-BFS engine. Keeping one instance across queries
+/// amortizes the O(n) scratch arrays: per query, only touched entries are
+/// reset, making query cost proportional to the searched ball, not n.
+class BiBfsCounter {
+ public:
+  explicit BiBfsCounter(const Graph& graph);
+
+  /// Shortest distance and path count between s and t.
+  ///
+  /// Level-synchronized expansion from both endpoints, always growing the
+  /// side with the smaller frontier. When a freshly completed level meets
+  /// the other side's settled set at total distance mu, every shortest path
+  /// crosses that level set in exactly one vertex, so
+  /// sum over the meeting vertices of count_s * count_t is exact.
+  SpcResult Query(Vertex s, Vertex t);
+
+  /// Vertices visited by the most recent query (for instrumentation).
+  size_t last_visited() const { return last_visited_; }
+
+ private:
+  struct Side {
+    std::vector<Distance> dist;
+    std::vector<PathCount> count;
+    std::vector<Vertex> frontier;
+    std::vector<Vertex> next;
+    Distance level = 0;
+  };
+
+  /// Expands `side` by one full level; returns false if the frontier was
+  /// exhausted (component fully explored).
+  bool ExpandLevel(Side* side);
+
+  const Graph* graph_;
+  Side fwd_;
+  Side bwd_;
+  std::vector<Vertex> touched_;  // entries to reset after a query
+  size_t last_visited_ = 0;
+};
+
+/// One-shot convenience wrapper around BiBfsCounter.
+SpcResult BiBfsCountPair(const Graph& graph, Vertex s, Vertex t);
+
+}  // namespace dspc
+
+#endif  // DSPC_BASELINE_BIBFS_COUNTING_H_

@@ -1,0 +1,58 @@
+#include "dspc/baseline/dijkstra_counting.h"
+
+#include <queue>
+#include <utility>
+
+namespace dspc {
+
+namespace {
+
+using QueueEntry = std::pair<Distance, Vertex>;  // (tentative dist, vertex)
+
+SsspCounts DijkstraImpl(const WeightedGraph& graph, Vertex source,
+                        Vertex target) {
+  const size_t n = graph.NumVertices();
+  SsspCounts out;
+  out.dist.assign(n, kInfDistance);
+  out.count.assign(n, 0);
+  if (source >= n) return out;
+  out.dist[source] = 0;
+  out.count[source] = 1;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      heap;
+  heap.push({0, source});
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (d > out.dist[v]) continue;  // stale entry
+    // All paths into `target` are final once we settle a vertex beyond it.
+    if (target != kInvalidVertex && d > out.dist[target]) break;
+    for (const WeightedNeighbor& nb : graph.Neighbors(v)) {
+      const Distance nd = d + nb.w;
+      if (nd < out.dist[nb.to]) {
+        out.dist[nb.to] = nd;
+        out.count[nb.to] = out.count[v];
+        heap.push({nd, nb.to});
+      } else if (nd == out.dist[nb.to]) {
+        out.count[nb.to] += out.count[v];
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+SsspCounts DijkstraCount(const WeightedGraph& graph, Vertex source) {
+  return DijkstraImpl(graph, source, kInvalidVertex);
+}
+
+SpcResult DijkstraCountPair(const WeightedGraph& graph, Vertex s, Vertex t) {
+  if (s >= graph.NumVertices() || t >= graph.NumVertices()) return SpcResult{};
+  if (s == t) return SpcResult{0, 1};
+  const SsspCounts sssp = DijkstraImpl(graph, s, t);
+  return SpcResult{sssp.dist[t], sssp.count[t]};
+}
+
+}  // namespace dspc

@@ -1,0 +1,21 @@
+// Dijkstra with path counting: ground truth for the weighted extension
+// (paper Appendix C.2).
+
+#ifndef DSPC_BASELINE_DIJKSTRA_COUNTING_H_
+#define DSPC_BASELINE_DIJKSTRA_COUNTING_H_
+
+#include "dspc/baseline/bfs_counting.h"
+#include "dspc/graph/weighted_graph.h"
+
+namespace dspc {
+
+/// Single-source weighted shortest distances and path counts. Distances
+/// are weight sums; disconnected vertices report kInfDistance / 0.
+SsspCounts DijkstraCount(const WeightedGraph& graph, Vertex source);
+
+/// Pair query via Dijkstra from `s` with early exit at `t`.
+SpcResult DijkstraCountPair(const WeightedGraph& graph, Vertex s, Vertex t);
+
+}  // namespace dspc
+
+#endif  // DSPC_BASELINE_DIJKSTRA_COUNTING_H_

@@ -1,0 +1,29 @@
+#include "dspc/common/label_codec.h"
+
+#include <algorithm>
+
+namespace dspc {
+
+uint64_t PackLabel(Rank hub, Distance dist, PathCount count) {
+  const uint64_t h = std::min<uint64_t>(hub, kPackedHubMax);
+  const uint64_t d = std::min<uint64_t>(dist, kPackedDistMax);
+  const uint64_t c = std::min<uint64_t>(count, kPackedCountMax);
+  return (h << (kPackedDistBits + kPackedCountBits)) | (d << kPackedCountBits) |
+         c;
+}
+
+PackedLabelFields UnpackLabel(uint64_t word) {
+  PackedLabelFields fields;
+  fields.count = word & kPackedCountMax;
+  fields.dist =
+      static_cast<Distance>((word >> kPackedCountBits) & kPackedDistMax);
+  fields.hub = static_cast<Rank>(word >> (kPackedDistBits + kPackedCountBits));
+  return fields;
+}
+
+bool FitsPacked(Rank hub, Distance dist, PathCount count) {
+  return hub <= kPackedHubMax && dist <= kPackedDistMax &&
+         count <= kPackedCountMax;
+}
+
+}  // namespace dspc

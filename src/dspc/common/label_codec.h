@@ -1,0 +1,46 @@
+// The paper's packed label encoding (Section 4.1): each label entry
+// (v, d, c) is encoded in a 64-bit integer, with v, d and c taking 25, 10
+// and 29 bits respectively. The in-memory index uses wide 16-byte entries
+// for exactness; this codec is used for index-size accounting (Table 4)
+// and for the compact serialization format.
+
+#ifndef DSPC_COMMON_LABEL_CODEC_H_
+#define DSPC_COMMON_LABEL_CODEC_H_
+
+#include <cstdint>
+
+#include "dspc/common/types.h"
+
+namespace dspc {
+
+/// Bit widths of the paper's packed 64-bit label entry.
+inline constexpr int kPackedHubBits = 25;
+inline constexpr int kPackedDistBits = 10;
+inline constexpr int kPackedCountBits = 29;
+
+/// Maximum values representable by each packed field.
+inline constexpr uint64_t kPackedHubMax = (1ULL << kPackedHubBits) - 1;
+inline constexpr uint64_t kPackedDistMax = (1ULL << kPackedDistBits) - 1;
+inline constexpr uint64_t kPackedCountMax = (1ULL << kPackedCountBits) - 1;
+
+/// A decoded packed entry.
+struct PackedLabelFields {
+  Rank hub;
+  Distance dist;
+  PathCount count;
+};
+
+/// Packs (hub, dist, count) into a 64-bit word, layout [hub|dist|count]
+/// from the most significant bits. Values are saturated to their field
+/// widths; use FitsPacked() to detect lossy packing beforehand.
+uint64_t PackLabel(Rank hub, Distance dist, PathCount count);
+
+/// Reverses PackLabel().
+PackedLabelFields UnpackLabel(uint64_t word);
+
+/// True iff the triple can be packed without saturation.
+bool FitsPacked(Rank hub, Distance dist, PathCount count);
+
+}  // namespace dspc
+
+#endif  // DSPC_COMMON_LABEL_CODEC_H_

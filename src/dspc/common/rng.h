@@ -1,0 +1,86 @@
+// Deterministic, cross-platform random number generation.
+//
+// std::mt19937 distributions are not guaranteed identical across standard
+// library implementations, so workloads (graph generators, update streams)
+// use this self-contained xoshiro256** generator: the same seed produces the
+// same graph and the same update stream everywhere, which keeps tests and
+// experiment tables reproducible.
+
+#ifndef DSPC_COMMON_RNG_H_
+#define DSPC_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace dspc {
+
+/// xoshiro256** seeded through SplitMix64, per the reference implementations
+/// by Blackman & Vigna (public domain).
+class Rng {
+ public:
+  /// Seeds the full 256-bit state from a single 64-bit seed via SplitMix64.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      // SplitMix64 step.
+      x += 0x9E3779B97F4A7C15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform value in [0, bound). bound must be > 0. Uses Lemire's
+  /// multiply-shift rejection method to avoid modulo bias.
+  uint64_t NextBounded(uint64_t bound) {
+    // For the graph sizes used here, the simple 128-bit multiply is exact
+    // enough; rejection removes the residual bias.
+    unsigned __int128 m =
+        static_cast<unsigned __int128>(Next()) * static_cast<unsigned __int128>(bound);
+    auto lo = static_cast<uint64_t>(m);
+    if (lo < bound) {
+      const uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<unsigned __int128>(Next()) *
+            static_cast<unsigned __int128>(bound);
+        lo = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform value in [lo, hi] inclusive.
+  uint64_t NextInRange(uint64_t lo, uint64_t hi) {
+    return lo + NextBounded(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace dspc
+
+#endif  // DSPC_COMMON_RNG_H_

@@ -1,0 +1,64 @@
+#include "dspc/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dspc {
+
+void SampleStats::Add(double value) {
+  values_.push_back(value);
+  sorted_valid_ = false;
+}
+
+double SampleStats::Sum() const {
+  double sum = 0.0;
+  for (double v : values_) sum += v;
+  return sum;
+}
+
+double SampleStats::Mean() const {
+  if (values_.empty()) return 0.0;
+  return Sum() / static_cast<double>(values_.size());
+}
+
+double SampleStats::Min() const {
+  if (values_.empty()) return 0.0;
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double SampleStats::Max() const {
+  if (values_.empty()) return 0.0;
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double SampleStats::Stddev() const {
+  if (values_.size() < 2) return 0.0;
+  const double mean = Mean();
+  double acc = 0.0;
+  for (double v : values_) acc += (v - mean) * (v - mean);
+  return std::sqrt(acc / static_cast<double>(values_.size()));
+}
+
+double SampleStats::Percentile(double p) const {
+  if (values_.empty()) return 0.0;
+  if (!sorted_valid_) {
+    sorted_ = values_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+  if (p <= 0.0) return sorted_.front();
+  if (p >= 100.0) return sorted_.back();
+  const double pos = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted_.size()) return sorted_.back();
+  return sorted_[lo] * (1.0 - frac) + sorted_[lo + 1] * frac;
+}
+
+void SampleStats::Clear() {
+  values_.clear();
+  sorted_.clear();
+  sorted_valid_ = false;
+}
+
+}  // namespace dspc

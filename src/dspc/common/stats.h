@@ -1,0 +1,85 @@
+// Summary statistics used by the experiment harnesses: the paper reports
+// means (Tables 4, 5), medians and interquartile ranges (Figure 7), and
+// accumulated series (Figure 10).
+
+#ifndef DSPC_COMMON_STATS_H_
+#define DSPC_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace dspc {
+
+/// Accumulates a sample of doubles and answers summary queries.
+/// Percentile queries sort a copy lazily; the accumulator itself is O(1)
+/// per Add.
+class SampleStats {
+ public:
+  /// Adds one observation.
+  void Add(double value);
+
+  /// Number of observations.
+  size_t count() const { return values_.size(); }
+
+  /// Sum of all observations (0 when empty).
+  double Sum() const;
+
+  /// Arithmetic mean (0 when empty).
+  double Mean() const;
+
+  /// Smallest observation (0 when empty).
+  double Min() const;
+
+  /// Largest observation (0 when empty).
+  double Max() const;
+
+  /// Standard deviation (population form; 0 when fewer than 2 samples).
+  double Stddev() const;
+
+  /// Percentile in [0, 100] using linear interpolation between order
+  /// statistics (0 when empty). Percentile(50) is the median.
+  double Percentile(double p) const;
+
+  /// Convenience accessors for the Figure 7 box markers.
+  double Median() const { return Percentile(50.0); }
+  double P25() const { return Percentile(25.0); }
+  double P75() const { return Percentile(75.0); }
+
+  /// Raw observations in insertion order.
+  const std::vector<double>& values() const { return values_; }
+
+  /// Discards all observations.
+  void Clear();
+
+ private:
+  std::vector<double> values_;
+  mutable std::vector<double> sorted_;  // lazily rebuilt cache
+  mutable bool sorted_valid_ = false;
+};
+
+/// Running counter totals for label-change accounting (Figures 8 and 9).
+/// One instance accumulates over a batch of updates; means are per update.
+struct LabelChangeTotals {
+  size_t updates = 0;        ///< number of updates accumulated
+  size_t renew_count = 0;    ///< RenewC: only the count element changed
+  size_t renew_dist = 0;     ///< RenewD: the distance element changed
+  size_t inserted = 0;       ///< newly inserted labels
+  size_t removed = 0;        ///< removed labels (decremental only)
+
+  double MeanRenewCount() const {
+    return updates == 0 ? 0.0 : static_cast<double>(renew_count) / updates;
+  }
+  double MeanRenewDist() const {
+    return updates == 0 ? 0.0 : static_cast<double>(renew_dist) / updates;
+  }
+  double MeanInserted() const {
+    return updates == 0 ? 0.0 : static_cast<double>(inserted) / updates;
+  }
+  double MeanRemoved() const {
+    return updates == 0 ? 0.0 : static_cast<double>(removed) / updates;
+  }
+};
+
+}  // namespace dspc
+
+#endif  // DSPC_COMMON_STATS_H_

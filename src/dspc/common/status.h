@@ -1,0 +1,67 @@
+// RocksDB-style Status: fallible operations (I/O, parsing, serialization)
+// return a Status instead of throwing. Hot algorithm paths never fail and
+// therefore do not use Status.
+
+#ifndef DSPC_COMMON_STATUS_H_
+#define DSPC_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace dspc {
+
+/// Outcome of a fallible operation. Cheap to copy when OK (empty message).
+class Status {
+ public:
+  enum class Code : unsigned char {
+    kOk = 0,
+    kNotFound = 1,
+    kCorruption = 2,
+    kInvalidArgument = 3,
+    kIOError = 4,
+    kNotSupported = 5,
+  };
+
+  /// Default-constructed Status is OK.
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "<code>: <message>" string for logs and errors.
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+}  // namespace dspc
+
+#endif  // DSPC_COMMON_STATUS_H_

@@ -1,0 +1,36 @@
+// Wall-clock stopwatch used by the benchmark harnesses.
+
+#ifndef DSPC_COMMON_STOPWATCH_H_
+#define DSPC_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace dspc {
+
+/// Monotonic stopwatch. Starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/Reset, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time since construction/Reset, in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Elapsed time since construction/Reset, in microseconds.
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace dspc
+
+#endif  // DSPC_COMMON_STOPWATCH_H_

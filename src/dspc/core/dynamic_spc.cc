@@ -1,0 +1,161 @@
+#include "dspc/core/dynamic_spc.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "dspc/core/hp_spc.h"
+#include "dspc/graph/update_stream.h"
+
+namespace dspc {
+
+DynamicSpcIndex::DynamicSpcIndex(Graph graph, const DynamicSpcOptions& options)
+    : graph_(std::move(graph)),
+      index_(BuildSpcIndex(graph_, options.ordering)),
+      options_(options),
+      inc_(&graph_, &index_),
+      dec_(&graph_, &index_, options.dec) {
+  entries_at_build_ = index_.SizeStats().total_entries;
+}
+
+DynamicSpcIndex::DynamicSpcIndex(Graph graph, SpcIndex index,
+                                 const DynamicSpcOptions& options)
+    : graph_(std::move(graph)),
+      index_(std::move(index)),
+      options_(options),
+      inc_(&graph_, &index_),
+      dec_(&graph_, &index_, options.dec) {
+  entries_at_build_ = index_.SizeStats().total_entries;
+}
+
+UpdateStats DynamicSpcIndex::InsertEdge(Vertex a, Vertex b) {
+  const UpdateStats stats = inc_.InsertEdge(a, b);
+  if (stats.applied) {
+    ++updates_since_build_;
+    MaybePolicyRebuild();
+  }
+  return stats;
+}
+
+UpdateStats DynamicSpcIndex::RemoveEdge(Vertex a, Vertex b) {
+  const UpdateStats stats = dec_.RemoveEdge(a, b);
+  if (stats.applied) {
+    ++updates_since_build_;
+    MaybePolicyRebuild();
+  }
+  return stats;
+}
+
+Vertex DynamicSpcIndex::AddVertex() {
+  graph_.AddVertex();
+  const Vertex v = index_.AddVertex();
+  inc_.Resize();
+  dec_.Resize();
+  return v;
+}
+
+UpdateStats DynamicSpcIndex::RemoveVertex(Vertex v) {
+  UpdateStats total;
+  if (!graph_.IsValidVertex(v)) return total;
+  // Deleting a vertex is a sequence of decremental edge updates (paper
+  // Section 3). Copy the adjacency: RemoveEdge mutates it.
+  const std::vector<Vertex> nbrs = graph_.Neighbors(v);
+  for (const Vertex u : nbrs) {
+    total.Accumulate(RemoveEdge(v, u));
+  }
+  return total;
+}
+
+UpdateStats DynamicSpcIndex::Apply(const Update& update) {
+  if (update.kind == Update::Kind::kInsert) {
+    return InsertEdge(update.edge.u, update.edge.v);
+  }
+  return RemoveEdge(update.edge.u, update.edge.v);
+}
+
+UpdateStats DynamicSpcIndex::ApplyBatch(const std::vector<Update>& updates) {
+  // Cancel exact inverse pairs: an insert later undone by a delete of the
+  // same edge (or vice versa) never needs to touch the index. Matching is
+  // last-in-first-out per edge so interleavings like I-D-I keep one
+  // insert, as required for the final graph to be correct.
+  auto key = [](const Edge& e) {
+    const Vertex lo = std::min(e.u, e.v);
+    const Vertex hi = std::max(e.u, e.v);
+    return (static_cast<uint64_t>(lo) << 32) | hi;
+  };
+  std::vector<bool> cancelled(updates.size(), false);
+  std::unordered_map<uint64_t, std::vector<size_t>> open;  // index stack
+  for (size_t i = 0; i < updates.size(); ++i) {
+    const uint64_t k = key(updates[i].edge);
+    auto& stack = open[k];
+    if (!stack.empty() &&
+        updates[stack.back()].kind != updates[i].kind) {
+      cancelled[stack.back()] = true;
+      cancelled[i] = true;
+      stack.pop_back();
+    } else {
+      stack.push_back(i);
+    }
+  }
+
+  UpdateStats total;
+  for (size_t i = 0; i < updates.size(); ++i) {
+    if (cancelled[i]) continue;
+    total.Accumulate(Apply(updates[i]));
+  }
+  return total;
+}
+
+std::vector<SpcResult> DynamicSpcIndex::BatchQuery(
+    const std::vector<std::pair<Vertex, Vertex>>& pairs,
+    unsigned threads) const {
+  std::vector<SpcResult> results(pairs.size());
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  if (threads <= 1 || pairs.size() < 64) {
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      results[i] = index_.Query(pairs[i].first, pairs[i].second);
+    }
+    return results;
+  }
+  threads = std::min<unsigned>(threads, 16);
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (unsigned w = 0; w < threads; ++w) {
+    workers.emplace_back([&, w] {
+      for (size_t i = w; i < pairs.size(); i += threads) {
+        results[i] = index_.Query(pairs[i].first, pairs[i].second);
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  return results;
+}
+
+void DynamicSpcIndex::Rebuild() {
+  index_ = BuildSpcIndex(graph_, options_.ordering);
+  inc_.Resize();
+  dec_.Resize();
+  updates_since_build_ = 0;
+  entries_at_build_ = index_.SizeStats().total_entries;
+}
+
+void DynamicSpcIndex::MaybePolicyRebuild() {
+  bool fire = false;
+  if (options_.rebuild_after_updates > 0 &&
+      updates_since_build_ >= options_.rebuild_after_updates) {
+    fire = true;
+  }
+  if (!fire && options_.rebuild_growth_factor > 0.0 && entries_at_build_ > 0) {
+    const size_t now = index_.SizeStats().total_entries;
+    if (static_cast<double>(now) >
+        options_.rebuild_growth_factor *
+            static_cast<double>(entries_at_build_)) {
+      fire = true;
+    }
+  }
+  if (fire) {
+    Rebuild();
+    ++policy_rebuilds_;
+  }
+}
+
+}  // namespace dspc

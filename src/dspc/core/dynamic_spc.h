@@ -1,0 +1,123 @@
+// DynamicSpcIndex: the library's main entry point. Owns a graph and its
+// SPC-Index and keeps them consistent under edge/vertex insertions and
+// deletions (DSPC, paper Section 3), answering SPC queries at any point.
+//
+// Typical use:
+//   DynamicSpcIndex dspc(std::move(graph));
+//   auto [d, c] = dspc.Query(s, t);
+//   dspc.InsertEdge(u, v);   // IncSPC, not reconstruction
+//   dspc.RemoveEdge(x, y);   // DecSPC
+//
+// The vertex ordering is frozen at construction (paper Section 6); newly
+// added vertices receive the lowest ranks.
+
+#ifndef DSPC_CORE_DYNAMIC_SPC_H_
+#define DSPC_CORE_DYNAMIC_SPC_H_
+
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "dspc/core/dec_spc.h"
+#include "dspc/core/inc_spc.h"
+#include "dspc/core/spc_index.h"
+#include "dspc/core/update_stats.h"
+#include "dspc/graph/graph.h"
+#include "dspc/graph/ordering.h"
+
+namespace dspc {
+
+/// Options for DynamicSpcIndex.
+struct DynamicSpcOptions {
+  /// Ordering used for the initial HP-SPC build.
+  OrderingOptions ordering;
+  /// Passed through to DecSPC (isolated-vertex fast path toggle).
+  DecSpc::Options dec;
+
+  /// Lazy rebuild policy (paper §6, "Vertex Ordering Changes"): the frozen
+  /// ordering degrades as the graph drifts, so rebuild from scratch with a
+  /// fresh degree ordering after `rebuild_after_updates` applied updates
+  /// (0 = never), or whenever the label count exceeds
+  /// `rebuild_growth_factor` times the count at the last build
+  /// (0 = never). Both triggers are checked after each update.
+  size_t rebuild_after_updates = 0;
+  double rebuild_growth_factor = 0.0;
+};
+
+/// A dynamic shortest-path-counting index over an owned graph.
+class DynamicSpcIndex {
+ public:
+  /// Takes ownership of `graph` and builds its SPC-Index with HP-SPC.
+  explicit DynamicSpcIndex(Graph graph, const DynamicSpcOptions& options = {});
+
+  /// Adopts a pre-built index (must be a valid index of `graph`, e.g.
+  /// loaded via SpcIndex::Load).
+  DynamicSpcIndex(Graph graph, SpcIndex index,
+                  const DynamicSpcOptions& options = {});
+
+  /// SPC query: shortest distance and number of shortest paths between s
+  /// and t; {kInfDistance, 0} when disconnected.
+  SpcResult Query(Vertex s, Vertex t) const { return index_.Query(s, t); }
+
+  /// Inserts edge (a, b) and maintains the index with IncSPC.
+  UpdateStats InsertEdge(Vertex a, Vertex b);
+
+  /// Deletes edge (a, b) and maintains the index with DecSPC.
+  UpdateStats RemoveEdge(Vertex a, Vertex b);
+
+  /// Adds an isolated vertex (lowest rank, self label only); returns its
+  /// id.
+  Vertex AddVertex();
+
+  /// Deletes vertex v by removing all incident edges through DecSPC
+  /// (paper Section 3); the id remains valid but isolated.
+  UpdateStats RemoveVertex(Vertex v);
+
+  /// Applies one Update (insert or delete).
+  UpdateStats Apply(const struct Update& update);
+
+  /// Applies a batch of updates in order, folding the per-update counters
+  /// into one UpdateStats. Exact no-op pairs within the batch (an
+  /// insertion followed by the deletion of the same edge, or vice versa)
+  /// are cancelled out first — the cheap batch optimization available
+  /// without the BatchHL-style machinery the paper cites as related work.
+  UpdateStats ApplyBatch(const std::vector<struct Update>& updates);
+
+  /// Evaluates many queries, using up to `threads` worker threads (the
+  /// index is read-only during queries, so this is safe). With
+  /// threads <= 1 this is a plain loop.
+  std::vector<SpcResult> BatchQuery(
+      const std::vector<std::pair<Vertex, Vertex>>& pairs,
+      unsigned threads = 0) const;
+
+  /// Rebuilds the index from scratch with HP-SPC under a fresh ordering —
+  /// the paper's reconstruction baseline, also used by the lazy rebuild
+  /// policy.
+  void Rebuild();
+
+  /// Number of updates applied since the last (re)build.
+  size_t UpdatesSinceBuild() const { return updates_since_build_; }
+
+  /// Number of times the lazy rebuild policy fired.
+  size_t PolicyRebuilds() const { return policy_rebuilds_; }
+
+  const Graph& graph() const { return graph_; }
+  const SpcIndex& index() const { return index_; }
+
+ private:
+  /// Applies the §6 lazy rebuild policy after an applied update.
+  void MaybePolicyRebuild();
+
+  Graph graph_;
+  SpcIndex index_;
+  DynamicSpcOptions options_;
+  IncSpc inc_;
+  DecSpc dec_;
+  size_t updates_since_build_ = 0;
+  size_t entries_at_build_ = 0;
+  size_t policy_rebuilds_ = 0;
+};
+
+}  // namespace dspc
+
+#endif  // DSPC_CORE_DYNAMIC_SPC_H_

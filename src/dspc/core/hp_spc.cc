@@ -1,0 +1,69 @@
+#include "dspc/core/hp_spc.h"
+
+#include <vector>
+
+#include "dspc/common/types.h"
+
+namespace dspc {
+
+SpcIndex BuildSpcIndex(const Graph& graph, VertexOrdering ordering) {
+  const size_t n = graph.NumVertices();
+  SpcIndex index(std::move(ordering));
+
+  std::vector<Distance> dist(n, kInfDistance);
+  std::vector<PathCount> count(n, 0);
+  std::vector<Vertex> queue;
+  std::vector<Vertex> touched;
+  HubCache cache(n);
+
+  const VertexOrdering& order = index.ordering();
+  for (Rank h = 0; h < n; ++h) {
+    const Vertex hv = order.vertex_of[h];
+    if (graph.Degree(hv) == 0) continue;  // only the self label applies
+
+    // Distances from hv through already-processed (higher-ranked) hubs.
+    cache.Load(index.Labels(hv));
+
+    dist[hv] = 0;
+    count[hv] = 1;
+    queue.clear();
+    queue.push_back(hv);
+    touched.clear();
+    touched.push_back(hv);
+
+    for (size_t head = 0; head < queue.size(); ++head) {
+      const Vertex v = queue[head];
+      if (v != hv) {
+        // Prune only on strictly shorter coverage; equality still labels
+        // (non-canonical counts) and keeps expanding.
+        const SpcResult covered = cache.Query(index.Labels(v));
+        if (covered.dist < dist[v]) continue;
+        index.InsertLabel(v, LabelEntry{h, dist[v], count[v]});
+      }
+      for (const Vertex w : graph.Neighbors(v)) {
+        if (order.rank_of[w] <= h) continue;  // only lower-ranked vertices
+        if (dist[w] == kInfDistance) {
+          dist[w] = dist[v] + 1;
+          count[w] = count[v];
+          queue.push_back(w);
+          touched.push_back(w);
+        } else if (dist[w] == dist[v] + 1) {
+          count[w] += count[v];
+        }
+      }
+    }
+
+    for (const Vertex v : touched) {
+      dist[v] = kInfDistance;
+      count[v] = 0;
+    }
+  }
+  return index;
+}
+
+SpcIndex BuildSpcIndex(const Graph& graph,
+                       const OrderingOptions& ordering_options) {
+  return BuildSpcIndex(graph, BuildOrdering(graph, ordering_options));
+}
+
+}  // namespace dspc

@@ -1,0 +1,31 @@
+// HP-SPC: hub-pushing construction of the SPC-Index (paper §2.2; Zhang &
+// Yu, SIGMOD'20). This is also the "reconstruction" baseline the dynamic
+// algorithms are compared against in Table 4.
+
+#ifndef DSPC_CORE_HP_SPC_H_
+#define DSPC_CORE_HP_SPC_H_
+
+#include "dspc/core/spc_index.h"
+#include "dspc/graph/graph.h"
+#include "dspc/graph/ordering.h"
+
+namespace dspc {
+
+/// Builds the SPC-Index of `graph` under `ordering`.
+///
+/// For each vertex v in descending rank order, a BFS restricted to
+/// vertices ranked below v runs from v; a visited vertex w is pruned when
+/// the already-built index certifies a strictly shorter distance
+/// (d_L < D[w]). Pruning must be strict: on equality the label is still
+/// needed, because the count of shortest paths on which v is the highest
+/// vertex (a non-canonical label) is not covered by any higher hub.
+SpcIndex BuildSpcIndex(const Graph& graph, VertexOrdering ordering);
+
+/// Convenience overload: builds the ordering (paper's degree-based order
+/// by default), then the index.
+SpcIndex BuildSpcIndex(const Graph& graph,
+                       const OrderingOptions& ordering_options = {});
+
+}  // namespace dspc
+
+#endif  // DSPC_CORE_HP_SPC_H_

@@ -1,0 +1,55 @@
+// IncSPC: incremental maintenance of the SPC-Index for edge insertion
+// (paper §3.1, Algorithms 2 and 3).
+//
+// On inserting (a, b), only hubs in AFF = {h | h in L(a) u L(b)} can gain,
+// lose nothing: by Lemma 3.1 distances never increase, so stale distance
+// labels are *kept* (queries take minima and ignore them) and only labels
+// on new shortest paths are renewed or inserted. Each affected hub runs a
+// pruned BFS seeded "through" the new edge; the pruning is relaxed to
+// strictly-shorter (Lemma 3.4) so that count-only changes are discovered.
+
+#ifndef DSPC_CORE_INC_SPC_H_
+#define DSPC_CORE_INC_SPC_H_
+
+#include <vector>
+
+#include "dspc/core/spc_index.h"
+#include "dspc/core/update_stats.h"
+#include "dspc/graph/graph.h"
+
+namespace dspc {
+
+/// Incremental updater. Holds n-sized scratch reused across updates; one
+/// instance per (graph, index) pair, invoked through DynamicSpcIndex or
+/// directly. Not thread-safe.
+class IncSpc {
+ public:
+  /// Both pointers must outlive the updater. The index must currently be
+  /// a valid SPC-Index of *graph.
+  IncSpc(Graph* graph, SpcIndex* index);
+
+  /// Inserts edge (a, b) into the graph and updates the index
+  /// (Algorithm 2). Returns the per-update statistics; stats.applied is
+  /// false if (a, b) already existed or is invalid (index untouched).
+  UpdateStats InsertEdge(Vertex a, Vertex b);
+
+  /// Grows scratch after vertices were added to the graph/index.
+  void Resize();
+
+ private:
+  /// Algorithm 3: pruned BFS rooted at hub rank `h`, entering the new edge
+  /// at `vb` with the seed taken from (h, d, c) in L(va).
+  void IncUpdate(Rank h, Vertex va, Vertex vb, UpdateStats* stats);
+
+  Graph* graph_;
+  SpcIndex* index_;
+  HubCache cache_;
+  std::vector<Distance> dist_;
+  std::vector<PathCount> count_;
+  std::vector<Vertex> queue_;
+  std::vector<Vertex> touched_;
+};
+
+}  // namespace dspc
+
+#endif  // DSPC_CORE_INC_SPC_H_

@@ -1,0 +1,339 @@
+#include "dspc/core/spc_index.h"
+
+#include <algorithm>
+
+#include "dspc/common/binary_io.h"
+#include "dspc/common/label_codec.h"
+
+namespace dspc {
+
+LabelEntry* FindLabelIn(LabelSet& set, Rank hub) {
+  auto it = std::lower_bound(
+      set.begin(), set.end(), hub,
+      [](const LabelEntry& e, Rank r) { return e.hub < r; });
+  if (it != set.end() && it->hub == hub) return &*it;
+  return nullptr;
+}
+
+const LabelEntry* FindLabelIn(const LabelSet& set, Rank hub) {
+  return FindLabelIn(const_cast<LabelSet&>(set), hub);
+}
+
+void InsertLabelInto(LabelSet& set, const LabelEntry& entry) {
+  auto it = std::lower_bound(
+      set.begin(), set.end(), entry.hub,
+      [](const LabelEntry& e, Rank r) { return e.hub < r; });
+  set.insert(it, entry);
+}
+
+bool RemoveLabelFrom(LabelSet& set, Rank hub) {
+  auto it = std::lower_bound(
+      set.begin(), set.end(), hub,
+      [](const LabelEntry& e, Rank r) { return e.hub < r; });
+  if (it == set.end() || it->hub != hub) return false;
+  set.erase(it);
+  return true;
+}
+
+SpcIndex::SpcIndex(VertexOrdering ordering) : ordering_(std::move(ordering)) {
+  labels_.resize(ordering_.size());
+  hub_occurrences_.assign(ordering_.size(), 0);
+  for (Vertex v = 0; v < labels_.size(); ++v) {
+    labels_[v].push_back(LabelEntry{ordering_.rank_of[v], 0, 1});
+  }
+}
+
+SpcResult SpcIndex::Query(Vertex s, Vertex t) const {
+  SpcResult result;
+  const LabelSet& ls = labels_[s];
+  const LabelSet& lt = labels_[t];
+  size_t i = 0;
+  size_t j = 0;
+  while (i < ls.size() && j < lt.size()) {
+    if (ls[i].hub < lt[j].hub) {
+      ++i;
+    } else if (ls[i].hub > lt[j].hub) {
+      ++j;
+    } else {
+      const Distance d = ls[i].dist + lt[j].dist;
+      if (d < result.dist) {
+        result.dist = d;
+        result.count = ls[i].count * lt[j].count;
+      } else if (d == result.dist) {
+        result.count += ls[i].count * lt[j].count;
+      }
+      ++i;
+      ++j;
+    }
+  }
+  return result;
+}
+
+SpcResult SpcIndex::PreQuery(Vertex s, Vertex t) const {
+  SpcResult result;
+  const Rank limit = ordering_.rank_of[s];
+  const LabelSet& ls = labels_[s];
+  const LabelSet& lt = labels_[t];
+  size_t i = 0;
+  size_t j = 0;
+  while (i < ls.size() && j < lt.size() && ls[i].hub < limit &&
+         lt[j].hub < limit) {
+    if (ls[i].hub < lt[j].hub) {
+      ++i;
+    } else if (ls[i].hub > lt[j].hub) {
+      ++j;
+    } else {
+      const Distance d = ls[i].dist + lt[j].dist;
+      if (d < result.dist) {
+        result.dist = d;
+        result.count = ls[i].count * lt[j].count;
+      } else if (d == result.dist) {
+        result.count += ls[i].count * lt[j].count;
+      }
+      ++i;
+      ++j;
+    }
+  }
+  return result;
+}
+
+Vertex SpcIndex::AddVertex() {
+  ordering_.Append();
+  const auto v = static_cast<Vertex>(labels_.size());
+  labels_.emplace_back();
+  labels_.back().push_back(LabelEntry{ordering_.rank_of[v], 0, 1});
+  hub_occurrences_.push_back(0);
+  return v;
+}
+
+LabelEntry* SpcIndex::FindLabel(Vertex v, Rank hub) {
+  return FindLabelIn(labels_[v], hub);
+}
+
+const LabelEntry* SpcIndex::FindLabel(Vertex v, Rank hub) const {
+  return FindLabelIn(labels_[v], hub);
+}
+
+void SpcIndex::InsertLabel(Vertex v, const LabelEntry& entry) {
+  InsertLabelInto(labels_[v], entry);
+  if (entry.hub != ordering_.rank_of[v]) ++hub_occurrences_[entry.hub];
+}
+
+bool SpcIndex::RemoveLabel(Vertex v, Rank hub) {
+  if (!RemoveLabelFrom(labels_[v], hub)) return false;
+  if (hub != ordering_.rank_of[v]) --hub_occurrences_[hub];
+  return true;
+}
+
+size_t SpcIndex::ClearToSelfLabel(Vertex v) {
+  LabelSet& set = labels_[v];
+  const size_t removed = set.size() - 1;
+  const Rank self = ordering_.rank_of[v];
+  for (const LabelEntry& e : set) {
+    if (e.hub != self) --hub_occurrences_[e.hub];
+  }
+  set.clear();
+  set.push_back(LabelEntry{self, 0, 1});
+  return removed;
+}
+
+IndexSizeStats SpcIndex::SizeStats() const {
+  IndexSizeStats stats;
+  stats.num_vertices = labels_.size();
+  for (const LabelSet& set : labels_) {
+    stats.total_entries += set.size();
+    stats.max_label_size = std::max(stats.max_label_size, set.size());
+  }
+  stats.avg_label_size =
+      labels_.empty()
+          ? 0.0
+          : static_cast<double>(stats.total_entries) / labels_.size();
+  stats.wide_bytes = stats.total_entries * sizeof(LabelEntry);
+  stats.packed_bytes = stats.total_entries * sizeof(uint64_t);
+  return stats;
+}
+
+Status SpcIndex::ValidateStructure() const {
+  if (!ordering_.IsValid()) {
+    return Status::Corruption("ordering is not a permutation");
+  }
+  if (ordering_.size() != labels_.size()) {
+    return Status::Corruption("ordering/labels size mismatch");
+  }
+  for (Vertex v = 0; v < labels_.size(); ++v) {
+    const Rank rv = ordering_.rank_of[v];
+    const LabelSet& set = labels_[v];
+    bool self_seen = false;
+    for (size_t i = 0; i < set.size(); ++i) {
+      if (i > 0 && set[i - 1].hub >= set[i].hub) {
+        return Status::Corruption("labels of v" + std::to_string(v) +
+                                  " not strictly sorted by hub rank");
+      }
+      if (set[i].hub > rv) {
+        return Status::Corruption("hub outranked by owner at v" +
+                                  std::to_string(v));
+      }
+      if (set[i].hub == rv) {
+        if (set[i].dist != 0 || set[i].count != 1) {
+          return Status::Corruption("bad self label at v" + std::to_string(v));
+        }
+        self_seen = true;
+      }
+      if (set[i].count == 0) {
+        return Status::Corruption("zero-count label at v" + std::to_string(v));
+      }
+    }
+    if (!self_seen) {
+      return Status::Corruption("missing self label at v" + std::to_string(v));
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+constexpr uint32_t kIndexMagic = 0x44535049;  // "DSPI"
+constexpr uint32_t kIndexVersion = 1;
+}  // namespace
+
+Status SpcIndex::Save(const std::string& path) const {
+  BinaryWriter w;
+  w.PutU32(kIndexMagic);
+  w.PutU32(kIndexVersion);
+  w.PutU64(labels_.size());
+  for (Vertex v = 0; v < labels_.size(); ++v) {
+    w.PutU32(ordering_.rank_of[v]);
+  }
+  for (const LabelSet& set : labels_) {
+    w.PutU64(set.size());
+    for (const LabelEntry& e : set) {
+      // Entries that fit the paper's 64-bit packing are stored packed; a
+      // flag byte selects the wide form otherwise.
+      if (FitsPacked(e.hub, e.dist, e.count)) {
+        w.PutU8(0);
+        w.PutU64(PackLabel(e.hub, e.dist, e.count));
+      } else {
+        w.PutU8(1);
+        w.PutU32(e.hub);
+        w.PutU32(e.dist);
+        w.PutU64(e.count);
+      }
+    }
+  }
+  return w.WriteToFile(path);
+}
+
+Status SpcIndex::Load(const std::string& path, SpcIndex* out) {
+  BinaryReader r({});
+  Status s = BinaryReader::ReadFromFile(path, &r);
+  if (!s.ok()) return s;
+  if (r.GetU32() != kIndexMagic) return Status::Corruption("bad index magic");
+  if (r.GetU32() != kIndexVersion) {
+    return Status::Corruption("bad index version");
+  }
+  const uint64_t n = r.GetU64();
+  SpcIndex index;
+  index.ordering_.rank_of.resize(n);
+  index.ordering_.vertex_of.assign(n, 0);
+  for (uint64_t v = 0; v < n; ++v) {
+    index.ordering_.rank_of[v] = r.GetU32();
+  }
+  if (!r.status().ok()) return r.status();
+  for (uint64_t v = 0; v < n; ++v) {
+    const Rank rank = index.ordering_.rank_of[v];
+    if (rank >= n) return Status::Corruption("rank out of range");
+    index.ordering_.vertex_of[rank] = static_cast<Vertex>(v);
+  }
+  index.labels_.resize(n);
+  for (uint64_t v = 0; v < n; ++v) {
+    const uint64_t count = r.GetU64();
+    if (count > r.remaining()) return Status::Corruption("bad label count");
+    LabelSet& set = index.labels_[v];
+    set.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      const uint8_t tag = r.GetU8();
+      if (tag == 0) {
+        const PackedLabelFields f = UnpackLabel(r.GetU64());
+        set.push_back(LabelEntry{f.hub, f.dist, f.count});
+      } else if (tag == 1) {
+        LabelEntry e;
+        e.hub = r.GetU32();
+        e.dist = r.GetU32();
+        e.count = r.GetU64();
+        set.push_back(e);
+      } else {
+        return Status::Corruption("bad entry tag");
+      }
+    }
+  }
+  if (!r.AtEnd()) return Status::Corruption("trailing bytes in " + path);
+  index.hub_occurrences_.assign(n, 0);
+  for (uint64_t v = 0; v < n; ++v) {
+    for (const LabelEntry& e : index.labels_[v]) {
+      if (e.hub >= n) return Status::Corruption("hub rank out of range");
+      if (e.hub != index.ordering_.rank_of[v]) {
+        ++index.hub_occurrences_[e.hub];
+      }
+    }
+  }
+  s = index.ValidateStructure();
+  if (!s.ok()) return s;
+  *out = std::move(index);
+  return Status::OK();
+}
+
+// --- HubCache --------------------------------------------------------------
+
+HubCache::HubCache(size_t n)
+    : dist_(n, kInfDistance), count_(n, 0) {}
+
+void HubCache::Load(const LabelSet& labels) {
+  Clear();
+  for (const LabelEntry& e : labels) {
+    dist_[e.hub] = e.dist;
+    count_[e.hub] = e.count;
+    touched_.push_back(e.hub);
+  }
+}
+
+SpcResult HubCache::Query(const LabelSet& labels) const {
+  SpcResult result;
+  for (const LabelEntry& e : labels) {
+    const Distance dh = dist_[e.hub];
+    if (dh == kInfDistance) continue;
+    const Distance d = dh + e.dist;
+    if (d < result.dist) {
+      result.dist = d;
+      result.count = count_[e.hub] * e.count;
+    } else if (d == result.dist) {
+      result.count += count_[e.hub] * e.count;
+    }
+  }
+  return result;
+}
+
+SpcResult HubCache::PreQuery(const LabelSet& labels, Rank below_rank) const {
+  SpcResult result;
+  for (const LabelEntry& e : labels) {
+    if (e.hub >= below_rank) break;  // labels sorted ascending by rank
+    const Distance dh = dist_[e.hub];
+    if (dh == kInfDistance) continue;
+    const Distance d = dh + e.dist;
+    if (d < result.dist) {
+      result.dist = d;
+      result.count = count_[e.hub] * e.count;
+    } else if (d == result.dist) {
+      result.count += count_[e.hub] * e.count;
+    }
+  }
+  return result;
+}
+
+void HubCache::Clear() {
+  for (const Rank r : touched_) {
+    dist_[r] = kInfDistance;
+    count_[r] = 0;
+  }
+  touched_.clear();
+}
+
+}  // namespace dspc

@@ -1,0 +1,121 @@
+// Weighted DSPC (paper Appendix C.2).
+//
+// Labels store accumulated edge weights instead of hop counts, Dijkstra
+// replaces BFS everywhere, and the edge-weight dynamics map onto the two
+// maintenance algorithms:
+//   - edge insertion and weight *decrease* are incremental: affected hubs
+//     come from L(a) u L(b) and a seeded partial Dijkstra enters the edge
+//     with distance d_h,a + w;
+//   - edge deletion and weight *increase* are decremental: the affected-
+//     vertex condition becomes |sd(v,a) - sd(v,b)| = w (the old weight),
+//     and SrrSEARCH / DecUPDATE run as Dijkstra searches.
+// The unconditional deferred-removal fix (see dec_spc.cc) applies.
+// The paper's §3.2.3 isolated-vertex fast path is defined for the
+// unweighted case only and is not replicated here.
+
+#ifndef DSPC_CORE_WEIGHTED_SPC_H_
+#define DSPC_CORE_WEIGHTED_SPC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dspc/core/spc_index.h"
+#include "dspc/core/update_stats.h"
+#include "dspc/graph/ordering.h"
+#include "dspc/graph/weighted_graph.h"
+
+namespace dspc {
+
+/// SPC-Index over a positively weighted undirected graph, with dynamic
+/// maintenance. Owns the graph. Not thread-safe.
+class DynamicWeightedSpcIndex {
+ public:
+  /// Takes ownership of `graph` and builds the index with Dijkstra-based
+  /// hub pushing.
+  explicit DynamicWeightedSpcIndex(WeightedGraph graph,
+                                   const OrderingOptions& ordering = {});
+
+  /// Weighted SPC query: (total weight of a shortest path, number of
+  /// shortest paths); {inf, 0} when disconnected.
+  SpcResult Query(Vertex s, Vertex t) const;
+
+  /// Inserts edge (a, b) with weight w > 0; incremental maintenance.
+  UpdateStats InsertEdge(Vertex a, Vertex b, Weight w);
+
+  /// Decreases the weight of existing edge (a, b) to `w` (must be smaller
+  /// than the current weight); incremental maintenance.
+  UpdateStats DecreaseWeight(Vertex a, Vertex b, Weight w);
+
+  /// Deletes edge (a, b); decremental maintenance.
+  UpdateStats RemoveEdge(Vertex a, Vertex b);
+
+  /// Increases the weight of existing edge (a, b) to `w` (must be larger
+  /// than the current weight); decremental maintenance.
+  UpdateStats IncreaseWeight(Vertex a, Vertex b, Weight w);
+
+  /// Appends an isolated vertex (lowest rank; self label only).
+  Vertex AddVertex();
+
+  /// Reconstruction baseline.
+  void Rebuild();
+
+  const WeightedGraph& graph() const { return graph_; }
+  const VertexOrdering& ordering() const { return ordering_; }
+  const LabelSet& Labels(Vertex v) const { return labels_[v]; }
+
+  /// Structural invariants (sortedness, self labels, rank constraint).
+  Status ValidateStructure() const;
+
+  /// Size statistics.
+  IndexSizeStats SizeStats() const;
+
+ private:
+  enum : uint8_t { kSideNone = 0, kSideA = 1, kSideB = 2 };
+
+  void Build();
+  void PushFromHub(Rank h);
+
+  /// Incremental seeded Dijkstra for hub h entering the (a, b) edge at
+  /// `seed` with the given initial distance and count.
+  void IncUpdate(Rank h, Vertex seed, Distance seed_dist, PathCount seed_count,
+                 UpdateStats* stats);
+
+  /// Shared incremental driver for InsertEdge / DecreaseWeight, run after
+  /// the graph mutation.
+  void IncrementalPass(Vertex a, Vertex b, Weight new_weight,
+                       UpdateStats* stats);
+
+  /// Weighted SrrSEARCH from `from`, pruning on D[v] + w != sd(v, towards).
+  void SrrSearch(Vertex from, Vertex towards, Weight w,
+                 std::vector<Vertex>* sr, std::vector<Vertex>* r,
+                 UpdateStats* stats);
+
+  /// Weighted DecUPDATE from hub `hv`.
+  void DecUpdate(Vertex hv, uint8_t opposite_side,
+                 const std::vector<Vertex>& opposite_vertices,
+                 UpdateStats* stats);
+
+  /// Shared decremental driver: classifies with the old weight `w_old`,
+  /// applies `mutate` (deletion or weight increase), then updates.
+  template <typename MutateFn>
+  UpdateStats DecrementalPass(Vertex a, Vertex b, Weight w_old,
+                              MutateFn mutate);
+
+  WeightedGraph graph_;
+  VertexOrdering ordering_;
+  OrderingOptions ordering_options_;
+  std::vector<LabelSet> labels_;
+
+  HubCache cache_;
+  std::vector<Distance> dist_;
+  std::vector<PathCount> count_;
+  std::vector<Vertex> touched_;
+  std::vector<uint8_t> side_of_;
+  std::vector<Vertex> side_touched_;
+  std::vector<uint8_t> updated_;
+  std::vector<Vertex> updated_touched_;
+};
+
+}  // namespace dspc
+
+#endif  // DSPC_CORE_WEIGHTED_SPC_H_

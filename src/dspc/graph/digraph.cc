@@ -1,0 +1,64 @@
+#include "dspc/graph/digraph.h"
+
+#include <algorithm>
+
+namespace dspc {
+
+Digraph::Digraph(size_t n, const std::vector<Edge>& arcs) : out_(n), in_(n) {
+  for (const Edge& a : arcs) {
+    if (a.u == a.v || a.u >= n || a.v >= n) continue;
+    out_[a.u].push_back(a.v);
+    in_[a.v].push_back(a.u);
+  }
+  auto dedup = [](std::vector<std::vector<Vertex>>& lists) {
+    for (auto& l : lists) {
+      std::sort(l.begin(), l.end());
+      l.erase(std::unique(l.begin(), l.end()), l.end());
+    }
+  };
+  dedup(out_);
+  dedup(in_);
+  for (const auto& l : out_) num_arcs_ += l.size();
+}
+
+bool Digraph::HasArc(Vertex u, Vertex v) const {
+  if (u >= out_.size() || v >= out_.size()) return false;
+  return std::binary_search(out_[u].begin(), out_[u].end(), v);
+}
+
+bool Digraph::AddArc(Vertex u, Vertex v) {
+  if (u == v || u >= out_.size() || v >= out_.size()) return false;
+  auto it = std::lower_bound(out_[u].begin(), out_[u].end(), v);
+  if (it != out_[u].end() && *it == v) return false;
+  out_[u].insert(it, v);
+  in_[v].insert(std::lower_bound(in_[v].begin(), in_[v].end(), u), u);
+  ++num_arcs_;
+  return true;
+}
+
+bool Digraph::RemoveArc(Vertex u, Vertex v) {
+  if (u >= out_.size() || v >= out_.size()) return false;
+  auto it = std::lower_bound(out_[u].begin(), out_[u].end(), v);
+  if (it == out_[u].end() || *it != v) return false;
+  out_[u].erase(it);
+  in_[v].erase(std::lower_bound(in_[v].begin(), in_[v].end(), u));
+  --num_arcs_;
+  return true;
+}
+
+Vertex Digraph::AddVertex() {
+  out_.emplace_back();
+  in_.emplace_back();
+  return static_cast<Vertex>(out_.size() - 1);
+}
+
+std::vector<Edge> Digraph::Arcs() const {
+  std::vector<Edge> arcs;
+  arcs.reserve(num_arcs_);
+  for (Vertex u = 0; u < out_.size(); ++u) {
+    for (Vertex v : out_[u]) arcs.push_back(Edge{u, v});
+  }
+  return arcs;
+}
+
+}  // namespace dspc

@@ -1,0 +1,62 @@
+// Dynamic directed, unweighted graph: substrate for the directed extension
+// of DSPC (paper Appendix C.1).
+
+#ifndef DSPC_GRAPH_DIGRAPH_H_
+#define DSPC_GRAPH_DIGRAPH_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "dspc/common/types.h"
+#include "dspc/graph/graph.h"
+
+namespace dspc {
+
+/// Dynamic directed graph with both out- and in-adjacency kept sorted, so
+/// forward and reverse BFS are symmetric. An Edge{u, v} is the arc u -> v.
+class Digraph {
+ public:
+  Digraph() = default;
+
+  /// Creates a digraph with `n` isolated vertices.
+  explicit Digraph(size_t n) : out_(n), in_(n) {}
+
+  /// Creates a digraph with `n` vertices and the given arcs (duplicates and
+  /// self-loops dropped).
+  Digraph(size_t n, const std::vector<Edge>& arcs);
+
+  size_t NumVertices() const { return out_.size(); }
+  size_t NumArcs() const { return num_arcs_; }
+
+  size_t OutDegree(Vertex v) const { return out_[v].size(); }
+  size_t InDegree(Vertex v) const { return in_[v].size(); }
+
+  /// Successors of `v` (sorted).
+  const std::vector<Vertex>& OutNeighbors(Vertex v) const { return out_[v]; }
+  /// Predecessors of `v` (sorted).
+  const std::vector<Vertex>& InNeighbors(Vertex v) const { return in_[v]; }
+
+  /// True iff arc u -> v exists.
+  bool HasArc(Vertex u, Vertex v) const;
+
+  /// Adds arc u -> v. Returns false on self-loop / out-of-range / duplicate.
+  bool AddArc(Vertex u, Vertex v);
+
+  /// Removes arc u -> v. Returns false if absent.
+  bool RemoveArc(Vertex u, Vertex v);
+
+  /// Appends an isolated vertex and returns its id.
+  Vertex AddVertex();
+
+  /// All arcs in ascending (u, v) order.
+  std::vector<Edge> Arcs() const;
+
+ private:
+  std::vector<std::vector<Vertex>> out_;
+  std::vector<std::vector<Vertex>> in_;
+  size_t num_arcs_ = 0;
+};
+
+}  // namespace dspc
+
+#endif  // DSPC_GRAPH_DIGRAPH_H_

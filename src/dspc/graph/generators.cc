@@ -1,0 +1,259 @@
+#include "dspc/graph/generators.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "dspc/common/rng.h"
+
+namespace dspc {
+
+namespace {
+
+/// Packs an undirected pair (min, max) into a 64-bit set key.
+uint64_t PairKey(Vertex u, Vertex v) {
+  const Vertex lo = std::min(u, v);
+  const Vertex hi = std::max(u, v);
+  return (static_cast<uint64_t>(lo) << 32) | hi;
+}
+
+}  // namespace
+
+Graph GenerateErdosRenyi(size_t n, size_t m, uint64_t seed) {
+  Rng rng(seed);
+  const uint64_t max_edges = n < 2 ? 0 : static_cast<uint64_t>(n) * (n - 1) / 2;
+  m = std::min<uint64_t>(m, max_edges);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(m * 2);
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  while (edges.size() < m) {
+    const auto u = static_cast<Vertex>(rng.NextBounded(n));
+    const auto v = static_cast<Vertex>(rng.NextBounded(n));
+    if (u == v) continue;
+    if (seen.insert(PairKey(u, v)).second) {
+      edges.push_back(Edge{u, v});
+    }
+  }
+  return Graph(n, edges);
+}
+
+Graph GenerateBarabasiAlbert(size_t n, size_t attach, uint64_t seed) {
+  Rng rng(seed);
+  if (n == 0) return Graph(0);
+  attach = std::max<size_t>(attach, 1);
+  // `targets` holds one entry per edge endpoint, so sampling uniformly from
+  // it is degree-proportional sampling.
+  std::vector<Vertex> endpoints;
+  std::vector<Edge> edges;
+  const size_t core = std::min(n, attach + 1);
+  // Seed clique over the first `core` vertices.
+  for (Vertex u = 0; u < core; ++u) {
+    for (Vertex v = u + 1; v < core; ++v) {
+      edges.push_back(Edge{u, v});
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  std::unordered_set<Vertex> picked;
+  for (Vertex v = static_cast<Vertex>(core); v < n; ++v) {
+    picked.clear();
+    // Degree-proportional selection without replacement.
+    size_t guard = 0;
+    while (picked.size() < attach && guard < 32 * attach + 64) {
+      ++guard;
+      const Vertex t = endpoints.empty()
+                           ? static_cast<Vertex>(rng.NextBounded(v))
+                           : endpoints[rng.NextBounded(endpoints.size())];
+      if (t != v) picked.insert(t);
+    }
+    for (Vertex t : picked) {
+      edges.push_back(Edge{v, t});
+      endpoints.push_back(v);
+      endpoints.push_back(t);
+    }
+  }
+  return Graph(n, edges);
+}
+
+Graph GenerateWattsStrogatz(size_t n, size_t k, double beta, uint64_t seed) {
+  Rng rng(seed);
+  if (n < 3) return Graph(n);
+  k = std::max<size_t>(1, std::min(k, (n - 1) / 2));
+  std::unordered_set<uint64_t> seen;
+  std::vector<Edge> edges;
+  // Ring lattice.
+  for (Vertex u = 0; u < n; ++u) {
+    for (size_t j = 1; j <= k; ++j) {
+      const auto v = static_cast<Vertex>((u + j) % n);
+      if (seen.insert(PairKey(u, v)).second) edges.push_back(Edge{u, v});
+    }
+  }
+  // Rewire each lattice edge with probability beta.
+  for (Edge& e : edges) {
+    if (!rng.NextBool(beta)) continue;
+    for (int tries = 0; tries < 16; ++tries) {
+      const auto w = static_cast<Vertex>(rng.NextBounded(n));
+      if (w == e.u || w == e.v) continue;
+      const uint64_t key = PairKey(e.u, w);
+      if (seen.count(key) != 0) continue;
+      seen.erase(PairKey(e.u, e.v));
+      seen.insert(key);
+      e.v = w;
+      break;
+    }
+  }
+  return Graph(n, edges);
+}
+
+Graph GenerateRmat(size_t scale, size_t m, uint64_t seed) {
+  Rng rng(seed);
+  const size_t n = size_t{1} << scale;
+  // Standard Graph500-style quadrant probabilities.
+  const double a = 0.57, b = 0.19, c = 0.19;
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(m * 2);
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  size_t attempts = 0;
+  const size_t max_attempts = 20 * m + 1000;
+  while (edges.size() < m && attempts < max_attempts) {
+    ++attempts;
+    Vertex u = 0;
+    Vertex v = 0;
+    for (size_t bit = 0; bit < scale; ++bit) {
+      const double r = rng.NextDouble();
+      u <<= 1;
+      v <<= 1;
+      if (r < a) {
+        // top-left quadrant: no bits set
+      } else if (r < a + b) {
+        v |= 1;
+      } else if (r < a + b + c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (u == v) continue;
+    if (seen.insert(PairKey(u, v)).second) edges.push_back(Edge{u, v});
+  }
+  return Graph(n, edges);
+}
+
+Graph GenerateGrid(size_t rows, size_t cols) {
+  std::vector<Edge> edges;
+  const size_t n = rows * cols;
+  edges.reserve(2 * n);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t col = 0; col < cols; ++col) {
+      const auto id = static_cast<Vertex>(r * cols + col);
+      if (col + 1 < cols) edges.push_back(Edge{id, id + 1});
+      if (r + 1 < rows) {
+        edges.push_back(Edge{id, static_cast<Vertex>(id + cols)});
+      }
+    }
+  }
+  return Graph(n, edges);
+}
+
+Graph GeneratePath(size_t n) {
+  std::vector<Edge> edges;
+  for (Vertex v = 0; v + 1 < n; ++v) edges.push_back(Edge{v, v + 1});
+  return Graph(n, edges);
+}
+
+Graph GenerateCycle(size_t n) {
+  Graph g = GeneratePath(n);
+  if (n >= 3) g.AddEdge(static_cast<Vertex>(n - 1), 0);
+  return g;
+}
+
+Graph GenerateStar(size_t n) {
+  std::vector<Edge> edges;
+  for (Vertex v = 1; v < n; ++v) edges.push_back(Edge{0, v});
+  return Graph(n, edges);
+}
+
+Graph GenerateComplete(size_t n) {
+  std::vector<Edge> edges;
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = u + 1; v < n; ++v) edges.push_back(Edge{u, v});
+  }
+  return Graph(n, edges);
+}
+
+Graph GenerateCompleteBipartite(size_t a, size_t b) {
+  std::vector<Edge> edges;
+  for (Vertex u = 0; u < a; ++u) {
+    for (Vertex v = 0; v < b; ++v) {
+      edges.push_back(Edge{u, static_cast<Vertex>(a + v)});
+    }
+  }
+  return Graph(a + b, edges);
+}
+
+Digraph GenerateRandomDigraph(size_t n, size_t m, uint64_t seed) {
+  Rng rng(seed);
+  const uint64_t max_arcs = n < 2 ? 0 : static_cast<uint64_t>(n) * (n - 1);
+  m = std::min<uint64_t>(m, max_arcs);
+  std::unordered_set<uint64_t> seen;
+  std::vector<Edge> arcs;
+  while (arcs.size() < m) {
+    const auto u = static_cast<Vertex>(rng.NextBounded(n));
+    const auto v = static_cast<Vertex>(rng.NextBounded(n));
+    if (u == v) continue;
+    const uint64_t key = (static_cast<uint64_t>(u) << 32) | v;
+    if (seen.insert(key).second) arcs.push_back(Edge{u, v});
+  }
+  return Digraph(n, arcs);
+}
+
+Digraph GenerateRmatDigraph(size_t scale, size_t m, uint64_t seed) {
+  Rng rng(seed);
+  const size_t n = size_t{1} << scale;
+  const double a = 0.57, b = 0.19, c = 0.19;
+  std::unordered_set<uint64_t> seen;
+  std::vector<Edge> arcs;
+  size_t attempts = 0;
+  const size_t max_attempts = 20 * m + 1000;
+  while (arcs.size() < m && attempts < max_attempts) {
+    ++attempts;
+    Vertex u = 0;
+    Vertex v = 0;
+    for (size_t bit = 0; bit < scale; ++bit) {
+      const double r = rng.NextDouble();
+      u <<= 1;
+      v <<= 1;
+      if (r < a) {
+      } else if (r < a + b) {
+        v |= 1;
+      } else if (r < a + b + c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (u == v) continue;
+    const uint64_t key = (static_cast<uint64_t>(u) << 32) | v;
+    if (seen.insert(key).second) arcs.push_back(Edge{u, v});
+  }
+  return Digraph(n, arcs);
+}
+
+WeightedGraph AttachRandomWeights(const Graph& graph, Weight min_w,
+                                  Weight max_w, uint64_t seed) {
+  Rng rng(seed);
+  if (min_w == 0) min_w = 1;
+  if (max_w < min_w) max_w = min_w;
+  WeightedGraph wg(graph.NumVertices());
+  for (const Edge& e : graph.Edges()) {
+    const auto w = static_cast<Weight>(rng.NextInRange(min_w, max_w));
+    wg.AddEdge(e.u, e.v, w);
+  }
+  return wg;
+}
+
+}  // namespace dspc

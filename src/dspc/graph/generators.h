@@ -1,0 +1,69 @@
+// Synthetic graph generators.
+//
+// The paper evaluates on public SNAP/Konect/LAW graphs; this environment is
+// offline, so the benchmark suite substitutes synthetic graphs with matched
+// density and degree skew (DESIGN.md Section 4). All generators are
+// deterministic given a seed and produce simple undirected graphs.
+
+#ifndef DSPC_GRAPH_GENERATORS_H_
+#define DSPC_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "dspc/graph/digraph.h"
+#include "dspc/graph/graph.h"
+#include "dspc/graph/weighted_graph.h"
+
+namespace dspc {
+
+/// Erdős–Rényi G(n, m): m distinct uniform random edges.
+Graph GenerateErdosRenyi(size_t n, size_t m, uint64_t seed);
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `attach` existing vertices chosen proportionally to degree. Produces the
+/// heavy-tailed degree distributions of social/collaboration networks.
+Graph GenerateBarabasiAlbert(size_t n, size_t attach, uint64_t seed);
+
+/// Watts–Strogatz small world: ring lattice with `k` nearest neighbors per
+/// side and rewiring probability `beta`.
+Graph GenerateWattsStrogatz(size_t n, size_t k, double beta, uint64_t seed);
+
+/// R-MAT (recursive matrix) power-law generator with the standard
+/// (a, b, c, d) = (0.57, 0.19, 0.19, 0.05) quadrant probabilities, as used
+/// for web-graph stand-ins. `scale` gives n = 2^scale; `m` target edges
+/// (self-loops/duplicates dropped, so the result has <= m edges).
+Graph GenerateRmat(size_t scale, size_t m, uint64_t seed);
+
+/// 2D grid graph of `rows` x `cols` vertices with 4-neighborhood edges —
+/// the road-network-like substrate for the weighted extension.
+Graph GenerateGrid(size_t rows, size_t cols);
+
+/// Path graph 0-1-2-...-(n-1).
+Graph GeneratePath(size_t n);
+
+/// Cycle graph on n >= 3 vertices.
+Graph GenerateCycle(size_t n);
+
+/// Star graph: vertex 0 connected to 1..n-1.
+Graph GenerateStar(size_t n);
+
+/// Complete graph K_n.
+Graph GenerateComplete(size_t n);
+
+/// Complete bipartite graph K_{a,b}: parts {0..a-1} and {a..a+b-1}.
+Graph GenerateCompleteBipartite(size_t a, size_t b);
+
+/// Random directed graph: `m` distinct uniform arcs (for Appendix C.1).
+Digraph GenerateRandomDigraph(size_t n, size_t m, uint64_t seed);
+
+/// Directed R-MAT (keeps arc direction).
+Digraph GenerateRmatDigraph(size_t scale, size_t m, uint64_t seed);
+
+/// Assigns uniform random weights in [min_w, max_w] to an unweighted graph
+/// (for Appendix C.2).
+WeightedGraph AttachRandomWeights(const Graph& graph, Weight min_w,
+                                  Weight max_w, uint64_t seed);
+
+}  // namespace dspc
+
+#endif  // DSPC_GRAPH_GENERATORS_H_

@@ -1,0 +1,78 @@
+#include "dspc/graph/graph.h"
+
+#include <algorithm>
+
+namespace dspc {
+
+Graph::Graph(size_t n, const std::vector<Edge>& edges) : adj_(n) {
+  for (const Edge& e : edges) {
+    if (e.u == e.v || e.u >= n || e.v >= n) continue;
+    adj_[e.u].push_back(e.v);
+    adj_[e.v].push_back(e.u);
+  }
+  for (auto& nbrs : adj_) {
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+  }
+  for (const auto& nbrs : adj_) num_edges_ += nbrs.size();
+  num_edges_ /= 2;
+}
+
+bool Graph::HasEdge(Vertex u, Vertex v) const {
+  if (u >= adj_.size() || v >= adj_.size()) return false;
+  // Search the shorter list.
+  const auto& nbrs = adj_[u].size() <= adj_[v].size() ? adj_[u] : adj_[v];
+  const Vertex target = adj_[u].size() <= adj_[v].size() ? v : u;
+  return std::binary_search(nbrs.begin(), nbrs.end(), target);
+}
+
+bool Graph::AddEdge(Vertex u, Vertex v) {
+  if (u == v || u >= adj_.size() || v >= adj_.size()) return false;
+  auto it = std::lower_bound(adj_[u].begin(), adj_[u].end(), v);
+  if (it != adj_[u].end() && *it == v) return false;
+  adj_[u].insert(it, v);
+  adj_[v].insert(std::lower_bound(adj_[v].begin(), adj_[v].end(), u), u);
+  ++num_edges_;
+  return true;
+}
+
+bool Graph::RemoveEdge(Vertex u, Vertex v) {
+  if (u >= adj_.size() || v >= adj_.size()) return false;
+  auto it = std::lower_bound(adj_[u].begin(), adj_[u].end(), v);
+  if (it == adj_[u].end() || *it != v) return false;
+  adj_[u].erase(it);
+  adj_[v].erase(std::lower_bound(adj_[v].begin(), adj_[v].end(), u));
+  --num_edges_;
+  return true;
+}
+
+Vertex Graph::AddVertex() {
+  adj_.emplace_back();
+  return static_cast<Vertex>(adj_.size() - 1);
+}
+
+std::vector<Edge> Graph::IsolateVertex(Vertex v) {
+  std::vector<Edge> removed;
+  if (v >= adj_.size()) return removed;
+  removed.reserve(adj_[v].size());
+  // Copy: RemoveEdge mutates adj_[v].
+  const std::vector<Vertex> nbrs = adj_[v];
+  for (Vertex u : nbrs) {
+    RemoveEdge(v, u);
+    removed.push_back(Edge{v, u});
+  }
+  return removed;
+}
+
+std::vector<Edge> Graph::Edges() const {
+  std::vector<Edge> edges;
+  edges.reserve(num_edges_);
+  for (Vertex u = 0; u < adj_.size(); ++u) {
+    for (Vertex v : adj_[u]) {
+      if (u < v) edges.push_back(Edge{u, v});
+    }
+  }
+  return edges;
+}
+
+}  // namespace dspc

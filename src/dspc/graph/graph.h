@@ -1,0 +1,84 @@
+// Dynamic undirected, unweighted graph: the substrate for the SPC-Index and
+// its maintenance algorithms (paper Section 2.1).
+//
+// Vertices are dense ids in [0, n). Adjacency lists are kept sorted, giving
+// O(log deg) edge lookup and O(deg) insert/delete — edges change one at a
+// time in the dynamic workloads, so this is the right trade-off (bulk loads
+// go through the constructor which sorts once).
+
+#ifndef DSPC_GRAPH_GRAPH_H_
+#define DSPC_GRAPH_GRAPH_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "dspc/common/types.h"
+
+namespace dspc {
+
+/// An undirected edge as an (unordered) vertex pair.
+struct Edge {
+  Vertex u;
+  Vertex v;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// Dynamic undirected, unweighted graph. Self-loops and parallel edges are
+/// rejected (shortest-path counting is defined on simple graphs).
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Creates a graph with `n` isolated vertices.
+  explicit Graph(size_t n) : adj_(n) {}
+
+  /// Creates a graph with `n` vertices and the given edges. Duplicate edges
+  /// and self-loops are dropped. O(m log m).
+  Graph(size_t n, const std::vector<Edge>& edges);
+
+  /// Number of vertices.
+  size_t NumVertices() const { return adj_.size(); }
+
+  /// Number of (undirected) edges.
+  size_t NumEdges() const { return num_edges_; }
+
+  /// Degree of `v`.
+  size_t Degree(Vertex v) const { return adj_[v].size(); }
+
+  /// Sorted neighbors of `v`.
+  const std::vector<Vertex>& Neighbors(Vertex v) const { return adj_[v]; }
+
+  /// True iff (u, v) is an edge. O(log deg).
+  bool HasEdge(Vertex u, Vertex v) const;
+
+  /// Adds edge (u, v). Returns false (and leaves the graph unchanged) for
+  /// self-loops, out-of-range endpoints, or already-present edges.
+  bool AddEdge(Vertex u, Vertex v);
+
+  /// Removes edge (u, v). Returns false if the edge is not present.
+  bool RemoveEdge(Vertex u, Vertex v);
+
+  /// Appends an isolated vertex and returns its id.
+  Vertex AddVertex();
+
+  /// Removes all edges incident to `v` (the vertex id itself stays valid,
+  /// as the paper models vertex deletion as deleting all incident edges).
+  /// Returns the removed edges.
+  std::vector<Edge> IsolateVertex(Vertex v);
+
+  /// All edges, each reported once with u < v, in ascending order.
+  std::vector<Edge> Edges() const;
+
+  /// True iff `v` is a valid vertex id.
+  bool IsValidVertex(Vertex v) const { return v < adj_.size(); }
+
+ private:
+  std::vector<std::vector<Vertex>> adj_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace dspc
+
+#endif  // DSPC_GRAPH_GRAPH_H_

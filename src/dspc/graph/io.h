@@ -1,0 +1,48 @@
+// Edge-list I/O in the SNAP text format, so the paper's real datasets can
+// be dropped in unchanged, plus a compact binary format for fast reload.
+
+#ifndef DSPC_GRAPH_IO_H_
+#define DSPC_GRAPH_IO_H_
+
+#include <string>
+
+#include "dspc/common/status.h"
+#include "dspc/graph/graph.h"
+#include "dspc/graph/weighted_graph.h"
+
+namespace dspc {
+
+/// Parses a SNAP-style edge list: one "u v" pair per line, '#' or '%'
+/// comment lines ignored, arbitrary whitespace. Vertex ids may be sparse;
+/// they are compacted to [0, n) preserving first-appearance order unless
+/// `keep_ids` is set (then n = max id + 1). Directions are ignored — the
+/// paper converts all graphs to undirected.
+struct EdgeListOptions {
+  bool keep_ids = false;
+};
+
+/// Loads an undirected graph from a SNAP text edge list.
+Status LoadEdgeList(const std::string& path, Graph* out,
+                    const EdgeListOptions& options = {});
+
+/// Parses an edge list from an in-memory string (same format).
+Status ParseEdgeList(const std::string& text, Graph* out,
+                     const EdgeListOptions& options = {});
+
+/// Writes "u v" lines (one per undirected edge, u < v) with a comment
+/// header.
+Status SaveEdgeList(const Graph& graph, const std::string& path);
+
+/// Binary graph snapshot with CRC framing (see common/binary_io.h).
+Status SaveGraphBinary(const Graph& graph, const std::string& path);
+Status LoadGraphBinary(const std::string& path, Graph* out);
+
+/// Weighted edge list: "u v w" lines.
+Status ParseWeightedEdgeList(const std::string& text, WeightedGraph* out);
+Status LoadWeightedEdgeList(const std::string& path, WeightedGraph* out);
+Status SaveWeightedEdgeList(const WeightedGraph& graph,
+                            const std::string& path);
+
+}  // namespace dspc
+
+#endif  // DSPC_GRAPH_IO_H_

@@ -1,0 +1,100 @@
+#include "dspc/graph/ordering.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "dspc/common/rng.h"
+
+namespace dspc {
+
+void VertexOrdering::Append() {
+  const Rank r = static_cast<Rank>(vertex_of.size());
+  rank_of.push_back(r);
+  vertex_of.push_back(static_cast<Vertex>(r));
+}
+
+bool VertexOrdering::IsValid() const {
+  if (rank_of.size() != vertex_of.size()) return false;
+  for (Vertex v = 0; v < rank_of.size(); ++v) {
+    const Rank r = rank_of[v];
+    if (r >= vertex_of.size() || vertex_of[r] != v) return false;
+  }
+  return true;
+}
+
+VertexOrdering BuildOrderingFromDegrees(const std::vector<size_t>& degrees,
+                                        const OrderingOptions& options) {
+  const size_t n = degrees.size();
+  VertexOrdering ordering;
+  ordering.vertex_of.resize(n);
+  std::iota(ordering.vertex_of.begin(), ordering.vertex_of.end(), 0);
+
+  switch (options.strategy) {
+    case OrderingStrategy::kDegree:
+      std::stable_sort(ordering.vertex_of.begin(), ordering.vertex_of.end(),
+                       [&](Vertex a, Vertex b) {
+                         if (degrees[a] != degrees[b]) {
+                           return degrees[a] > degrees[b];
+                         }
+                         return a < b;
+                       });
+      break;
+    case OrderingStrategy::kRandom: {
+      Rng rng(options.seed);
+      // Fisher-Yates shuffle.
+      for (size_t i = n; i > 1; --i) {
+        const size_t j = rng.NextBounded(i);
+        std::swap(ordering.vertex_of[i - 1], ordering.vertex_of[j]);
+      }
+      break;
+    }
+    case OrderingStrategy::kDegreeJitter: {
+      Rng rng(options.seed);
+      std::vector<uint64_t> tie(n);
+      for (auto& t : tie) t = rng.Next();
+      std::sort(ordering.vertex_of.begin(), ordering.vertex_of.end(),
+                [&](Vertex a, Vertex b) {
+                  if (degrees[a] != degrees[b]) return degrees[a] > degrees[b];
+                  return tie[a] < tie[b];
+                });
+      break;
+    }
+    case OrderingStrategy::kIdentity:
+      break;
+  }
+
+  ordering.rank_of.resize(n);
+  for (Rank r = 0; r < n; ++r) {
+    ordering.rank_of[ordering.vertex_of[r]] = r;
+  }
+  return ordering;
+}
+
+VertexOrdering BuildOrdering(const Graph& graph,
+                             const OrderingOptions& options) {
+  std::vector<size_t> degrees(graph.NumVertices());
+  for (Vertex v = 0; v < graph.NumVertices(); ++v) {
+    degrees[v] = graph.Degree(v);
+  }
+  return BuildOrderingFromDegrees(degrees, options);
+}
+
+VertexOrdering BuildOrdering(const Digraph& graph,
+                             const OrderingOptions& options) {
+  std::vector<size_t> degrees(graph.NumVertices());
+  for (Vertex v = 0; v < graph.NumVertices(); ++v) {
+    degrees[v] = graph.OutDegree(v) + graph.InDegree(v);
+  }
+  return BuildOrderingFromDegrees(degrees, options);
+}
+
+VertexOrdering BuildOrdering(const WeightedGraph& graph,
+                             const OrderingOptions& options) {
+  std::vector<size_t> degrees(graph.NumVertices());
+  for (Vertex v = 0; v < graph.NumVertices(); ++v) {
+    degrees[v] = graph.Degree(v);
+  }
+  return BuildOrderingFromDegrees(degrees, options);
+}
+
+}  // namespace dspc

@@ -1,0 +1,76 @@
+// Vertex orderings for hub labeling (paper Section 2.2).
+//
+// The paper adopts degree-based ordering: vertices sorted by descending
+// degree are ranked highest because they are expected to lie on many
+// shortest paths, which lets later hub-pushing searches prune early. The
+// ordering is *frozen* at construction time and kept across updates
+// (Section 6 discusses why re-ordering online is an open problem).
+
+#ifndef DSPC_GRAPH_ORDERING_H_
+#define DSPC_GRAPH_ORDERING_H_
+
+#include <vector>
+
+#include "dspc/common/types.h"
+#include "dspc/graph/digraph.h"
+#include "dspc/graph/graph.h"
+#include "dspc/graph/weighted_graph.h"
+
+namespace dspc {
+
+/// A frozen total order over vertices. rank_of[v] is the rank of vertex v
+/// (0 = highest); vertex_of[r] is the vertex with rank r. The two arrays
+/// are inverse permutations of each other.
+struct VertexOrdering {
+  std::vector<Rank> rank_of;
+  std::vector<Vertex> vertex_of;
+
+  size_t size() const { return rank_of.size(); }
+
+  /// True iff u outranks or equals v (the paper's `u <= v`).
+  bool OutranksOrEqual(Vertex u, Vertex v) const {
+    return rank_of[u] <= rank_of[v];
+  }
+
+  /// Extends the order with one new (lowest-ranked) vertex; used when a
+  /// vertex is inserted into a graph with a frozen ordering.
+  void Append();
+
+  /// True iff rank_of and vertex_of are mutually inverse permutations.
+  bool IsValid() const;
+};
+
+/// Which ordering heuristic to use. Degree is the paper's choice; the
+/// others exist for the ordering ablation bench.
+enum class OrderingStrategy {
+  kDegree,        ///< descending degree, ties by smaller id (paper default)
+  kRandom,        ///< uniformly random permutation (ablation baseline)
+  kDegreeJitter,  ///< degree with random tie-breaking
+  kIdentity,      ///< rank == vertex id (worst-case-ish, for tests)
+};
+
+/// Options for BuildOrdering.
+struct OrderingOptions {
+  OrderingStrategy strategy = OrderingStrategy::kDegree;
+  uint64_t seed = 1;  ///< used by the randomized strategies
+};
+
+/// Builds an ordering for an undirected graph.
+VertexOrdering BuildOrdering(const Graph& graph,
+                             const OrderingOptions& options = {});
+
+/// Builds an ordering for a directed graph; degree = in + out degree.
+VertexOrdering BuildOrdering(const Digraph& graph,
+                             const OrderingOptions& options = {});
+
+/// Builds an ordering for a weighted graph (degree ignores weights).
+VertexOrdering BuildOrdering(const WeightedGraph& graph,
+                             const OrderingOptions& options = {});
+
+/// Builds an ordering directly from per-vertex degrees (shared impl).
+VertexOrdering BuildOrderingFromDegrees(const std::vector<size_t>& degrees,
+                                        const OrderingOptions& options);
+
+}  // namespace dspc
+
+#endif  // DSPC_GRAPH_ORDERING_H_

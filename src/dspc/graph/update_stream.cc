@@ -1,0 +1,122 @@
+#include "dspc/graph/update_stream.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "dspc/common/rng.h"
+
+namespace dspc {
+
+namespace {
+
+uint64_t PairKey(Vertex u, Vertex v) {
+  const Vertex lo = std::min(u, v);
+  const Vertex hi = std::max(u, v);
+  return (static_cast<uint64_t>(lo) << 32) | hi;
+}
+
+}  // namespace
+
+std::vector<Edge> SampleNonEdges(const Graph& graph, size_t count,
+                                 uint64_t seed) {
+  Rng rng(seed);
+  const size_t n = graph.NumVertices();
+  std::vector<Edge> result;
+  if (n < 2) return result;
+  const uint64_t max_edges = static_cast<uint64_t>(n) * (n - 1) / 2;
+  const uint64_t free_slots =
+      max_edges > graph.NumEdges() ? max_edges - graph.NumEdges() : 0;
+  count = std::min<uint64_t>(count, free_slots);
+  std::unordered_set<uint64_t> seen;
+  size_t guard = 0;
+  const size_t max_guard = 100 * count + 10000;
+  while (result.size() < count && guard < max_guard) {
+    ++guard;
+    const auto u = static_cast<Vertex>(rng.NextBounded(n));
+    const auto v = static_cast<Vertex>(rng.NextBounded(n));
+    if (u == v || graph.HasEdge(u, v)) continue;
+    if (seen.insert(PairKey(u, v)).second) result.push_back(Edge{u, v});
+  }
+  return result;
+}
+
+std::vector<Edge> SampleEdges(const Graph& graph, size_t count,
+                              uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Edge> edges = graph.Edges();
+  count = std::min(count, edges.size());
+  // Partial Fisher-Yates: shuffle the first `count` positions.
+  for (size_t i = 0; i < count; ++i) {
+    const size_t j = i + rng.NextBounded(edges.size() - i);
+    std::swap(edges[i], edges[j]);
+  }
+  edges.resize(count);
+  return edges;
+}
+
+std::vector<Update> MakeHybridStream(const Graph& graph, size_t insertions,
+                                     size_t deletions, uint64_t seed) {
+  const std::vector<Edge> ins = SampleNonEdges(graph, insertions, seed);
+  const std::vector<Edge> del = SampleEdges(graph, deletions, seed ^ 0x5D5Cu);
+  std::vector<Update> stream;
+  stream.reserve(ins.size() + del.size());
+  for (const Edge& e : ins) stream.push_back(Update::Insert(e.u, e.v));
+  for (const Edge& e : del) stream.push_back(Update::Delete(e.u, e.v));
+  // Uniform interleave via Fisher-Yates.
+  Rng rng(seed ^ 0xA11CEu);
+  for (size_t i = stream.size(); i > 1; --i) {
+    const size_t j = rng.NextBounded(i);
+    std::swap(stream[i - 1], stream[j]);
+  }
+  return stream;
+}
+
+namespace {
+
+std::vector<SkewedEdgeSample> Stratify(std::vector<SkewedEdgeSample> pool,
+                                       size_t count) {
+  std::sort(pool.begin(), pool.end(),
+            [](const SkewedEdgeSample& a, const SkewedEdgeSample& b) {
+              return a.degree_product < b.degree_product;
+            });
+  if (pool.size() <= count) return pool;
+  std::vector<SkewedEdgeSample> out;
+  out.reserve(count);
+  // Even stride over the sorted pool keeps the full skew spectrum.
+  const double step = static_cast<double>(pool.size()) / count;
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back(pool[static_cast<size_t>(i * step)]);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<SkewedEdgeSample> SampleSkewedNonEdges(const Graph& graph,
+                                                   size_t count,
+                                                   uint64_t seed) {
+  // Oversample, then stratify by degree product.
+  const std::vector<Edge> pool_edges =
+      SampleNonEdges(graph, count * 8 + 64, seed);
+  std::vector<SkewedEdgeSample> pool;
+  pool.reserve(pool_edges.size());
+  for (const Edge& e : pool_edges) {
+    pool.push_back(SkewedEdgeSample{
+        e, static_cast<uint64_t>(graph.Degree(e.u)) * graph.Degree(e.v)});
+  }
+  return Stratify(std::move(pool), count);
+}
+
+std::vector<SkewedEdgeSample> SampleSkewedEdges(const Graph& graph,
+                                                size_t count, uint64_t seed) {
+  const std::vector<Edge> pool_edges = SampleEdges(graph, count * 8 + 64, seed);
+  std::vector<SkewedEdgeSample> pool;
+  pool.reserve(pool_edges.size());
+  for (const Edge& e : pool_edges) {
+    pool.push_back(SkewedEdgeSample{
+        e, static_cast<uint64_t>(graph.Degree(e.u)) * graph.Degree(e.v)});
+  }
+  return Stratify(std::move(pool), count);
+}
+
+}  // namespace dspc

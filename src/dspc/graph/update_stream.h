@@ -1,0 +1,70 @@
+// Update-stream workload generators for the dynamic experiments:
+//   - random edge insertions (paper §4.1.1: "1,000 random edges are
+//     inserted into each graph")
+//   - random edge deletions ("randomly select k edges")
+//   - hybrid streams (Figure 10: 100 insertions + 10 deletions)
+//   - degree-skewed edge selection (Figure 11: varying deg(u)*deg(v))
+
+#ifndef DSPC_GRAPH_UPDATE_STREAM_H_
+#define DSPC_GRAPH_UPDATE_STREAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dspc/graph/graph.h"
+
+namespace dspc {
+
+/// One topological update.
+struct Update {
+  enum class Kind : unsigned char { kInsert, kDelete };
+  Kind kind;
+  Edge edge;
+
+  static Update Insert(Vertex u, Vertex v) {
+    return Update{Kind::kInsert, Edge{u, v}};
+  }
+  static Update Delete(Vertex u, Vertex v) {
+    return Update{Kind::kDelete, Edge{u, v}};
+  }
+
+  friend bool operator==(const Update&, const Update&) = default;
+};
+
+/// Samples `count` distinct non-edges of `graph` — candidate insertions.
+/// Fewer may be returned if the graph is near-complete.
+std::vector<Edge> SampleNonEdges(const Graph& graph, size_t count,
+                                 uint64_t seed);
+
+/// Samples `count` distinct existing edges of `graph` — candidate
+/// deletions. Fewer may be returned than requested if m < count.
+std::vector<Edge> SampleEdges(const Graph& graph, size_t count, uint64_t seed);
+
+/// Builds a hybrid stream of `insertions` inserts and `deletions` deletes,
+/// interleaved uniformly at random (Figure 10 workload). Inserted edges are
+/// fresh non-edges; deleted edges are sampled from the original edge set
+/// and are never edges that the stream itself inserted.
+std::vector<Update> MakeHybridStream(const Graph& graph, size_t insertions,
+                                     size_t deletions, uint64_t seed);
+
+/// Degree-skew buckets for Figure 11: edges (existing or not) are scored by
+/// deg(u)*deg(v) and assigned to logarithmic buckets.
+struct SkewedEdgeSample {
+  Edge edge;
+  uint64_t degree_product;
+};
+
+/// Samples `count` non-edges spread across the degree-product spectrum:
+/// candidates are drawn, scored by deg(u)*deg(v), sorted, and an evenly
+/// strided subset is returned so low- and high-degree edges both appear.
+std::vector<SkewedEdgeSample> SampleSkewedNonEdges(const Graph& graph,
+                                                   size_t count,
+                                                   uint64_t seed);
+
+/// Same stratification over existing edges (for skewed deletions).
+std::vector<SkewedEdgeSample> SampleSkewedEdges(const Graph& graph,
+                                                size_t count, uint64_t seed);
+
+}  // namespace dspc
+
+#endif  // DSPC_GRAPH_UPDATE_STREAM_H_

@@ -1,0 +1,187 @@
+// Application layer: betweenness (vs Brandes) and friend recommendation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dspc/apps/betweenness.h"
+#include "dspc/apps/recommendation.h"
+#include "dspc/core/dynamic_spc.h"
+#include "dspc/graph/generators.h"
+#include "test_util.h"
+
+namespace dspc {
+namespace {
+
+using testing::RandomGraph;
+
+TEST(Brandes, PathGraphCenters) {
+  // On a path 0-1-2-3-4: betweenness of vertex i is i*(n-1-i) pairs.
+  const Graph g = GeneratePath(5);
+  const std::vector<double> bc = BrandesBetweenness(g);
+  EXPECT_DOUBLE_EQ(bc[0], 0.0);
+  EXPECT_DOUBLE_EQ(bc[1], 3.0);
+  EXPECT_DOUBLE_EQ(bc[2], 4.0);
+  EXPECT_DOUBLE_EQ(bc[3], 3.0);
+  EXPECT_DOUBLE_EQ(bc[4], 0.0);
+}
+
+TEST(Brandes, StarCenterTakesAll) {
+  const Graph g = GenerateStar(6);
+  const std::vector<double> bc = BrandesBetweenness(g);
+  // Center mediates all C(5,2) = 10 pairs; leaves none.
+  EXPECT_DOUBLE_EQ(bc[0], 10.0);
+  for (Vertex v = 1; v < 6; ++v) EXPECT_DOUBLE_EQ(bc[v], 0.0);
+}
+
+TEST(Brandes, SplitDependencies) {
+  // A 4-cycle: each pair of opposite vertices has two shortest paths, so
+  // each mediator gets 0.5 per opposite pair.
+  const Graph g = GenerateCycle(4);
+  const std::vector<double> bc = BrandesBetweenness(g);
+  for (Vertex v = 0; v < 4; ++v) EXPECT_DOUBLE_EQ(bc[v], 0.5);
+}
+
+TEST(IndexBetweenness, MatchesBrandesOnRandomGraphs) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    const Graph g = RandomGraph(18, 30, seed);
+    const std::vector<double> brandes = BrandesBetweenness(g);
+    DynamicSpcIndex index(g);
+    for (Vertex v = 0; v < g.NumVertices(); ++v) {
+      const double via_index = VertexBetweenness(index, v);
+      EXPECT_NEAR(via_index, brandes[v], 1e-9)
+          << "seed=" << seed << " v=" << v;
+    }
+  }
+}
+
+TEST(IndexBetweenness, StaysExactAcrossUpdates) {
+  Graph g = RandomGraph(16, 28, 9);
+  DynamicSpcIndex index(g);
+  index.InsertEdge(0, 15);
+  index.RemoveEdge(index.graph().Edges().front().u,
+                   index.graph().Edges().front().v);
+  const std::vector<double> brandes = BrandesBetweenness(index.graph());
+  for (Vertex v = 0; v < index.graph().NumVertices(); ++v) {
+    EXPECT_NEAR(VertexBetweenness(index, v), brandes[v], 1e-9);
+  }
+}
+
+TEST(PairDependencyTest, EndpointsAndOffPathVertices) {
+  const Graph g = GeneratePath(4);  // 0-1-2-3
+  DynamicSpcIndex index(g);
+  EXPECT_DOUBLE_EQ(PairDependency(index, 0, 3, 1), 1.0);
+  EXPECT_DOUBLE_EQ(PairDependency(index, 0, 3, 2), 1.0);
+  EXPECT_DOUBLE_EQ(PairDependency(index, 0, 3, 0), 0.0);  // endpoint
+  EXPECT_DOUBLE_EQ(PairDependency(index, 0, 1, 3), 0.0);  // off path
+}
+
+TEST(GroupBetweennessTest, SingletonGroupMatchesVertexBetweenness) {
+  const Graph g = RandomGraph(14, 24, 4);
+  DynamicSpcIndex index(g);
+  for (Vertex v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_NEAR(GroupBetweenness(g, index, {v}), VertexBetweenness(index, v),
+                1e-9)
+        << "v=" << v;
+  }
+}
+
+TEST(GroupBetweennessTest, GroupDominatesItsMembers) {
+  // delta_st(C) >= delta_st(v) for v in C, so group betweenness dominates
+  // each member's betweenness.
+  const Graph g = RandomGraph(14, 26, 5);
+  DynamicSpcIndex index(g);
+  const std::vector<Vertex> group = {2, 7};
+  const double gb = GroupBetweenness(g, index, group);
+  EXPECT_GE(gb + 1e-9, VertexBetweenness(index, 2));
+  EXPECT_GE(gb + 1e-9, VertexBetweenness(index, 7));
+}
+
+TEST(GroupBetweennessTest, CutVertexPairTakesEverything) {
+  // Barbell: 0-1-2 | 2-3 | 3-4-5. Group {2,3} intercepts every pair that
+  // crosses the middle.
+  Graph g(6);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(0, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 4);
+  g.AddEdge(4, 5);
+  g.AddEdge(3, 5);
+  DynamicSpcIndex index(g);
+  // Pairs through {2,3}: (0,3),(0,4),(0,5),(1,3),(1,4),(1,5),(2,4),(2,5)
+  // minus pairs with an endpoint in the group -> crossing pairs are
+  // {0,1} x {4,5} fully mediated = 4.
+  const double gb = GroupBetweenness(g, index, {2, 3});
+  EXPECT_DOUBLE_EQ(gb, 4.0);
+}
+
+TEST(Recommendation, CountsCommonFriends) {
+  // The paper's Figure 1: a-v2-c, a-v1-c, a-v4-c ... c has more shortest
+  // paths to a than b does.
+  Graph g(6);
+  const Vertex a = 0, b = 1, c = 2, v1 = 3, v2 = 4, v4 = 5;
+  g.AddEdge(a, v1);
+  g.AddEdge(a, v2);
+  g.AddEdge(a, v4);
+  g.AddEdge(v1, c);
+  g.AddEdge(v2, c);
+  g.AddEdge(v4, c);
+  g.AddEdge(v2, b);
+  DynamicSpcIndex index(g);
+  const auto recs = RecommendFriends(index, a, 5);
+  ASSERT_FALSE(recs.empty());
+  EXPECT_EQ(recs[0].candidate, c);
+  EXPECT_EQ(recs[0].paths, 3u);  // three common friends
+  EXPECT_EQ(recs[0].dist, 2u);
+  // b is also a candidate but with a single common friend.
+  bool found_b = false;
+  for (const auto& r : recs) {
+    if (r.candidate == b) {
+      found_b = true;
+      EXPECT_EQ(r.paths, 1u);
+    }
+  }
+  EXPECT_TRUE(found_b);
+}
+
+TEST(Recommendation, ExcludesExistingFriendsAndSelf) {
+  const Graph g = GenerateComplete(5);
+  DynamicSpcIndex index(g);
+  // In a complete graph there is nobody to recommend.
+  EXPECT_TRUE(RecommendFriends(index, 0, 10).empty());
+}
+
+TEST(Recommendation, ReactsToUpdates) {
+  Graph g(5);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  DynamicSpcIndex index(g);
+  auto recs = RecommendFriends(index, 0, 3);
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].candidate, 2u);
+  // New common friend 3 strengthens the 0-2 tie.
+  index.InsertEdge(0, 3);
+  index.InsertEdge(3, 2);
+  recs = RecommendFriends(index, 0, 3);
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].paths, 2u);
+  // Befriending 2 removes them from the candidate list.
+  index.InsertEdge(0, 2);
+  recs = RecommendFriends(index, 0, 3);
+  for (const auto& r : recs) EXPECT_NE(r.candidate, 2u);
+}
+
+TEST(Recommendation, TopKTruncation) {
+  const Graph g = GenerateStar(10);  // leaves all share the center
+  DynamicSpcIndex index(g);
+  const auto recs = RecommendFriends(index, 1, 3);
+  EXPECT_EQ(recs.size(), 3u);
+  for (const auto& r : recs) {
+    EXPECT_EQ(r.dist, 2u);
+    EXPECT_EQ(r.paths, 1u);
+  }
+}
+
+}  // namespace
+}  // namespace dspc

@@ -1,0 +1,198 @@
+// Unit tests for the online baselines: BFS counting, bidirectional BFS
+// counting, and Dijkstra counting. BFS itself is validated on closed-form
+// fixtures; BiBFS and Dijkstra are cross-checked against it.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "dspc/baseline/bfs_counting.h"
+#include "dspc/baseline/bibfs_counting.h"
+#include "dspc/baseline/dijkstra_counting.h"
+#include "dspc/graph/generators.h"
+#include "test_util.h"
+
+namespace dspc {
+namespace {
+
+using testing::RandomGraph;
+
+// --- BFS fixtures with closed-form counts ------------------------------------
+
+TEST(BfsCountTest, GridCountsAreBinomials) {
+  // On an r x c grid, spc(corner, (i,j)) = C(i+j, i).
+  const Graph g = GenerateGrid(4, 4);
+  const SsspCounts res = BfsCount(g, 0);
+  auto at = [&](size_t r, size_t c) { return res.count[r * 4 + c]; };
+  EXPECT_EQ(at(0, 0), 1u);
+  EXPECT_EQ(at(1, 1), 2u);
+  EXPECT_EQ(at(2, 2), 6u);
+  EXPECT_EQ(at(3, 3), 20u);
+  EXPECT_EQ(at(2, 3), 10u);
+  EXPECT_EQ(res.dist[15], 6u);
+}
+
+TEST(BfsCountTest, CompleteBipartiteCounts) {
+  // In K_{a,b}, two left vertices have b shortest paths (via each right).
+  const Graph g = GenerateCompleteBipartite(3, 5);
+  const SsspCounts res = BfsCount(g, 0);
+  EXPECT_EQ(res.dist[1], 2u);
+  EXPECT_EQ(res.count[1], 5u);
+  EXPECT_EQ(res.dist[3], 1u);
+  EXPECT_EQ(res.count[3], 1u);
+}
+
+TEST(BfsCountTest, EvenCycleHasTwoPathsToAntipode) {
+  const Graph g = GenerateCycle(8);
+  const SsspCounts res = BfsCount(g, 0);
+  EXPECT_EQ(res.dist[4], 4u);
+  EXPECT_EQ(res.count[4], 2u);
+  EXPECT_EQ(res.count[3], 1u);
+}
+
+TEST(BfsCountTest, DisconnectedIsInfZero) {
+  Graph g(4);
+  g.AddEdge(0, 1);
+  const SsspCounts res = BfsCount(g, 0);
+  EXPECT_EQ(res.dist[2], kInfDistance);
+  EXPECT_EQ(res.count[2], 0u);
+}
+
+TEST(BfsCountPairTest, EarlyExitMatchesFull) {
+  const Graph g = RandomGraph(40, 100, 3);
+  for (Vertex s = 0; s < 10; ++s) {
+    const SsspCounts full = BfsCount(g, s);
+    for (Vertex t = 0; t < g.NumVertices(); ++t) {
+      const SpcResult pair = BfsCountPair(g, s, t);
+      EXPECT_EQ(pair.dist, full.dist[t]);
+      EXPECT_EQ(pair.count, full.count[t]);
+    }
+  }
+}
+
+TEST(BfsCountTest, DirectedFollowsArcs) {
+  Digraph g(3);
+  g.AddArc(0, 1);
+  g.AddArc(1, 2);
+  const SsspCounts fwd = BfsCount(g, 0);
+  EXPECT_EQ(fwd.dist[2], 2u);
+  const SsspCounts rev = BfsCountReverse(g, 2);
+  EXPECT_EQ(rev.dist[0], 2u);
+  const SsspCounts back = BfsCount(g, 2);
+  EXPECT_EQ(back.dist[0], kInfDistance);
+  EXPECT_EQ(BfsCountPair(g, 0, 2).count, 1u);
+}
+
+// --- BiBFS vs BFS -------------------------------------------------------------
+
+class BiBfsPropertyTest
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t, uint64_t>> {};
+
+TEST_P(BiBfsPropertyTest, AgreesWithBfsOnAllPairs) {
+  const auto [n, m, seed] = GetParam();
+  const Graph g = RandomGraph(n, m, seed);
+  BiBfsCounter counter(g);
+  for (Vertex s = 0; s < n; ++s) {
+    const SsspCounts truth = BfsCount(g, s);
+    for (Vertex t = 0; t < n; ++t) {
+      const SpcResult got = counter.Query(s, t);
+      ASSERT_EQ(got.dist, truth.dist[t]) << "s=" << s << " t=" << t;
+      ASSERT_EQ(got.count, truth.count[t]) << "s=" << s << " t=" << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BiBfsPropertyTest,
+    ::testing::Values(std::make_tuple(10, 15, 1), std::make_tuple(20, 40, 2),
+                      std::make_tuple(30, 50, 3), std::make_tuple(30, 150, 4),
+                      std::make_tuple(40, 60, 5), std::make_tuple(50, 120, 6),
+                      std::make_tuple(25, 24, 7),  // sparse, near-tree
+                      std::make_tuple(12, 66, 8)));  // complete
+
+TEST(BiBfsTest, DisconnectedPairs) {
+  Graph g(6);
+  g.AddEdge(0, 1);
+  g.AddEdge(2, 3);
+  BiBfsCounter counter(g);
+  EXPECT_EQ(counter.Query(0, 3).dist, kInfDistance);
+  EXPECT_EQ(counter.Query(0, 3).count, 0u);
+  EXPECT_EQ(counter.Query(4, 5).count, 0u);
+}
+
+TEST(BiBfsTest, TrivialQueries) {
+  const Graph g = GeneratePath(3);
+  BiBfsCounter counter(g);
+  EXPECT_EQ(counter.Query(1, 1).dist, 0u);
+  EXPECT_EQ(counter.Query(1, 1).count, 1u);
+  EXPECT_EQ(counter.Query(0, 1).dist, 1u);
+}
+
+TEST(BiBfsTest, ScratchResetAcrossQueries) {
+  // Many queries on one counter must not contaminate each other.
+  const Graph g = RandomGraph(30, 60, 9);
+  BiBfsCounter counter(g);
+  const SpcResult first = counter.Query(0, 29);
+  for (int i = 0; i < 50; ++i) {
+    counter.Query(static_cast<Vertex>(i % 30),
+                  static_cast<Vertex>((i * 7 + 3) % 30));
+  }
+  const SpcResult again = counter.Query(0, 29);
+  EXPECT_EQ(first, again);
+}
+
+TEST(BiBfsTest, OneShotWrapper) {
+  const Graph g = GenerateCycle(8);
+  const SpcResult r = BiBfsCountPair(g, 0, 4);
+  EXPECT_EQ(r.dist, 4u);
+  EXPECT_EQ(r.count, 2u);
+}
+
+// --- Dijkstra ------------------------------------------------------------------
+
+TEST(DijkstraTest, UnitWeightsAgreeWithBfs) {
+  const Graph base = RandomGraph(30, 70, 10);
+  const WeightedGraph g = AttachRandomWeights(base, 1, 1, 1);
+  for (Vertex s = 0; s < 30; ++s) {
+    const SsspCounts bfs = BfsCount(base, s);
+    const SsspCounts dij = DijkstraCount(g, s);
+    ASSERT_EQ(bfs.dist, dij.dist);
+    ASSERT_EQ(bfs.count, dij.count);
+  }
+}
+
+TEST(DijkstraTest, WeightedTieCounting) {
+  WeightedGraph g(4);
+  g.AddEdge(0, 1, 1);
+  g.AddEdge(1, 3, 3);
+  g.AddEdge(0, 2, 2);
+  g.AddEdge(2, 3, 2);
+  const SsspCounts res = DijkstraCount(g, 0);
+  EXPECT_EQ(res.dist[3], 4u);
+  EXPECT_EQ(res.count[3], 2u);
+}
+
+TEST(DijkstraTest, LongerHopCountCanWin) {
+  WeightedGraph g(4);
+  g.AddEdge(0, 3, 10);  // direct but heavy
+  g.AddEdge(0, 1, 1);
+  g.AddEdge(1, 2, 1);
+  g.AddEdge(2, 3, 1);
+  const SsspCounts res = DijkstraCount(g, 0);
+  EXPECT_EQ(res.dist[3], 3u);
+  EXPECT_EQ(res.count[3], 1u);
+}
+
+TEST(DijkstraTest, PairEarlyExit) {
+  const Graph base = RandomGraph(25, 60, 11);
+  const WeightedGraph g = AttachRandomWeights(base, 1, 5, 12);
+  const SsspCounts full = DijkstraCount(g, 4);
+  for (Vertex t = 0; t < 25; ++t) {
+    const SpcResult pair = DijkstraCountPair(g, 4, t);
+    EXPECT_EQ(pair.dist, full.dist[t]);
+    EXPECT_EQ(pair.count, full.count[t]);
+  }
+}
+
+}  // namespace
+}  // namespace dspc

@@ -1,0 +1,185 @@
+// Directed DSPC (Appendix C.1): build, query, and dynamic maintenance
+// verified against directed BFS ground truth.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "dspc/baseline/bfs_counting.h"
+#include "dspc/common/rng.h"
+#include "dspc/core/directed_spc.h"
+#include "dspc/graph/generators.h"
+
+namespace dspc {
+namespace {
+
+void ExpectMatchesDirectedBfs(const Digraph& g,
+                              const DynamicDirectedSpcIndex& index,
+                              const std::string& context = "") {
+  for (Vertex s = 0; s < g.NumVertices(); ++s) {
+    const SsspCounts truth = BfsCount(g, s);
+    for (Vertex t = 0; t < g.NumVertices(); ++t) {
+      const SpcResult got = index.Query(s, t);
+      ASSERT_EQ(got.dist, truth.dist[t])
+          << context << " dist mismatch s=" << s << " t=" << t;
+      ASSERT_EQ(got.count, truth.count[t])
+          << context << " count mismatch s=" << s << " t=" << t;
+    }
+  }
+}
+
+TEST(DirectedBuild, TinyDag) {
+  // s -> {a, b} -> t: two shortest s->t paths, none t->s.
+  Digraph g(4);
+  g.AddArc(0, 1);
+  g.AddArc(0, 2);
+  g.AddArc(1, 3);
+  g.AddArc(2, 3);
+  DynamicDirectedSpcIndex index(g);
+  EXPECT_EQ(index.Query(0, 3).dist, 2u);
+  EXPECT_EQ(index.Query(0, 3).count, 2u);
+  EXPECT_EQ(index.Query(3, 0).dist, kInfDistance);
+  EXPECT_EQ(index.Query(3, 0).count, 0u);
+  ExpectMatchesDirectedBfs(g, index);
+}
+
+TEST(DirectedBuild, AsymmetryMatters) {
+  // A directed cycle: d(u,v) wraps one way only.
+  Digraph g(5);
+  for (Vertex v = 0; v < 5; ++v) g.AddArc(v, (v + 1) % 5);
+  DynamicDirectedSpcIndex index(g);
+  EXPECT_EQ(index.Query(0, 4).dist, 4u);
+  EXPECT_EQ(index.Query(4, 0).dist, 1u);
+  ExpectMatchesDirectedBfs(g, index);
+}
+
+TEST(DirectedBuild, SelfQuery) {
+  Digraph g = GenerateRandomDigraph(10, 20, 3);
+  DynamicDirectedSpcIndex index(g);
+  for (Vertex v = 0; v < 10; ++v) {
+    EXPECT_EQ(index.Query(v, v).dist, 0u);
+    EXPECT_EQ(index.Query(v, v).count, 1u);
+  }
+}
+
+class DirectedBuildPropertyTest
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t, uint64_t>> {};
+
+TEST_P(DirectedBuildPropertyTest, MatchesBfs) {
+  const auto [n, m, seed] = GetParam();
+  const Digraph g = GenerateRandomDigraph(n, m, seed);
+  DynamicDirectedSpcIndex index(g);
+  ASSERT_TRUE(index.ValidateStructure().ok());
+  ExpectMatchesDirectedBfs(g, index);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DirectedBuildPropertyTest,
+    ::testing::Values(std::make_tuple(8, 14, 1), std::make_tuple(12, 30, 2),
+                      std::make_tuple(16, 40, 3), std::make_tuple(20, 100, 4),
+                      std::make_tuple(24, 60, 5), std::make_tuple(32, 96, 6),
+                      std::make_tuple(40, 120, 7), std::make_tuple(12, 131, 8)));
+
+class DirectedDynamicPropertyTest
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t, uint64_t>> {};
+
+TEST_P(DirectedDynamicPropertyTest, HybridStreamKeepsExactness) {
+  const auto [n, m, seed] = GetParam();
+  Digraph g = GenerateRandomDigraph(n, m, seed);
+  DynamicDirectedSpcIndex index(std::move(g));
+  Rng rng(seed ^ 0xD16Au);
+  for (int step = 0; step < 30; ++step) {
+    if (rng.NextBool(0.5)) {
+      const auto u = static_cast<Vertex>(rng.NextBounded(n));
+      const auto v = static_cast<Vertex>(rng.NextBounded(n));
+      if (u != v && !index.graph().HasArc(u, v)) index.InsertArc(u, v);
+    } else {
+      const std::vector<Edge> arcs = index.graph().Arcs();
+      if (arcs.empty()) continue;
+      const Edge e = arcs[rng.NextBounded(arcs.size())];
+      index.RemoveArc(e.u, e.v);
+    }
+    ASSERT_TRUE(index.ValidateStructure().ok()) << "step " << step;
+    ExpectMatchesDirectedBfs(index.graph(), index,
+                             "step " + std::to_string(step));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DirectedDynamicPropertyTest,
+    ::testing::Values(std::make_tuple(8, 16, 1), std::make_tuple(12, 28, 2),
+                      std::make_tuple(16, 48, 3), std::make_tuple(20, 50, 4),
+                      std::make_tuple(24, 96, 5), std::make_tuple(30, 70, 6),
+                      std::make_tuple(16, 120, 7), std::make_tuple(40, 90, 8)));
+
+TEST(DirectedDynamic, ReverseArcDistinctFromForward) {
+  Digraph g(3);
+  g.AddArc(0, 1);
+  g.AddArc(1, 2);
+  DynamicDirectedSpcIndex index(std::move(g));
+  EXPECT_EQ(index.Query(0, 2).dist, 2u);
+  // Inserting the reverse arc 2->0 creates a cycle but must not change
+  // the forward distances.
+  index.InsertArc(2, 0);
+  EXPECT_EQ(index.Query(0, 2).dist, 2u);
+  EXPECT_EQ(index.Query(2, 1).dist, 2u);
+  ExpectMatchesDirectedBfs(index.graph(), index);
+}
+
+TEST(DirectedDynamic, VertexInsertAndRemove) {
+  Digraph g = GenerateRandomDigraph(10, 24, 9);
+  DynamicDirectedSpcIndex index(std::move(g));
+  const Vertex v = index.AddVertex();
+  EXPECT_EQ(v, 10u);
+  index.InsertArc(v, 0);
+  index.InsertArc(3, v);
+  ExpectMatchesDirectedBfs(index.graph(), index);
+  index.RemoveVertex(v);
+  EXPECT_EQ(index.graph().OutDegree(v), 0u);
+  EXPECT_EQ(index.graph().InDegree(v), 0u);
+  ExpectMatchesDirectedBfs(index.graph(), index);
+}
+
+TEST(DirectedDynamic, RebuildMatchesMaintained) {
+  Digraph g = GenerateRmatDigraph(5, 80, 11);
+  const size_t n = g.NumVertices();
+  DynamicDirectedSpcIndex maintained(g);
+  Rng rng(77);
+  for (int step = 0; step < 25; ++step) {
+    if (rng.NextBool(0.6)) {
+      const auto u = static_cast<Vertex>(rng.NextBounded(n));
+      const auto v = static_cast<Vertex>(rng.NextBounded(n));
+      if (u != v && !maintained.graph().HasArc(u, v)) {
+        maintained.InsertArc(u, v);
+      }
+    } else {
+      const std::vector<Edge> arcs = maintained.graph().Arcs();
+      if (arcs.empty()) continue;
+      const Edge e = arcs[rng.NextBounded(arcs.size())];
+      maintained.RemoveArc(e.u, e.v);
+    }
+  }
+  DynamicDirectedSpcIndex rebuilt(maintained.graph());
+  for (Vertex s = 0; s < n; ++s) {
+    for (Vertex t = 0; t < n; ++t) {
+      const SpcResult a = maintained.Query(s, t);
+      const SpcResult b = rebuilt.Query(s, t);
+      ASSERT_EQ(a.dist, b.dist);
+      ASSERT_EQ(a.count, b.count);
+    }
+  }
+}
+
+TEST(DirectedDynamic, NoopUpdates) {
+  Digraph g(4);
+  g.AddArc(0, 1);
+  DynamicDirectedSpcIndex index(std::move(g));
+  EXPECT_FALSE(index.InsertArc(0, 1).applied);  // duplicate
+  EXPECT_FALSE(index.InsertArc(2, 2).applied);  // self loop
+  EXPECT_FALSE(index.RemoveArc(1, 0).applied);  // absent direction
+  EXPECT_EQ(index.Query(0, 1).dist, 1u);
+}
+
+}  // namespace
+}  // namespace dspc

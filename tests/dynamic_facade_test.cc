@@ -1,0 +1,169 @@
+// Tests for the DynamicSpcIndex facade features beyond single updates:
+// batch application with inverse-pair cancellation, parallel batch
+// queries, the §6 lazy rebuild policy, and index adoption.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "dspc/core/dynamic_spc.h"
+#include "dspc/core/hp_spc.h"
+#include "dspc/graph/generators.h"
+#include "dspc/graph/update_stream.h"
+#include "test_util.h"
+
+namespace dspc {
+namespace {
+
+using testing::ExpectIndexMatchesBfs;
+using testing::RandomGraph;
+
+TEST(ApplyBatchTest, EquivalentToSequential) {
+  Graph g = RandomGraph(20, 36, 1);
+  DynamicSpcIndex batched(g);
+  DynamicSpcIndex sequential(g);
+  const std::vector<Update> stream = MakeHybridStream(g, 15, 5, 2);
+  batched.ApplyBatch(stream);
+  for (const Update& u : stream) sequential.Apply(u);
+  EXPECT_EQ(batched.graph().Edges(), sequential.graph().Edges());
+  ExpectIndexMatchesBfs(batched.graph(), batched.index(), "batched");
+}
+
+TEST(ApplyBatchTest, CancelsInverseUpdatePairs) {
+  Graph g = RandomGraph(16, 30, 3);
+  DynamicSpcIndex dyn(g);
+  // Find a non-edge.
+  Vertex u = 0;
+  Vertex v = 0;
+  [&] {
+    for (u = 0; u < 16; ++u) {
+      for (v = u + 1; v < 16; ++v) {
+        if (!dyn.graph().HasEdge(u, v)) return;
+      }
+    }
+  }();
+  const std::vector<Update> batch = {Update::Insert(u, v),
+                                     Update::Delete(u, v)};
+  const UpdateStats stats = dyn.ApplyBatch(batch);
+  // Fully cancelled: nothing was applied, the graph is unchanged.
+  EXPECT_FALSE(stats.applied);
+  EXPECT_FALSE(dyn.graph().HasEdge(u, v));
+  ExpectIndexMatchesBfs(dyn.graph(), dyn.index());
+}
+
+TEST(ApplyBatchTest, InterleavedPairsKeepNetEffect) {
+  Graph g(6);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  DynamicSpcIndex dyn(g);
+  // I-D-I on the same edge nets out to one insert.
+  const std::vector<Update> batch = {
+      Update::Insert(3, 4), Update::Delete(3, 4), Update::Insert(3, 4),
+      Update::Delete(0, 1), Update::Insert(0, 1)};  // delete+reinsert cancels
+  dyn.ApplyBatch(batch);
+  EXPECT_TRUE(dyn.graph().HasEdge(3, 4));
+  EXPECT_TRUE(dyn.graph().HasEdge(0, 1));
+  ExpectIndexMatchesBfs(dyn.graph(), dyn.index());
+}
+
+TEST(BatchQueryTest, ParallelMatchesSerial) {
+  const Graph g = GenerateBarabasiAlbert(300, 2, 5);
+  DynamicSpcIndex dyn(g);
+  Rng rng(6);
+  std::vector<std::pair<Vertex, Vertex>> pairs(500);
+  for (auto& p : pairs) {
+    p.first = static_cast<Vertex>(rng.NextBounded(300));
+    p.second = static_cast<Vertex>(rng.NextBounded(300));
+  }
+  const auto serial = dyn.BatchQuery(pairs, 1);
+  const auto parallel = dyn.BatchQuery(pairs, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << "i=" << i;
+  }
+  // Spot check against direct queries.
+  for (size_t i = 0; i < pairs.size(); i += 37) {
+    EXPECT_EQ(serial[i], dyn.Query(pairs[i].first, pairs[i].second));
+  }
+}
+
+TEST(LazyRebuildTest, UpdateCountTriggerFires) {
+  Graph g = RandomGraph(20, 40, 7);
+  DynamicSpcOptions options;
+  options.rebuild_after_updates = 5;
+  DynamicSpcIndex dyn(std::move(g), options);
+  Rng rng(8);
+  size_t applied = 0;
+  while (applied < 12) {
+    const auto u = static_cast<Vertex>(rng.NextBounded(20));
+    const auto v = static_cast<Vertex>(rng.NextBounded(20));
+    if (u != v && !dyn.graph().HasEdge(u, v) && dyn.InsertEdge(u, v).applied) {
+      ++applied;
+    }
+  }
+  EXPECT_EQ(dyn.PolicyRebuilds(), 2u);  // fired at updates 5 and 10
+  EXPECT_EQ(dyn.UpdatesSinceBuild(), 2u);
+  ExpectIndexMatchesBfs(dyn.graph(), dyn.index());
+}
+
+TEST(LazyRebuildTest, GrowthTriggerFires) {
+  // Start from a star (minimal index: two labels per leaf) and densify:
+  // inserted labels grow the index until the growth trigger fires.
+  Graph g = GenerateStar(30);
+  DynamicSpcOptions options;
+  options.rebuild_growth_factor = 1.5;
+  DynamicSpcIndex dyn(std::move(g), options);
+  Rng rng(9);
+  for (int i = 0; i < 120; ++i) {
+    const auto u = static_cast<Vertex>(rng.NextBounded(30));
+    const auto v = static_cast<Vertex>(rng.NextBounded(30));
+    if (u != v && !dyn.graph().HasEdge(u, v)) dyn.InsertEdge(u, v);
+  }
+  EXPECT_GE(dyn.PolicyRebuilds(), 1u);
+  ExpectIndexMatchesBfs(dyn.graph(), dyn.index());
+}
+
+TEST(LazyRebuildTest, DisabledByDefault) {
+  Graph g = RandomGraph(15, 25, 10);
+  DynamicSpcIndex dyn(std::move(g));
+  Rng rng(11);
+  for (int i = 0; i < 30; ++i) {
+    const auto u = static_cast<Vertex>(rng.NextBounded(15));
+    const auto v = static_cast<Vertex>(rng.NextBounded(15));
+    if (u != v && !dyn.graph().HasEdge(u, v)) dyn.InsertEdge(u, v);
+  }
+  EXPECT_EQ(dyn.PolicyRebuilds(), 0u);
+}
+
+TEST(AdoptIndexTest, LoadedIndexServesUpdates) {
+  const Graph g = RandomGraph(22, 44, 12);
+  const SpcIndex built = BuildSpcIndex(g);
+  const std::string path = ::testing::TempDir() + "/dspc_adopt.index";
+  ASSERT_TRUE(built.Save(path).ok());
+  SpcIndex loaded;
+  ASSERT_TRUE(SpcIndex::Load(path, &loaded).ok());
+
+  DynamicSpcIndex dyn(g, std::move(loaded));
+  dyn.InsertEdge(0, 21);
+  dyn.RemoveEdge(dyn.graph().Edges().front().u,
+                 dyn.graph().Edges().front().v);
+  ExpectIndexMatchesBfs(dyn.graph(), dyn.index());
+  std::remove(path.c_str());
+}
+
+TEST(ManualRebuildTest, ResetsCountersAndStaysExact) {
+  Graph g = RandomGraph(18, 30, 13);
+  DynamicSpcIndex dyn(std::move(g));
+  dyn.InsertEdge(0, 17);
+  EXPECT_EQ(dyn.UpdatesSinceBuild(), 1u);
+  dyn.Rebuild();
+  EXPECT_EQ(dyn.UpdatesSinceBuild(), 0u);
+  ExpectIndexMatchesBfs(dyn.graph(), dyn.index());
+  // Rebuild also compacts away redundant labels accumulated by IncSPC.
+  const SpcIndex fresh = BuildSpcIndex(dyn.graph());
+  EXPECT_EQ(dyn.index().SizeStats().total_entries,
+            fresh.SizeStats().total_entries);
+}
+
+}  // namespace
+}  // namespace dspc

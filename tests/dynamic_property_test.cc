@@ -1,0 +1,295 @@
+// Property tests: the central correctness argument of the repository.
+//
+// For many random graphs (several generators, sizes, densities, orderings)
+// and long random update streams, after *every* IncSPC/DecSPC update the
+// index must (a) answer all-pairs queries exactly like BFS on the current
+// graph, and (b) keep its structural invariants. This subsumes Theorems
+// 3.7 and 3.16 (ESPC preservation) empirically.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "dspc/common/rng.h"
+#include "dspc/core/dynamic_spc.h"
+#include "dspc/core/hp_spc.h"
+#include "dspc/graph/generators.h"
+#include "dspc/graph/graph.h"
+#include "test_util.h"
+
+namespace dspc {
+namespace {
+
+using testing::ExpectIndexMatchesBfs;
+using testing::RandomGraph;
+
+// ---------------------------------------------------------------------------
+// Randomized insert-only streams.
+// ---------------------------------------------------------------------------
+
+class IncrementalPropertyTest
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t, uint64_t>> {};
+
+TEST_P(IncrementalPropertyTest, EveryInsertKeepsEspc) {
+  const auto [n, m, seed] = GetParam();
+  Graph g = RandomGraph(n, m, seed);
+  DynamicSpcIndex dyn(g);
+  Rng rng(seed ^ 0xFEEDu);
+  for (int step = 0; step < 25; ++step) {
+    const auto u = static_cast<Vertex>(rng.NextBounded(n));
+    const auto v = static_cast<Vertex>(rng.NextBounded(n));
+    if (u == v || dyn.graph().HasEdge(u, v)) continue;
+    dyn.InsertEdge(u, v);
+    ASSERT_TRUE(dyn.index().ValidateStructure().ok());
+    ExpectIndexMatchesBfs(dyn.graph(), dyn.index(),
+                          "insert step " + std::to_string(step));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, IncrementalPropertyTest,
+    ::testing::Values(std::make_tuple(8, 8, 1), std::make_tuple(12, 14, 2),
+                      std::make_tuple(16, 20, 3), std::make_tuple(16, 40, 4),
+                      std::make_tuple(24, 30, 5), std::make_tuple(24, 80, 6),
+                      std::make_tuple(32, 48, 7), std::make_tuple(40, 60, 8),
+                      std::make_tuple(40, 150, 9), std::make_tuple(50, 70, 10),
+                      std::make_tuple(9, 36, 11),  // complete graph
+                      std::make_tuple(30, 29, 12)));
+
+// ---------------------------------------------------------------------------
+// Randomized delete-only streams.
+// ---------------------------------------------------------------------------
+
+class DecrementalPropertyTest
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t, uint64_t>> {};
+
+TEST_P(DecrementalPropertyTest, EveryDeleteKeepsEspc) {
+  const auto [n, m, seed] = GetParam();
+  Graph g = RandomGraph(n, m, seed);
+  DynamicSpcIndex dyn(g);
+  Rng rng(seed ^ 0xDEADu);
+  for (int step = 0; step < 25; ++step) {
+    const std::vector<Edge> edges = dyn.graph().Edges();
+    if (edges.empty()) break;
+    const Edge e = edges[rng.NextBounded(edges.size())];
+    dyn.RemoveEdge(e.u, e.v);
+    ASSERT_TRUE(dyn.index().ValidateStructure().ok());
+    ExpectIndexMatchesBfs(dyn.graph(), dyn.index(),
+                          "delete step " + std::to_string(step));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DecrementalPropertyTest,
+    ::testing::Values(std::make_tuple(8, 10, 1), std::make_tuple(12, 18, 2),
+                      std::make_tuple(16, 24, 3), std::make_tuple(16, 48, 4),
+                      std::make_tuple(24, 40, 5), std::make_tuple(24, 90, 6),
+                      std::make_tuple(32, 56, 7), std::make_tuple(40, 70, 8),
+                      std::make_tuple(40, 160, 9), std::make_tuple(50, 80, 10),
+                      std::make_tuple(9, 36, 11),
+                      std::make_tuple(30, 29, 12)));
+
+// ---------------------------------------------------------------------------
+// Hybrid streams over structured generators.
+// ---------------------------------------------------------------------------
+
+enum class Gen { kEr, kBa, kWs, kGrid, kStar, kCycle, kBipartite };
+
+class HybridPropertyTest
+    : public ::testing::TestWithParam<std::tuple<Gen, uint64_t>> {};
+
+Graph MakeGenGraph(Gen gen, uint64_t seed) {
+  switch (gen) {
+    case Gen::kEr:
+      return GenerateErdosRenyi(30, 60, seed);
+    case Gen::kBa:
+      return GenerateBarabasiAlbert(30, 2, seed);
+    case Gen::kWs:
+      return GenerateWattsStrogatz(30, 2, 0.3, seed);
+    case Gen::kGrid:
+      return GenerateGrid(5, 6);
+    case Gen::kStar:
+      return GenerateStar(30);
+    case Gen::kCycle:
+      return GenerateCycle(30);
+    case Gen::kBipartite:
+      return GenerateCompleteBipartite(6, 8);
+  }
+  return Graph(0);
+}
+
+TEST_P(HybridPropertyTest, MixedStreamKeepsEspc) {
+  const auto [gen, seed] = GetParam();
+  Graph g = MakeGenGraph(gen, seed);
+  const size_t n = g.NumVertices();
+  DynamicSpcIndex dyn(std::move(g));
+  Rng rng(seed ^ 0xC0FFEEu);
+  for (int step = 0; step < 30; ++step) {
+    if (rng.NextBool(0.5)) {
+      const auto u = static_cast<Vertex>(rng.NextBounded(n));
+      const auto v = static_cast<Vertex>(rng.NextBounded(n));
+      if (u != v && !dyn.graph().HasEdge(u, v)) dyn.InsertEdge(u, v);
+    } else {
+      const std::vector<Edge> edges = dyn.graph().Edges();
+      if (edges.empty()) continue;
+      const Edge e = edges[rng.NextBounded(edges.size())];
+      dyn.RemoveEdge(e.u, e.v);
+    }
+    ASSERT_TRUE(dyn.index().ValidateStructure().ok());
+    ExpectIndexMatchesBfs(dyn.graph(), dyn.index(),
+                          "hybrid step " + std::to_string(step));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HybridPropertyTest,
+    ::testing::Combine(::testing::Values(Gen::kEr, Gen::kBa, Gen::kWs,
+                                         Gen::kGrid, Gen::kStar, Gen::kCycle,
+                                         Gen::kBipartite),
+                       ::testing::Values(11u, 22u, 33u)));
+
+// ---------------------------------------------------------------------------
+// Ordering robustness: correctness must not depend on the ordering choice.
+// ---------------------------------------------------------------------------
+
+class OrderingRobustnessTest
+    : public ::testing::TestWithParam<OrderingStrategy> {};
+
+TEST_P(OrderingRobustnessTest, UpdatesExactUnderAnyOrdering) {
+  Graph g = RandomGraph(24, 40, 77);
+  DynamicSpcOptions options;
+  options.ordering.strategy = GetParam();
+  options.ordering.seed = 99;
+  DynamicSpcIndex dyn(std::move(g), options);
+  Rng rng(123);
+  for (int step = 0; step < 20; ++step) {
+    if (rng.NextBool(0.5)) {
+      const auto u = static_cast<Vertex>(rng.NextBounded(24));
+      const auto v = static_cast<Vertex>(rng.NextBounded(24));
+      if (u != v && !dyn.graph().HasEdge(u, v)) dyn.InsertEdge(u, v);
+    } else {
+      const std::vector<Edge> edges = dyn.graph().Edges();
+      if (edges.empty()) continue;
+      const Edge e = edges[rng.NextBounded(edges.size())];
+      dyn.RemoveEdge(e.u, e.v);
+    }
+    ExpectIndexMatchesBfs(dyn.graph(), dyn.index());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, OrderingRobustnessTest,
+                         ::testing::Values(OrderingStrategy::kDegree,
+                                           OrderingStrategy::kRandom,
+                                           OrderingStrategy::kDegreeJitter,
+                                           OrderingStrategy::kIdentity));
+
+// ---------------------------------------------------------------------------
+// Vertex-level dynamics.
+// ---------------------------------------------------------------------------
+
+TEST(VertexDynamicsTest, AddVertexThenConnect) {
+  Graph g = RandomGraph(12, 20, 5);
+  DynamicSpcIndex dyn(std::move(g));
+  const Vertex v = dyn.AddVertex();
+  EXPECT_EQ(v, 12u);
+  // Isolated: disconnected from everything, self-query works.
+  EXPECT_EQ(dyn.Query(v, 0).dist, kInfDistance);
+  EXPECT_EQ(dyn.Query(v, v).count, 1u);
+  dyn.InsertEdge(v, 3);
+  dyn.InsertEdge(v, 7);
+  ExpectIndexMatchesBfs(dyn.graph(), dyn.index());
+}
+
+TEST(VertexDynamicsTest, RemoveVertexDropsAllItsEdges) {
+  Graph g = RandomGraph(14, 30, 6);
+  DynamicSpcIndex dyn(std::move(g));
+  const UpdateStats stats = dyn.RemoveVertex(2);
+  EXPECT_TRUE(stats.applied);
+  EXPECT_EQ(dyn.graph().Degree(2), 0u);
+  EXPECT_EQ(dyn.Query(2, 2).dist, 0u);
+  ExpectIndexMatchesBfs(dyn.graph(), dyn.index());
+}
+
+TEST(VertexDynamicsTest, GrowGraphFromNothing) {
+  Graph g(1);
+  DynamicSpcIndex dyn(std::move(g));
+  std::vector<Vertex> ids = {0};
+  Rng rng(31);
+  for (int i = 0; i < 12; ++i) {
+    const Vertex v = dyn.AddVertex();
+    // Connect to a random existing vertex (BA-flavored growth).
+    const Vertex u = ids[rng.NextBounded(ids.size())];
+    dyn.InsertEdge(v, u);
+    ids.push_back(v);
+  }
+  ExpectIndexMatchesBfs(dyn.graph(), dyn.index());
+  ASSERT_TRUE(dyn.index().ValidateStructure().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence with reconstruction: after a long hybrid stream, queries
+// must agree with a fresh HP-SPC build of the final graph (the index
+// itself may legitimately differ — IncSPC keeps redundant labels).
+// ---------------------------------------------------------------------------
+
+TEST(ReconstructionEquivalenceTest, QueriesAgreeAfterLongStream) {
+  Graph g = GenerateBarabasiAlbert(40, 2, 9);
+  DynamicSpcIndex dyn(g);
+  Rng rng(90);
+  const size_t n = dyn.graph().NumVertices();
+  for (int step = 0; step < 60; ++step) {
+    if (rng.NextBool(0.6)) {
+      const auto u = static_cast<Vertex>(rng.NextBounded(n));
+      const auto v = static_cast<Vertex>(rng.NextBounded(n));
+      if (u != v && !dyn.graph().HasEdge(u, v)) dyn.InsertEdge(u, v);
+    } else {
+      const std::vector<Edge> edges = dyn.graph().Edges();
+      if (edges.empty()) continue;
+      const Edge e = edges[rng.NextBounded(edges.size())];
+      dyn.RemoveEdge(e.u, e.v);
+    }
+  }
+  const SpcIndex rebuilt = BuildSpcIndex(dyn.graph());
+  for (Vertex s = 0; s < n; ++s) {
+    for (Vertex t = 0; t < n; ++t) {
+      const SpcResult a = dyn.index().Query(s, t);
+      const SpcResult b = rebuilt.Query(s, t);
+      ASSERT_EQ(a.dist, b.dist) << "s=" << s << " t=" << t;
+      ASSERT_EQ(a.count, b.count) << "s=" << s << " t=" << t;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// No-op updates must not disturb anything.
+// ---------------------------------------------------------------------------
+
+TEST(NoopUpdateTest, InsertExistingAndDeleteMissing) {
+  Graph g = RandomGraph(16, 24, 4);
+  DynamicSpcIndex dyn(g);
+  const Edge e = dyn.graph().Edges().front();
+  const UpdateStats ins = dyn.InsertEdge(e.u, e.v);
+  EXPECT_FALSE(ins.applied);
+  const UpdateStats self_loop = dyn.InsertEdge(3, 3);
+  EXPECT_FALSE(self_loop.applied);
+  // Find a non-edge.
+  Vertex u = 0;
+  Vertex v = 0;
+  for (u = 0; u < 16; ++u) {
+    bool found = false;
+    for (v = u + 1; v < 16; ++v) {
+      if (!dyn.graph().HasEdge(u, v)) {
+        found = true;
+        break;
+      }
+    }
+    if (found) break;
+  }
+  const UpdateStats del = dyn.RemoveEdge(u, v);
+  EXPECT_FALSE(del.applied);
+  ExpectIndexMatchesBfs(dyn.graph(), dyn.index());
+}
+
+}  // namespace
+}  // namespace dspc

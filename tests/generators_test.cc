@@ -1,0 +1,167 @@
+// Unit tests for the synthetic graph generators and vertex orderings.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dspc/graph/generators.h"
+#include "dspc/graph/ordering.h"
+
+namespace dspc {
+namespace {
+
+TEST(GeneratorsTest, ErdosRenyiShape) {
+  const Graph g = GenerateErdosRenyi(100, 250, 1);
+  EXPECT_EQ(g.NumVertices(), 100u);
+  EXPECT_EQ(g.NumEdges(), 250u);
+}
+
+TEST(GeneratorsTest, ErdosRenyiDeterministic) {
+  const Graph a = GenerateErdosRenyi(50, 100, 7);
+  const Graph b = GenerateErdosRenyi(50, 100, 7);
+  EXPECT_EQ(a.Edges(), b.Edges());
+  const Graph c = GenerateErdosRenyi(50, 100, 8);
+  EXPECT_NE(a.Edges(), c.Edges());
+}
+
+TEST(GeneratorsTest, ErdosRenyiClampsToCompleteGraph) {
+  const Graph g = GenerateErdosRenyi(5, 1000, 2);
+  EXPECT_EQ(g.NumEdges(), 10u);  // C(5,2)
+}
+
+TEST(GeneratorsTest, BarabasiAlbertSkew) {
+  const Graph g = GenerateBarabasiAlbert(500, 2, 3);
+  EXPECT_EQ(g.NumVertices(), 500u);
+  EXPECT_GE(g.NumEdges(), 500u);
+  // Preferential attachment should produce a clearly-skewed degree
+  // distribution: max degree far above the mean.
+  size_t max_deg = 0;
+  for (Vertex v = 0; v < 500; ++v) max_deg = std::max(max_deg, g.Degree(v));
+  const double mean_deg = 2.0 * g.NumEdges() / g.NumVertices();
+  EXPECT_GT(static_cast<double>(max_deg), 4.0 * mean_deg);
+}
+
+TEST(GeneratorsTest, WattsStrogatzKeepsDegreeMass) {
+  const Graph g = GenerateWattsStrogatz(200, 3, 0.2, 4);
+  EXPECT_EQ(g.NumVertices(), 200u);
+  // Ring lattice has n*k edges; rewiring preserves the count.
+  EXPECT_EQ(g.NumEdges(), 600u);
+}
+
+TEST(GeneratorsTest, RmatPowerLaw) {
+  const Graph g = GenerateRmat(10, 4000, 5);
+  EXPECT_EQ(g.NumVertices(), 1024u);
+  EXPECT_GT(g.NumEdges(), 3000u);  // some duplicates collapse
+  size_t max_deg = 0;
+  for (Vertex v = 0; v < g.NumVertices(); ++v) {
+    max_deg = std::max(max_deg, g.Degree(v));
+  }
+  const double mean_deg = 2.0 * g.NumEdges() / g.NumVertices();
+  EXPECT_GT(static_cast<double>(max_deg), 5.0 * mean_deg);
+}
+
+TEST(GeneratorsTest, GridStructure) {
+  const Graph g = GenerateGrid(4, 5);
+  EXPECT_EQ(g.NumVertices(), 20u);
+  // rows*(cols-1) + (rows-1)*cols edges.
+  EXPECT_EQ(g.NumEdges(), 4u * 4u + 3u * 5u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(0, 5));
+  EXPECT_FALSE(g.HasEdge(4, 5));  // row wrap must not connect
+}
+
+TEST(GeneratorsTest, SmallFixtures) {
+  EXPECT_EQ(GeneratePath(5).NumEdges(), 4u);
+  EXPECT_EQ(GenerateCycle(5).NumEdges(), 5u);
+  EXPECT_EQ(GenerateStar(5).NumEdges(), 4u);
+  EXPECT_EQ(GenerateComplete(5).NumEdges(), 10u);
+  EXPECT_EQ(GenerateCompleteBipartite(3, 4).NumEdges(), 12u);
+  EXPECT_EQ(GenerateCompleteBipartite(3, 4).NumVertices(), 7u);
+}
+
+TEST(GeneratorsTest, DirectedGenerators) {
+  const Digraph g = GenerateRandomDigraph(50, 200, 6);
+  EXPECT_EQ(g.NumVertices(), 50u);
+  EXPECT_EQ(g.NumArcs(), 200u);
+  const Digraph r = GenerateRmatDigraph(8, 500, 6);
+  EXPECT_EQ(r.NumVertices(), 256u);
+  EXPECT_GT(r.NumArcs(), 300u);
+}
+
+TEST(GeneratorsTest, AttachRandomWeightsInRange) {
+  const Graph base = GenerateErdosRenyi(40, 80, 9);
+  const WeightedGraph g = AttachRandomWeights(base, 2, 6, 10);
+  EXPECT_EQ(g.NumVertices(), base.NumVertices());
+  EXPECT_EQ(g.NumEdges(), base.NumEdges());
+  for (const WeightedEdge& e : g.Edges()) {
+    EXPECT_GE(e.w, 2u);
+    EXPECT_LE(e.w, 6u);
+  }
+}
+
+// --- Orderings -----------------------------------------------------------------
+
+TEST(OrderingTest, DegreeOrderRanksHighDegreeFirst) {
+  const Graph g = GenerateStar(6);  // center 0 has degree 5
+  const VertexOrdering ord = BuildOrdering(g);
+  EXPECT_TRUE(ord.IsValid());
+  EXPECT_EQ(ord.rank_of[0], 0u);
+  EXPECT_EQ(ord.vertex_of[0], 0u);
+}
+
+TEST(OrderingTest, DegreeTiesBrokenByIdStable) {
+  const Graph g = GenerateCycle(6);  // all degree 2
+  const VertexOrdering ord = BuildOrdering(g);
+  for (Vertex v = 0; v < 6; ++v) EXPECT_EQ(ord.rank_of[v], v);
+}
+
+TEST(OrderingTest, RandomOrderIsPermutationAndSeeded) {
+  const Graph g = GenerateCycle(20);
+  OrderingOptions options;
+  options.strategy = OrderingStrategy::kRandom;
+  options.seed = 5;
+  const VertexOrdering a = BuildOrdering(g, options);
+  const VertexOrdering b = BuildOrdering(g, options);
+  EXPECT_TRUE(a.IsValid());
+  EXPECT_EQ(a.rank_of, b.rank_of);
+  options.seed = 6;
+  const VertexOrdering c = BuildOrdering(g, options);
+  EXPECT_NE(a.rank_of, c.rank_of);
+}
+
+TEST(OrderingTest, JitterRespectsDegreeClasses) {
+  Graph g = GenerateStar(8);
+  OrderingOptions options;
+  options.strategy = OrderingStrategy::kDegreeJitter;
+  const VertexOrdering ord = BuildOrdering(g, options);
+  EXPECT_TRUE(ord.IsValid());
+  EXPECT_EQ(ord.rank_of[0], 0u);  // unique max degree stays first
+}
+
+TEST(OrderingTest, AppendAddsLowestRank) {
+  const Graph g = GenerateCycle(4);
+  VertexOrdering ord = BuildOrdering(g);
+  ord.Append();
+  EXPECT_TRUE(ord.IsValid());
+  EXPECT_EQ(ord.rank_of[4], 4u);
+}
+
+TEST(OrderingTest, IsValidCatchesCorruption) {
+  VertexOrdering ord;
+  ord.rank_of = {0, 1};
+  ord.vertex_of = {0, 0};  // not a permutation
+  EXPECT_FALSE(ord.IsValid());
+  ord.vertex_of = {0};  // size mismatch
+  EXPECT_FALSE(ord.IsValid());
+}
+
+TEST(OrderingTest, DirectedAndWeightedOverloads) {
+  const Digraph dg = GenerateRandomDigraph(12, 40, 2);
+  EXPECT_TRUE(BuildOrdering(dg).IsValid());
+  const WeightedGraph wg =
+      AttachRandomWeights(GenerateErdosRenyi(12, 20, 3), 1, 5, 4);
+  EXPECT_TRUE(BuildOrdering(wg).IsValid());
+}
+
+}  // namespace
+}  // namespace dspc

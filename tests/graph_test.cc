@@ -1,0 +1,191 @@
+// Unit tests for the dynamic graph substrates: Graph, Digraph,
+// WeightedGraph.
+
+#include <gtest/gtest.h>
+
+#include "dspc/graph/digraph.h"
+#include "dspc/graph/graph.h"
+#include "dspc/graph/weighted_graph.h"
+
+namespace dspc {
+namespace {
+
+// --- Graph -------------------------------------------------------------------
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.NumVertices(), 0u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+  EXPECT_FALSE(g.IsValidVertex(0));
+}
+
+TEST(GraphTest, BulkConstructionDedupes) {
+  const std::vector<Edge> edges = {{0, 1}, {1, 0}, {0, 1}, {2, 2}, {1, 2}};
+  Graph g(3, edges);
+  EXPECT_EQ(g.NumEdges(), 2u);  // (0,1) once, self-loop dropped
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(2, 2));
+  EXPECT_TRUE(g.HasEdge(1, 2));
+}
+
+TEST(GraphTest, AddRemoveSymmetric) {
+  Graph g(4);
+  EXPECT_TRUE(g.AddEdge(1, 3));
+  EXPECT_TRUE(g.HasEdge(3, 1));
+  EXPECT_EQ(g.Degree(1), 1u);
+  EXPECT_EQ(g.Degree(3), 1u);
+  EXPECT_TRUE(g.RemoveEdge(3, 1));  // reversed order works
+  EXPECT_FALSE(g.HasEdge(1, 3));
+  EXPECT_EQ(g.NumEdges(), 0u);
+}
+
+TEST(GraphTest, RejectsInvalidEdges) {
+  Graph g(3);
+  EXPECT_FALSE(g.AddEdge(0, 0));   // self loop
+  EXPECT_FALSE(g.AddEdge(0, 9));   // out of range
+  EXPECT_TRUE(g.AddEdge(0, 1));
+  EXPECT_FALSE(g.AddEdge(1, 0));   // duplicate reversed
+  EXPECT_FALSE(g.RemoveEdge(0, 2));  // absent
+}
+
+TEST(GraphTest, NeighborsStaySorted) {
+  Graph g(6);
+  g.AddEdge(3, 5);
+  g.AddEdge(3, 1);
+  g.AddEdge(3, 4);
+  g.AddEdge(3, 0);
+  const std::vector<Vertex> expected = {0, 1, 4, 5};
+  EXPECT_EQ(g.Neighbors(3), expected);
+}
+
+TEST(GraphTest, AddVertexExtends) {
+  Graph g(2);
+  const Vertex v = g.AddVertex();
+  EXPECT_EQ(v, 2u);
+  EXPECT_TRUE(g.AddEdge(v, 0));
+  EXPECT_EQ(g.NumVertices(), 3u);
+}
+
+TEST(GraphTest, IsolateVertexReturnsRemovedEdges) {
+  Graph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(0, 3);
+  g.AddEdge(1, 2);
+  const std::vector<Edge> removed = g.IsolateVertex(0);
+  EXPECT_EQ(removed.size(), 3u);
+  EXPECT_EQ(g.Degree(0), 0u);
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_TRUE(g.HasEdge(1, 2));
+}
+
+TEST(GraphTest, EdgesListedOnceAscending) {
+  Graph g(4);
+  g.AddEdge(2, 1);
+  g.AddEdge(3, 0);
+  const std::vector<Edge> edges = g.Edges();
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0], (Edge{0, 3}));
+  EXPECT_EQ(edges[1], (Edge{1, 2}));
+}
+
+// --- Digraph -----------------------------------------------------------------
+
+TEST(DigraphTest, ArcsAreDirectional) {
+  Digraph g(3);
+  EXPECT_TRUE(g.AddArc(0, 1));
+  EXPECT_TRUE(g.HasArc(0, 1));
+  EXPECT_FALSE(g.HasArc(1, 0));
+  EXPECT_TRUE(g.AddArc(1, 0));  // reverse is a distinct arc
+  EXPECT_EQ(g.NumArcs(), 2u);
+}
+
+TEST(DigraphTest, InOutAdjacencyConsistent) {
+  Digraph g(4);
+  g.AddArc(0, 2);
+  g.AddArc(1, 2);
+  g.AddArc(2, 3);
+  EXPECT_EQ(g.InDegree(2), 2u);
+  EXPECT_EQ(g.OutDegree(2), 1u);
+  const std::vector<Vertex> in = {0, 1};
+  EXPECT_EQ(g.InNeighbors(2), in);
+  EXPECT_TRUE(g.RemoveArc(0, 2));
+  EXPECT_EQ(g.InDegree(2), 1u);
+  EXPECT_FALSE(g.RemoveArc(0, 2));
+}
+
+TEST(DigraphTest, BulkConstruction) {
+  const std::vector<Edge> arcs = {{0, 1}, {0, 1}, {1, 1}, {2, 0}};
+  Digraph g(3, arcs);
+  EXPECT_EQ(g.NumArcs(), 2u);
+  EXPECT_TRUE(g.HasArc(2, 0));
+}
+
+TEST(DigraphTest, AddVertexAndArcsListing) {
+  Digraph g(2);
+  g.AddArc(0, 1);
+  const Vertex v = g.AddVertex();
+  g.AddArc(v, 0);
+  const std::vector<Edge> arcs = g.Arcs();
+  ASSERT_EQ(arcs.size(), 2u);
+  EXPECT_EQ(arcs[0], (Edge{0, 1}));
+  EXPECT_EQ(arcs[1], (Edge{2, 0}));
+}
+
+// --- WeightedGraph -------------------------------------------------------------
+
+TEST(WeightedGraphTest, WeightsStoredSymmetric) {
+  WeightedGraph g(3);
+  EXPECT_TRUE(g.AddEdge(0, 1, 5));
+  EXPECT_EQ(g.EdgeWeight(0, 1), 5u);
+  EXPECT_EQ(g.EdgeWeight(1, 0), 5u);
+  EXPECT_EQ(g.EdgeWeight(0, 2), 0u);  // absent
+}
+
+TEST(WeightedGraphTest, RejectsZeroWeight) {
+  WeightedGraph g(2);
+  EXPECT_FALSE(g.AddEdge(0, 1, 0));
+  EXPECT_TRUE(g.AddEdge(0, 1, 1));
+  EXPECT_FALSE(g.SetWeight(0, 1, 0));
+}
+
+TEST(WeightedGraphTest, SetWeightBothDirections) {
+  WeightedGraph g(2);
+  g.AddEdge(0, 1, 3);
+  EXPECT_TRUE(g.SetWeight(1, 0, 9));
+  EXPECT_EQ(g.EdgeWeight(0, 1), 9u);
+  EXPECT_FALSE(g.SetWeight(0, 1, 0));
+  EXPECT_EQ(g.EdgeWeight(0, 1), 9u);
+}
+
+TEST(WeightedGraphTest, RemoveEdge) {
+  WeightedGraph g(3);
+  g.AddEdge(0, 1, 2);
+  g.AddEdge(1, 2, 3);
+  EXPECT_TRUE(g.RemoveEdge(1, 0));
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_EQ(g.EdgeWeight(0, 1), 0u);
+  EXPECT_EQ(g.EdgeWeight(1, 2), 3u);
+}
+
+TEST(WeightedGraphTest, EdgesListing) {
+  WeightedGraph g(3);
+  g.AddEdge(2, 0, 7);
+  g.AddEdge(1, 2, 4);
+  const auto edges = g.Edges();
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0], (WeightedEdge{0, 2, 7}));
+  EXPECT_EQ(edges[1], (WeightedEdge{1, 2, 4}));
+}
+
+TEST(WeightedGraphTest, BulkConstructionKeepsFirstWeight) {
+  const std::vector<WeightedEdge> edges = {{0, 1, 3}, {1, 0, 9}, {1, 2, 0}};
+  WeightedGraph g(3, edges);
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_EQ(g.EdgeWeight(0, 1), 3u);  // duplicate with weight 9 ignored
+  EXPECT_FALSE(g.HasEdge(1, 2));      // zero-weight dropped
+}
+
+}  // namespace
+}  // namespace dspc

@@ -1,0 +1,178 @@
+// Unit and property tests for HP-SPC construction: exactness against BFS,
+// canonical/non-canonical labels, behavior under different orderings, and
+// structural minimality properties.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "dspc/baseline/bfs_counting.h"
+#include "dspc/core/hp_spc.h"
+#include "dspc/graph/generators.h"
+#include "test_util.h"
+
+namespace dspc {
+namespace {
+
+using testing::ExpectIndexMatchesBfs;
+using testing::RandomGraph;
+
+class HpSpcBuildPropertyTest
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t, uint64_t>> {};
+
+TEST_P(HpSpcBuildPropertyTest, ExactOnRandomGraphs) {
+  const auto [n, m, seed] = GetParam();
+  const Graph g = RandomGraph(n, m, seed);
+  const SpcIndex index = BuildSpcIndex(g);
+  ASSERT_TRUE(index.ValidateStructure().ok());
+  ExpectIndexMatchesBfs(g, index);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HpSpcBuildPropertyTest,
+    ::testing::Values(std::make_tuple(10, 15, 1), std::make_tuple(20, 30, 2),
+                      std::make_tuple(30, 60, 3), std::make_tuple(40, 100, 4),
+                      std::make_tuple(50, 75, 5), std::make_tuple(60, 200, 6),
+                      std::make_tuple(25, 300, 7), std::make_tuple(80, 120, 8)));
+
+TEST(HpSpcTest, StructuredGraphs) {
+  for (const Graph& g :
+       {GenerateGrid(5, 5), GenerateCycle(17), GeneratePath(20),
+        GenerateStar(15), GenerateComplete(10),
+        GenerateCompleteBipartite(4, 6), GenerateWattsStrogatz(40, 2, 0.2, 1),
+        GenerateBarabasiAlbert(40, 2, 2)}) {
+    const SpcIndex index = BuildSpcIndex(g);
+    ASSERT_TRUE(index.ValidateStructure().ok());
+    ExpectIndexMatchesBfs(g, index);
+  }
+}
+
+TEST(HpSpcTest, DisconnectedComponents) {
+  Graph g(8);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(4, 5);
+  g.AddEdge(5, 6);
+  // vertices 3 and 7 isolated
+  const SpcIndex index = BuildSpcIndex(g);
+  ExpectIndexMatchesBfs(g, index);
+  EXPECT_EQ(index.Query(0, 4).dist, kInfDistance);
+  EXPECT_EQ(index.Query(3, 7).count, 0u);
+  EXPECT_EQ(index.Query(3, 3).count, 1u);
+}
+
+TEST(HpSpcTest, EmptyAndTinyGraphs) {
+  EXPECT_EQ(BuildSpcIndex(Graph(0)).NumVertices(), 0u);
+  const SpcIndex one = BuildSpcIndex(Graph(1));
+  EXPECT_EQ(one.Query(0, 0).count, 1u);
+  Graph two(2);
+  two.AddEdge(0, 1);
+  const SpcIndex pair = BuildSpcIndex(two);
+  EXPECT_EQ(pair.Query(0, 1).dist, 1u);
+  EXPECT_EQ(pair.Query(0, 1).count, 1u);
+}
+
+TEST(HpSpcTest, NonCanonicalLabelsArePresentWhenNeeded) {
+  // Diamond: 0-1, 0-2, 1-3, 2-3 with identity order. spc(1,2) = 2 (via 0
+  // and via 3) but hub 0 only covers the path through 0; vertex 1 must
+  // also appear as hub of 2 or 3 to cover the second path.
+  Graph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(1, 3);
+  g.AddEdge(2, 3);
+  OrderingOptions options;
+  options.strategy = OrderingStrategy::kIdentity;
+  const SpcIndex index = BuildSpcIndex(g, options);
+  EXPECT_EQ(index.Query(1, 2).dist, 2u);
+  EXPECT_EQ(index.Query(1, 2).count, 2u);
+  // The path 1-3-2 is covered by hub 1 (highest on it): labels (1,*) in
+  // L(3) and L(2).
+  ASSERT_NE(index.FindLabel(3, 1), nullptr);
+  ASSERT_NE(index.FindLabel(2, 1), nullptr);
+  EXPECT_EQ(index.FindLabel(2, 1)->dist, 2u);
+}
+
+TEST(HpSpcTest, HigherRankedHubsPruneLowerSearches) {
+  // On a star, every pair is covered by the center: leaves should have
+  // exactly two labels (center + self).
+  const Graph g = GenerateStar(10);
+  const SpcIndex index = BuildSpcIndex(g);
+  for (Vertex v = 1; v < 10; ++v) {
+    EXPECT_EQ(index.Labels(v).size(), 2u) << "leaf " << v;
+  }
+}
+
+TEST(HpSpcTest, OrderingAffectsSizeNotCorrectness) {
+  const Graph g = GenerateBarabasiAlbert(60, 2, 9);
+  OrderingOptions degree;
+  OrderingOptions random;
+  random.strategy = OrderingStrategy::kRandom;
+  random.seed = 123;
+  const SpcIndex by_degree = BuildSpcIndex(g, degree);
+  const SpcIndex by_random = BuildSpcIndex(g, random);
+  ExpectIndexMatchesBfs(g, by_degree);
+  ExpectIndexMatchesBfs(g, by_random);
+  // Degree ordering is the paper's heuristic precisely because it prunes
+  // more: it should never produce a (non-trivially) larger index.
+  EXPECT_LE(by_degree.SizeStats().total_entries,
+            by_random.SizeStats().total_entries);
+}
+
+TEST(HpSpcTest, LabelCountsAreSigmaNotSpc) {
+  // Paper Example 2.2: sigma counts only paths where the hub is the
+  // highest-ranked vertex. Verify on the diamond that the center hub's
+  // label in L(3) counts both 0-1-3 and 0-2-3 (canonical), while the
+  // non-canonical (1,.) in L(2) counts only 1-3-2.
+  Graph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(1, 3);
+  g.AddEdge(2, 3);
+  OrderingOptions options;
+  options.strategy = OrderingStrategy::kIdentity;
+  const SpcIndex index = BuildSpcIndex(g, options);
+  ASSERT_NE(index.FindLabel(3, 0), nullptr);
+  EXPECT_EQ(index.FindLabel(3, 0)->count, 2u);  // canonical: both paths
+  ASSERT_NE(index.FindLabel(2, 1), nullptr);
+  EXPECT_EQ(index.FindLabel(2, 1)->count, 1u);  // non-canonical: one path
+}
+
+TEST(HpSpcTest, CountsGrowExponentiallyAndStayExact) {
+  // A chain of diamonds doubles the path count per stage: spc(entry_0,
+  // entry_k) = 2^k. Counts this large stress the count arithmetic.
+  const size_t stages = 20;
+  // Vertex layout per stage i: entry = 3i, mids = 3i+1, 3i+2, next entry
+  // = 3(i+1).
+  Graph g(3 * stages + 1);
+  for (size_t i = 0; i < stages; ++i) {
+    const auto entry = static_cast<Vertex>(3 * i);
+    const auto mid1 = static_cast<Vertex>(3 * i + 1);
+    const auto mid2 = static_cast<Vertex>(3 * i + 2);
+    const auto exit = static_cast<Vertex>(3 * i + 3);
+    g.AddEdge(entry, mid1);
+    g.AddEdge(entry, mid2);
+    g.AddEdge(mid1, exit);
+    g.AddEdge(mid2, exit);
+  }
+  const SpcIndex index = BuildSpcIndex(g);
+  const SsspCounts truth = BfsCount(g, 0);
+  for (Vertex t = 0; t < g.NumVertices(); ++t) {
+    const SpcResult got = index.Query(0, t);
+    ASSERT_EQ(got.dist, truth.dist[t]) << "t=" << t;
+    ASSERT_EQ(got.count, truth.count[t]) << "t=" << t;
+  }
+  const SpcResult end = index.Query(0, static_cast<Vertex>(3 * stages));
+  EXPECT_EQ(end.dist, 2 * stages);
+  EXPECT_EQ(end.count, 1ULL << stages);
+}
+
+TEST(HpSpcTest, RebuildIdempotent) {
+  const Graph g = RandomGraph(30, 60, 12);
+  const SpcIndex a = BuildSpcIndex(g);
+  const SpcIndex b = BuildSpcIndex(g);
+  EXPECT_TRUE(a == b);
+}
+
+}  // namespace
+}  // namespace dspc

@@ -1,0 +1,122 @@
+// Unit tests for SNAP-format edge-list I/O and binary graph snapshots.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "dspc/graph/generators.h"
+#include "dspc/common/binary_io.h"
+#include "dspc/graph/io.h"
+
+namespace dspc {
+namespace {
+
+TEST(EdgeListTest, ParsesSnapFormat) {
+  const std::string text =
+      "# Directed graph (each unordered pair of nodes is saved once)\n"
+      "# FromNodeId\tToNodeId\n"
+      "0\t1\n"
+      "1\t2\n"
+      "% konect-style comment\n"
+      "2\t0\n"
+      "\n";
+  Graph g;
+  ASSERT_TRUE(ParseEdgeList(text, &g).ok());
+  EXPECT_EQ(g.NumVertices(), 3u);
+  EXPECT_EQ(g.NumEdges(), 3u);
+}
+
+TEST(EdgeListTest, CompactsSparseIds) {
+  const std::string text = "1000 2000\n2000 50\n";
+  Graph g;
+  ASSERT_TRUE(ParseEdgeList(text, &g).ok());
+  // Ids compacted by first appearance: 1000->0, 2000->1, 50->2.
+  EXPECT_EQ(g.NumVertices(), 3u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 2));
+}
+
+TEST(EdgeListTest, KeepIdsOption) {
+  const std::string text = "0 5\n";
+  Graph g;
+  EdgeListOptions options;
+  options.keep_ids = true;
+  ASSERT_TRUE(ParseEdgeList(text, &g, options).ok());
+  EXPECT_EQ(g.NumVertices(), 6u);
+  EXPECT_TRUE(g.HasEdge(0, 5));
+}
+
+TEST(EdgeListTest, DirectionsCollapseToUndirected) {
+  const std::string text = "0 1\n1 0\n";
+  Graph g;
+  ASSERT_TRUE(ParseEdgeList(text, &g).ok());
+  EXPECT_EQ(g.NumEdges(), 1u);
+}
+
+TEST(EdgeListTest, MalformedLineRejected) {
+  Graph g;
+  EXPECT_TRUE(ParseEdgeList("0 1\nbogus line\n", &g).IsCorruption());
+  EXPECT_TRUE(ParseEdgeList("42\n", &g).IsCorruption());
+}
+
+TEST(EdgeListTest, SaveLoadRoundTrip) {
+  const Graph g = GenerateErdosRenyi(30, 60, 11);
+  const std::string path = ::testing::TempDir() + "/dspc_edges.txt";
+  ASSERT_TRUE(SaveEdgeList(g, path).ok());
+  Graph loaded;
+  EdgeListOptions options;
+  options.keep_ids = true;
+  ASSERT_TRUE(LoadEdgeList(path, &loaded, options).ok());
+  EXPECT_EQ(loaded.Edges(), g.Edges());
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListTest, MissingFileIsIOError) {
+  Graph g;
+  EXPECT_TRUE(LoadEdgeList("/no/such/file.txt", &g).IsIOError());
+}
+
+TEST(BinaryGraphTest, RoundTrip) {
+  const Graph g = GenerateBarabasiAlbert(50, 2, 12);
+  const std::string path = ::testing::TempDir() + "/dspc_graph.bin";
+  ASSERT_TRUE(SaveGraphBinary(g, path).ok());
+  Graph loaded;
+  ASSERT_TRUE(LoadGraphBinary(path, &loaded).ok());
+  EXPECT_EQ(loaded.NumVertices(), g.NumVertices());
+  EXPECT_EQ(loaded.Edges(), g.Edges());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryGraphTest, RejectsWrongMagic) {
+  const std::string path = ::testing::TempDir() + "/dspc_notgraph.bin";
+  BinaryWriter w;
+  w.PutU32(0x12345678);
+  ASSERT_TRUE(w.WriteToFile(path).ok());
+  Graph g;
+  EXPECT_TRUE(LoadGraphBinary(path, &g).IsCorruption());
+  std::remove(path.c_str());
+}
+
+TEST(WeightedEdgeListTest, ParseAndRoundTrip) {
+  const std::string text = "# weighted\n0 1 5\n1 2 3\n";
+  WeightedGraph g;
+  ASSERT_TRUE(ParseWeightedEdgeList(text, &g).ok());
+  EXPECT_EQ(g.NumEdges(), 2u);
+  EXPECT_EQ(g.EdgeWeight(0, 1), 5u);
+
+  const std::string path = ::testing::TempDir() + "/dspc_wedges.txt";
+  ASSERT_TRUE(SaveWeightedEdgeList(g, path).ok());
+  WeightedGraph loaded;
+  ASSERT_TRUE(LoadWeightedEdgeList(path, &loaded).ok());
+  EXPECT_EQ(loaded.Edges(), g.Edges());
+  std::remove(path.c_str());
+}
+
+TEST(WeightedEdgeListTest, MissingWeightRejected) {
+  WeightedGraph g;
+  EXPECT_TRUE(ParseWeightedEdgeList("0 1\n", &g).IsCorruption());
+}
+
+}  // namespace
+}  // namespace dspc

@@ -1,0 +1,137 @@
+// End-to-end smoke test over the paper's running example (Figure 2 /
+// Table 2): build, query, insert (v3, v9) as in Figure 3, delete (v1, v2)
+// as in Figure 6, verifying against BFS ground truth throughout.
+
+#include <gtest/gtest.h>
+
+#include "dspc/baseline/bfs_counting.h"
+#include "dspc/core/dynamic_spc.h"
+#include "dspc/core/hp_spc.h"
+#include "dspc/graph/graph.h"
+
+namespace dspc {
+namespace {
+
+/// The 12-vertex example graph G of the paper's Figure 2.
+Graph PaperGraph() {
+  Graph g(12);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(0, 3);
+  g.AddEdge(0, 8);
+  g.AddEdge(0, 11);
+  g.AddEdge(1, 2);
+  g.AddEdge(1, 5);
+  g.AddEdge(1, 6);
+  g.AddEdge(2, 3);
+  g.AddEdge(2, 5);
+  g.AddEdge(3, 7);
+  g.AddEdge(3, 8);
+  g.AddEdge(4, 5);
+  g.AddEdge(4, 7);
+  g.AddEdge(4, 9);
+  g.AddEdge(6, 10);
+  g.AddEdge(9, 10);
+  return g;
+}
+
+/// Identity ordering matching the paper's v0 <= v1 <= ... <= v11.
+VertexOrdering PaperOrdering(size_t n) {
+  OrderingOptions options;
+  options.strategy = OrderingStrategy::kIdentity;
+  return BuildOrderingFromDegrees(std::vector<size_t>(n, 0), options);
+}
+
+void ExpectMatchesBfs(const Graph& g, const SpcIndex& index) {
+  for (Vertex s = 0; s < g.NumVertices(); ++s) {
+    const SsspCounts truth = BfsCount(g, s);
+    for (Vertex t = 0; t < g.NumVertices(); ++t) {
+      const SpcResult got = index.Query(s, t);
+      EXPECT_EQ(got.dist, truth.dist[t]) << "s=" << s << " t=" << t;
+      EXPECT_EQ(got.count, truth.count[t]) << "s=" << s << " t=" << t;
+    }
+  }
+}
+
+TEST(Smoke, BuildMatchesBfsOnPaperGraph) {
+  const Graph g = PaperGraph();
+  const SpcIndex index = BuildSpcIndex(g, PaperOrdering(g.NumVertices()));
+  ASSERT_TRUE(index.ValidateStructure().ok());
+  ExpectMatchesBfs(g, index);
+}
+
+TEST(Smoke, PaperExample21Query) {
+  const Graph g = PaperGraph();
+  const SpcIndex index = BuildSpcIndex(g, PaperOrdering(g.NumVertices()));
+  // Example 2.1: SPC(v4, v6) = (3, 2).
+  const SpcResult r = index.Query(4, 6);
+  EXPECT_EQ(r.dist, 3u);
+  EXPECT_EQ(r.count, 2u);
+}
+
+TEST(Smoke, Table2LabelSets) {
+  const Graph g = PaperGraph();
+  const SpcIndex index = BuildSpcIndex(g, PaperOrdering(g.NumVertices()));
+  // Spot-check Table 2 exactly (identity ordering => hub rank == vertex).
+  // L(v5) = (v0,2,2)(v1,1,1)(v2,1,1)(v4,1,1)(v5,0,1).
+  const LabelSet expected5 = {
+      {0, 2, 2}, {1, 1, 1}, {2, 1, 1}, {4, 1, 1}, {5, 0, 1}};
+  EXPECT_EQ(index.Labels(5), expected5);
+  // L(v8) = (v0,1,1)(v2,2,1)(v3,1,1)(v8,0,1) — (v2,2,1) is non-canonical.
+  const LabelSet expected8 = {{0, 1, 1}, {2, 2, 1}, {3, 1, 1}, {8, 0, 1}};
+  EXPECT_EQ(index.Labels(8), expected8);
+  // L(v9) has 7 entries including (v0,4,4).
+  const LabelSet expected9 = {{0, 4, 4}, {1, 3, 2}, {2, 3, 1}, {3, 3, 1},
+                              {4, 1, 1}, {6, 2, 1}, {9, 0, 1}};
+  EXPECT_EQ(index.Labels(9), expected9);
+}
+
+TEST(Smoke, IncrementalInsertFigure3) {
+  Graph g = PaperGraph();
+  DynamicSpcOptions options;
+  options.ordering.strategy = OrderingStrategy::kIdentity;
+  DynamicSpcIndex dyn(g, options);
+  const UpdateStats stats = dyn.InsertEdge(3, 9);
+  EXPECT_TRUE(stats.applied);
+  // AFF = {v0, v1, v2, v3, v4, v6, v9} (paper Example 3.5).
+  EXPECT_EQ(stats.affected_hubs, 7u);
+  ExpectMatchesBfs(dyn.graph(), dyn.index());
+  // Figure 3(d): L(v9) gains (v0,2,1).
+  const LabelEntry* e = dyn.index().FindLabel(9, 0);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->dist, 2u);
+  EXPECT_EQ(e->count, 1u);
+}
+
+TEST(Smoke, DecrementalDeleteFigure6) {
+  Graph g = PaperGraph();
+  DynamicSpcOptions options;
+  options.ordering.strategy = OrderingStrategy::kIdentity;
+  DynamicSpcIndex dyn(g, options);
+  const UpdateStats stats = dyn.RemoveEdge(1, 2);
+  EXPECT_TRUE(stats.applied);
+  // Example 3.13: SR_v1 = {v1, v6, v10}, SR_v2 = {v2}; |SR| = 4.
+  EXPECT_EQ(stats.affected_hubs, 4u);
+  EXPECT_EQ(stats.sr_a, 3u);  // larger side first (paper convention)
+  EXPECT_EQ(stats.sr_b, 1u);
+  EXPECT_EQ(stats.r_b + stats.r_a, 2u);  // R_v2 = {v3, v7}, R_v1 = {}
+  ExpectMatchesBfs(dyn.graph(), dyn.index());
+  ASSERT_TRUE(dyn.index().ValidateStructure().ok());
+}
+
+TEST(Smoke, MixedUpdatesStayExact) {
+  Graph g = PaperGraph();
+  DynamicSpcOptions options;
+  options.ordering.strategy = OrderingStrategy::kIdentity;
+  DynamicSpcIndex dyn(g, options);
+  dyn.InsertEdge(3, 9);
+  dyn.RemoveEdge(1, 2);
+  dyn.RemoveEdge(0, 11);  // isolates v11
+  dyn.InsertEdge(11, 4);
+  dyn.RemoveEdge(4, 9);
+  ExpectMatchesBfs(dyn.graph(), dyn.index());
+  ASSERT_TRUE(dyn.index().ValidateStructure().ok());
+}
+
+}  // namespace
+}  // namespace dspc

@@ -1,0 +1,242 @@
+// Unit tests for the SPC-Index container itself: query semantics,
+// PreQuery, label mutation, hub occurrences, validation, serialization,
+// and the HubCache.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "dspc/common/binary_io.h"
+#include "dspc/core/hp_spc.h"
+#include "dspc/core/spc_index.h"
+#include "dspc/graph/generators.h"
+#include "test_util.h"
+
+namespace dspc {
+namespace {
+
+using testing::ExpectIndexMatchesBfs;
+using testing::RandomGraph;
+
+VertexOrdering IdentityOrdering(size_t n) {
+  OrderingOptions options;
+  options.strategy = OrderingStrategy::kIdentity;
+  return BuildOrderingFromDegrees(std::vector<size_t>(n, 0), options);
+}
+
+TEST(SpcIndexTest, FreshIndexHasSelfLabelsOnly) {
+  SpcIndex index(IdentityOrdering(4));
+  for (Vertex v = 0; v < 4; ++v) {
+    ASSERT_EQ(index.Labels(v).size(), 1u);
+    EXPECT_EQ(index.Labels(v)[0], (LabelEntry{v, 0, 1}));
+    EXPECT_EQ(index.Query(v, v).dist, 0u);
+    EXPECT_EQ(index.Query(v, v).count, 1u);
+  }
+  EXPECT_TRUE(index.ValidateStructure().ok());
+}
+
+TEST(SpcIndexTest, QueryPicksMinimumDistanceHubs) {
+  SpcIndex index(IdentityOrdering(3));
+  // Hub 0 covers pair (1,2) at distance 2+2, count 3*4; a second hub 1
+  // at total distance 3 must win.
+  index.InsertLabel(1, LabelEntry{0, 2, 3});
+  index.InsertLabel(2, LabelEntry{0, 2, 4});
+  index.InsertLabel(2, LabelEntry{1, 3, 5});
+  EXPECT_EQ(index.Query(1, 2).dist, 3u);
+  EXPECT_EQ(index.Query(1, 2).count, 5u);  // via hub 1 (self in L(1))
+}
+
+TEST(SpcIndexTest, QueryAccumulatesTies) {
+  SpcIndex index(IdentityOrdering(4));
+  index.InsertLabel(2, LabelEntry{0, 1, 2});
+  index.InsertLabel(3, LabelEntry{0, 1, 3});
+  index.InsertLabel(2, LabelEntry{1, 1, 5});
+  index.InsertLabel(3, LabelEntry{1, 1, 7});
+  // Both hubs give distance 2: counts 2*3 + 5*7 = 41.
+  EXPECT_EQ(index.Query(2, 3).dist, 2u);
+  EXPECT_EQ(index.Query(2, 3).count, 41u);
+}
+
+TEST(SpcIndexTest, PreQueryExcludesSelfAndLower) {
+  SpcIndex index(IdentityOrdering(4));
+  index.InsertLabel(2, LabelEntry{0, 1, 1});
+  index.InsertLabel(3, LabelEntry{0, 1, 1});
+  index.InsertLabel(3, LabelEntry{2, 1, 1});
+  // Query(2,3) can use hub 2 itself: distance 1.
+  EXPECT_EQ(index.Query(2, 3).dist, 1u);
+  // PreQuery(2,3) may only use hubs ranked above 2: hub 0 gives 2.
+  EXPECT_EQ(index.PreQuery(2, 3).dist, 2u);
+}
+
+TEST(SpcIndexTest, DisconnectedQuery) {
+  SpcIndex index(IdentityOrdering(2));
+  EXPECT_EQ(index.Query(0, 1).dist, kInfDistance);
+  EXPECT_EQ(index.Query(0, 1).count, 0u);
+}
+
+TEST(SpcIndexTest, FindInsertRemoveLabel) {
+  SpcIndex index(IdentityOrdering(3));
+  EXPECT_EQ(index.FindLabel(2, 0), nullptr);
+  index.InsertLabel(2, LabelEntry{0, 5, 7});
+  LabelEntry* e = index.FindLabel(2, 0);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->dist, 5u);
+  e->count = 9;  // in-place mutation is allowed
+  EXPECT_EQ(index.FindLabel(2, 0)->count, 9u);
+  EXPECT_TRUE(index.RemoveLabel(2, 0));
+  EXPECT_FALSE(index.RemoveLabel(2, 0));
+  EXPECT_TRUE(index.ValidateStructure().ok());
+}
+
+TEST(SpcIndexTest, LabelsKeptSortedByHub) {
+  SpcIndex index(IdentityOrdering(5));
+  index.InsertLabel(4, LabelEntry{2, 1, 1});
+  index.InsertLabel(4, LabelEntry{0, 1, 1});
+  index.InsertLabel(4, LabelEntry{3, 1, 1});
+  const LabelSet& set = index.Labels(4);
+  ASSERT_EQ(set.size(), 4u);
+  EXPECT_EQ(set[0].hub, 0u);
+  EXPECT_EQ(set[1].hub, 2u);
+  EXPECT_EQ(set[2].hub, 3u);
+  EXPECT_EQ(set[3].hub, 4u);  // self label last
+}
+
+TEST(SpcIndexTest, HubOccurrencesTracked) {
+  SpcIndex index(IdentityOrdering(4));
+  EXPECT_EQ(index.HubOccurrences(0), 0u);  // self labels don't count
+  index.InsertLabel(1, LabelEntry{0, 1, 1});
+  index.InsertLabel(2, LabelEntry{0, 1, 1});
+  index.InsertLabel(2, LabelEntry{1, 1, 1});
+  EXPECT_EQ(index.HubOccurrences(0), 2u);
+  EXPECT_EQ(index.HubOccurrences(1), 1u);
+  index.RemoveLabel(1, 0);
+  EXPECT_EQ(index.HubOccurrences(0), 1u);
+  EXPECT_EQ(index.ClearToSelfLabel(2), 2u);
+  EXPECT_EQ(index.HubOccurrences(0), 0u);
+  EXPECT_EQ(index.HubOccurrences(1), 0u);
+}
+
+TEST(SpcIndexTest, AddVertexGetsLowestRankAndSelfLabel) {
+  SpcIndex index(IdentityOrdering(3));
+  const Vertex v = index.AddVertex();
+  EXPECT_EQ(v, 3u);
+  EXPECT_EQ(index.RankOf(v), 3u);
+  EXPECT_EQ(index.Labels(v).size(), 1u);
+  EXPECT_TRUE(index.ValidateStructure().ok());
+}
+
+TEST(SpcIndexTest, ValidateCatchesViolations) {
+  {
+    SpcIndex index(IdentityOrdering(3));
+    index.InsertLabel(1, LabelEntry{2, 1, 1});  // hub outranked by owner
+    EXPECT_FALSE(index.ValidateStructure().ok());
+  }
+  {
+    SpcIndex index(IdentityOrdering(3));
+    index.InsertLabel(2, LabelEntry{0, 1, 0});  // zero count
+    EXPECT_FALSE(index.ValidateStructure().ok());
+  }
+  {
+    SpcIndex index(IdentityOrdering(3));
+    index.RemoveLabel(1, 1);  // strip the self label
+    EXPECT_FALSE(index.ValidateStructure().ok());
+  }
+}
+
+TEST(SpcIndexTest, SizeStats) {
+  const Graph g = RandomGraph(20, 40, 3);
+  const SpcIndex index = BuildSpcIndex(g);
+  const IndexSizeStats stats = index.SizeStats();
+  EXPECT_EQ(stats.num_vertices, 20u);
+  EXPECT_GE(stats.total_entries, 20u);  // at least the self labels
+  EXPECT_GE(stats.max_label_size, 1u);
+  EXPECT_DOUBLE_EQ(stats.avg_label_size,
+                   static_cast<double>(stats.total_entries) / 20.0);
+  EXPECT_EQ(stats.wide_bytes, stats.total_entries * sizeof(LabelEntry));
+  EXPECT_EQ(stats.packed_bytes, stats.total_entries * 8);
+}
+
+TEST(SpcIndexSerialization, RoundTripPreservesEverything) {
+  const Graph g = RandomGraph(25, 60, 5);
+  const SpcIndex index = BuildSpcIndex(g);
+  const std::string path = ::testing::TempDir() + "/dspc_index.bin";
+  ASSERT_TRUE(index.Save(path).ok());
+  SpcIndex loaded;
+  ASSERT_TRUE(SpcIndex::Load(path, &loaded).ok());
+  EXPECT_TRUE(loaded == index);
+  ExpectIndexMatchesBfs(g, loaded, "loaded index");
+  std::remove(path.c_str());
+}
+
+TEST(SpcIndexSerialization, WideEntriesSurviveRoundTrip) {
+  // A count beyond the 29-bit packed field must use the wide encoding.
+  SpcIndex index(IdentityOrdering(2));
+  index.InsertLabel(1, LabelEntry{0, 3, (1ULL << 40) + 17});
+  const std::string path = ::testing::TempDir() + "/dspc_index_wide.bin";
+  ASSERT_TRUE(index.Save(path).ok());
+  SpcIndex loaded;
+  ASSERT_TRUE(SpcIndex::Load(path, &loaded).ok());
+  ASSERT_NE(loaded.FindLabel(1, 0), nullptr);
+  EXPECT_EQ(loaded.FindLabel(1, 0)->count, (1ULL << 40) + 17);
+  std::remove(path.c_str());
+}
+
+TEST(SpcIndexSerialization, LoadRejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "/dspc_index_bad.bin";
+  BinaryWriter w;
+  w.PutU32(0x0BADF00D);
+  ASSERT_TRUE(w.WriteToFile(path).ok());
+  SpcIndex loaded;
+  EXPECT_TRUE(SpcIndex::Load(path, &loaded).IsCorruption());
+  std::remove(path.c_str());
+}
+
+// --- HubCache -------------------------------------------------------------------
+
+TEST(HubCacheTest, QueryEquivalentToIndexQuery) {
+  const Graph g = RandomGraph(30, 70, 8);
+  const SpcIndex index = BuildSpcIndex(g);
+  HubCache cache(g.NumVertices());
+  for (Vertex h = 0; h < 10; ++h) {
+    cache.Load(index.Labels(h));
+    for (Vertex v = 0; v < g.NumVertices(); ++v) {
+      const SpcResult expect = index.Query(h, v);
+      const SpcResult got = cache.Query(index.Labels(v));
+      ASSERT_EQ(got.dist, expect.dist) << "h=" << h << " v=" << v;
+      ASSERT_EQ(got.count, expect.count) << "h=" << h << " v=" << v;
+    }
+  }
+}
+
+TEST(HubCacheTest, PreQueryEquivalentToIndexPreQuery) {
+  const Graph g = RandomGraph(30, 70, 9);
+  const SpcIndex index = BuildSpcIndex(g);
+  HubCache cache(g.NumVertices());
+  for (Vertex h = 0; h < g.NumVertices(); ++h) {
+    cache.Load(index.Labels(h));
+    const Rank rank_h = index.RankOf(h);
+    for (Vertex v = 0; v < g.NumVertices(); ++v) {
+      const SpcResult expect = index.PreQuery(h, v);
+      const SpcResult got = cache.PreQuery(index.Labels(v), rank_h);
+      ASSERT_EQ(got.dist, expect.dist) << "h=" << h << " v=" << v;
+      ASSERT_EQ(got.count, expect.count) << "h=" << h << " v=" << v;
+    }
+  }
+}
+
+TEST(HubCacheTest, ReloadClearsPreviousHub) {
+  SpcIndex index(IdentityOrdering(3));
+  index.InsertLabel(2, LabelEntry{0, 1, 1});
+  index.InsertLabel(2, LabelEntry{1, 1, 1});
+  HubCache cache(3);
+  cache.Load(index.Labels(0));
+  EXPECT_EQ(cache.DistOf(0), 0u);
+  cache.Load(index.Labels(1));
+  // Hub 0's residue must be gone: L(1) = {(1,0,1)} only.
+  EXPECT_EQ(cache.DistOf(0), kInfDistance);
+  EXPECT_EQ(cache.DistOf(1), 0u);
+}
+
+}  // namespace
+}  // namespace dspc

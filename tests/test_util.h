@@ -1,0 +1,54 @@
+// Shared helpers for the DSPC test suite.
+
+#ifndef DSPC_TESTS_TEST_UTIL_H_
+#define DSPC_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "dspc/baseline/bfs_counting.h"
+#include "dspc/common/rng.h"
+#include "dspc/core/spc_index.h"
+#include "dspc/graph/graph.h"
+
+namespace dspc {
+namespace testing {
+
+/// Asserts that `index` answers every pairwise (distance, count) query
+/// exactly as BFS ground truth on `graph`.
+inline void ExpectIndexMatchesBfs(const Graph& graph, const SpcIndex& index,
+                                  const std::string& context = "") {
+  for (Vertex s = 0; s < graph.NumVertices(); ++s) {
+    const SsspCounts truth = BfsCount(graph, s);
+    for (Vertex t = 0; t < graph.NumVertices(); ++t) {
+      const SpcResult got = index.Query(s, t);
+      ASSERT_EQ(got.dist, truth.dist[t])
+          << context << " dist mismatch s=" << s << " t=" << t;
+      ASSERT_EQ(got.count, truth.count[t])
+          << context << " count mismatch s=" << s << " t=" << t;
+    }
+  }
+}
+
+/// Random simple graph on n vertices with ~m edges (exact if possible).
+inline Graph RandomGraph(size_t n, size_t m, uint64_t seed) {
+  Rng rng(seed);
+  Graph g(n);
+  const uint64_t max_edges = n < 2 ? 0 : static_cast<uint64_t>(n) * (n - 1) / 2;
+  m = std::min<uint64_t>(m, max_edges);
+  size_t guard = 0;
+  while (g.NumEdges() < m && guard < 50 * m + 1000) {
+    ++guard;
+    const auto u = static_cast<Vertex>(rng.NextBounded(n));
+    const auto v = static_cast<Vertex>(rng.NextBounded(n));
+    if (u != v) g.AddEdge(u, v);
+  }
+  return g;
+}
+
+}  // namespace testing
+}  // namespace dspc
+
+#endif  // DSPC_TESTS_TEST_UTIL_H_

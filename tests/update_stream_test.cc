@@ -1,0 +1,114 @@
+// Unit tests for the update-stream workload generators.
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "dspc/graph/generators.h"
+#include "dspc/graph/update_stream.h"
+
+namespace dspc {
+namespace {
+
+uint64_t Key(const Edge& e) {
+  const Vertex lo = std::min(e.u, e.v);
+  const Vertex hi = std::max(e.u, e.v);
+  return (static_cast<uint64_t>(lo) << 32) | hi;
+}
+
+TEST(SampleNonEdgesTest, ProducesDistinctNonEdges) {
+  const Graph g = GenerateErdosRenyi(50, 200, 1);
+  const std::vector<Edge> samples = SampleNonEdges(g, 100, 2);
+  EXPECT_EQ(samples.size(), 100u);
+  std::unordered_set<uint64_t> seen;
+  for (const Edge& e : samples) {
+    EXPECT_NE(e.u, e.v);
+    EXPECT_FALSE(g.HasEdge(e.u, e.v));
+    EXPECT_TRUE(seen.insert(Key(e)).second) << "duplicate sample";
+  }
+}
+
+TEST(SampleNonEdgesTest, CapsAtFreeSlots) {
+  const Graph g = GenerateComplete(6);  // no non-edges at all
+  EXPECT_TRUE(SampleNonEdges(g, 10, 3).empty());
+  Graph g2 = GenerateComplete(6);
+  g2.RemoveEdge(0, 1);
+  const auto s = SampleNonEdges(g2, 10, 3);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(Key(s[0]), Key(Edge{0, 1}));
+}
+
+TEST(SampleEdgesTest, DistinctExistingEdges) {
+  const Graph g = GenerateErdosRenyi(40, 120, 4);
+  const std::vector<Edge> samples = SampleEdges(g, 50, 5);
+  EXPECT_EQ(samples.size(), 50u);
+  std::unordered_set<uint64_t> seen;
+  for (const Edge& e : samples) {
+    EXPECT_TRUE(g.HasEdge(e.u, e.v));
+    EXPECT_TRUE(seen.insert(Key(e)).second);
+  }
+}
+
+TEST(SampleEdgesTest, RequestBeyondEdgeCount) {
+  const Graph g = GeneratePath(4);
+  EXPECT_EQ(SampleEdges(g, 10, 1).size(), 3u);
+}
+
+TEST(HybridStreamTest, CompositionAndValidity) {
+  const Graph g = GenerateErdosRenyi(60, 200, 7);
+  const std::vector<Update> stream = MakeHybridStream(g, 20, 5, 8);
+  size_t inserts = 0;
+  size_t deletes = 0;
+  for (const Update& u : stream) {
+    if (u.kind == Update::Kind::kInsert) {
+      ++inserts;
+      EXPECT_FALSE(g.HasEdge(u.edge.u, u.edge.v));
+    } else {
+      ++deletes;
+      EXPECT_TRUE(g.HasEdge(u.edge.u, u.edge.v));
+    }
+  }
+  EXPECT_EQ(inserts, 20u);
+  EXPECT_EQ(deletes, 5u);
+}
+
+TEST(HybridStreamTest, Deterministic) {
+  const Graph g = GenerateErdosRenyi(60, 200, 7);
+  const auto a = MakeHybridStream(g, 10, 3, 9);
+  const auto b = MakeHybridStream(g, 10, 3, 9);
+  EXPECT_EQ(a, b);
+}
+
+TEST(SkewedSampleTest, CoversDegreeSpectrum) {
+  const Graph g = GenerateBarabasiAlbert(300, 3, 10);
+  const auto samples = SampleSkewedNonEdges(g, 40, 11);
+  ASSERT_GE(samples.size(), 20u);
+  // Sorted ascending by degree product, spanning a wide range.
+  for (size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_GE(samples[i].degree_product, samples[i - 1].degree_product);
+  }
+  EXPECT_GT(samples.back().degree_product,
+            4 * (samples.front().degree_product + 1));
+}
+
+TEST(SkewedSampleTest, EdgesVariantSamplesExistingEdges) {
+  const Graph g = GenerateBarabasiAlbert(200, 3, 12);
+  const auto samples = SampleSkewedEdges(g, 30, 13);
+  ASSERT_FALSE(samples.empty());
+  for (const auto& s : samples) {
+    EXPECT_TRUE(g.HasEdge(s.edge.u, s.edge.v));
+    EXPECT_EQ(s.degree_product,
+              static_cast<uint64_t>(g.Degree(s.edge.u)) * g.Degree(s.edge.v));
+  }
+}
+
+TEST(UpdateTest, FactoryHelpers) {
+  const Update ins = Update::Insert(1, 2);
+  EXPECT_EQ(ins.kind, Update::Kind::kInsert);
+  EXPECT_EQ(ins.edge, (Edge{1, 2}));
+  const Update del = Update::Delete(3, 4);
+  EXPECT_EQ(del.kind, Update::Kind::kDelete);
+}
+
+}  // namespace
+}  // namespace dspc
