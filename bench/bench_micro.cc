@@ -1,15 +1,24 @@
-// Micro benchmarks (google-benchmark): query latency of SpcQUERY vs the
-// online baselines, HP-SPC build throughput, and single-update latency.
-// Complements the table/figure harnesses with statistically-stable
-// per-operation numbers on one mid-size dataset.
+// Micro benchmarks (google-benchmark): query latency of SpcQUERY (legacy
+// merge-scan vs the FlatSpcIndex packed arena, single / batched /
+// batched-parallel) vs the online baselines, HP-SPC build throughput,
+// flat-snapshot construction, and single-update latency. Complements the
+// table/figure harnesses with statistically-stable per-operation numbers
+// on one mid-size dataset. Run with
+//   --benchmark_out=BENCH_micro.json --benchmark_out_format=json
+// for machine-readable output; bench_query_throughput emits the curated
+// legacy-vs-flat JSON comparison.
 
 #include <benchmark/benchmark.h>
+
+#include <utility>
+#include <vector>
 
 #include "bench_util.h"
 #include "dspc/baseline/bfs_counting.h"
 #include "dspc/baseline/bibfs_counting.h"
 #include "dspc/common/rng.h"
 #include "dspc/core/dynamic_spc.h"
+#include "dspc/core/flat_spc_index.h"
 #include "dspc/core/hp_spc.h"
 #include "dspc/graph/generators.h"
 #include "dspc/graph/update_stream.h"
@@ -18,12 +27,28 @@ namespace {
 
 using namespace dspc;
 
-/// One shared mid-size graph + index for the query benchmarks.
+/// One shared mid-size graph + index (legacy and flat) for the query
+/// benchmarks.
 struct QueryFixture {
   QueryFixture()
-      : graph(GenerateRmat(13, 57000, 103)), index(BuildSpcIndex(graph)) {}
+      : graph(GenerateRmat(13, 57000, 103)),
+        index(BuildSpcIndex(graph)),
+        flat(index) {}
+
+  /// A fixed random query workload over the fixture graph.
+  std::vector<VertexPair> MakePairs(size_t count) const {
+    Rng rng(1);
+    std::vector<VertexPair> pairs(count);
+    for (auto& p : pairs) {
+      p.first = static_cast<Vertex>(rng.NextBounded(graph.NumVertices()));
+      p.second = static_cast<Vertex>(rng.NextBounded(graph.NumVertices()));
+    }
+    return pairs;
+  }
+
   Graph graph;
   SpcIndex index;
+  FlatSpcIndex flat;
 };
 
 QueryFixture& Fixture() {
@@ -42,6 +67,53 @@ void BM_SpcQuery(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SpcQuery);
+
+void BM_FlatQuery(benchmark::State& state) {
+  const QueryFixture& f = Fixture();
+  Rng rng(1);
+  const size_t n = f.graph.NumVertices();
+  for (auto _ : state) {
+    const auto s = static_cast<Vertex>(rng.NextBounded(n));
+    const auto t = static_cast<Vertex>(rng.NextBounded(n));
+    benchmark::DoNotOptimize(f.flat.Query(s, t));
+  }
+}
+BENCHMARK(BM_FlatQuery);
+
+void BM_FlatQueryBatch(benchmark::State& state) {
+  const QueryFixture& f = Fixture();
+  const std::vector<VertexPair> pairs = f.MakePairs(4096);
+  std::vector<SpcResult> out(pairs.size());
+  for (auto _ : state) {
+    f.flat.QueryMany(pairs, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(pairs.size()));
+}
+BENCHMARK(BM_FlatQueryBatch);
+
+void BM_FlatQueryBatchParallel(benchmark::State& state) {
+  const QueryFixture& f = Fixture();
+  const std::vector<VertexPair> pairs = f.MakePairs(65536);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.flat.QueryManyParallel(pairs));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(pairs.size()));
+}
+BENCHMARK(BM_FlatQueryBatchParallel)->Unit(benchmark::kMillisecond);
+
+void BM_FlatSnapshotBuild(benchmark::State& state) {
+  const QueryFixture& f = Fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FlatSpcIndex(f.index));
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(f.index.SizeStats().total_entries));
+}
+BENCHMARK(BM_FlatSnapshotBuild)->Unit(benchmark::kMillisecond);
 
 void BM_BiBfsQuery(benchmark::State& state) {
   const QueryFixture& f = Fixture();

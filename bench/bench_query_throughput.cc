@@ -1,0 +1,161 @@
+// Query-throughput shoot-out: legacy SpcIndex::Query vs the FlatSpcIndex
+// packed arena, its batched driver, and the thread-parallel batch driver —
+// all on the same graph and the same query set. Emits a human table on
+// stdout and machine-readable JSON (BENCH_query_throughput.json, override
+// with argv[1]) for the repo's benchmark trajectory.
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "dspc/common/rng.h"
+#include "dspc/common/stopwatch.h"
+#include "dspc/core/flat_spc_index.h"
+#include "dspc/core/hp_spc.h"
+#include "dspc/graph/generators.h"
+
+namespace {
+
+using namespace dspc;
+
+/// Best-of-`reps` queries/second for one driver.
+template <typename Fn>
+double MeasureQps(size_t queries, int reps, Fn&& driver) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch watch;
+    driver();
+    const double qps = static_cast<double>(queries) / watch.ElapsedSeconds();
+    if (qps > best) best = qps;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path =
+      argc > 1 ? argv[1] : "BENCH_query_throughput.json";
+  const size_t f = bench::ScaleFactor();
+
+  // Mid-size heavy-tailed graph, matching the bench_micro fixture recipe.
+  const size_t scale = 13;
+  const size_t edges = 57000 * f;
+  const Graph graph = GenerateRmat(scale, edges, 103);
+  std::printf("graph: RMAT scale=%zu  n=%zu  m=%zu\n", scale,
+              graph.NumVertices(), graph.NumEdges());
+
+  Stopwatch build_watch;
+  const SpcIndex index = BuildSpcIndex(graph);
+  const double build_s = build_watch.ElapsedSeconds();
+
+  Stopwatch snap_watch;
+  const FlatSpcIndex flat(index);
+  const double snapshot_s = snap_watch.ElapsedSeconds();
+
+  const IndexSizeStats stats = index.SizeStats();
+  std::printf(
+      "index: %zu entries  wide=%.2f MB  arena=%.2f MB  overflow=%zu  "
+      "build=%.2fs  snapshot=%.4fs\n",
+      stats.total_entries, stats.wide_bytes / 1048576.0,
+      flat.ArenaBytes() / 1048576.0, flat.OverflowEntries(), build_s,
+      snapshot_s);
+
+  const size_t queries = 200000 * f;
+  Rng rng(7);
+  std::vector<VertexPair> pairs(queries);
+  for (auto& p : pairs) {
+    p.first = static_cast<Vertex>(rng.NextBounded(graph.NumVertices()));
+    p.second = static_cast<Vertex>(rng.NextBounded(graph.NumVertices()));
+  }
+
+  // Results accumulate into a sink so the loops cannot be optimized away.
+  uint64_t sink = 0;
+  const int reps = 3;
+
+  const double legacy_qps = MeasureQps(queries, reps, [&] {
+    for (const auto& [s, t] : pairs) {
+      const SpcResult r = index.Query(s, t);
+      sink += r.dist + r.count;
+    }
+  });
+
+  const double flat_qps = MeasureQps(queries, reps, [&] {
+    for (const auto& [s, t] : pairs) {
+      const SpcResult r = flat.Query(s, t);
+      sink += r.dist + r.count;
+    }
+  });
+
+  std::vector<SpcResult> batch_out(pairs.size());
+  const double batch_qps = MeasureQps(queries, reps, [&] {
+    flat.QueryMany(pairs, batch_out.data());
+    sink += batch_out.back().dist;
+  });
+
+  const unsigned threads =
+      std::max(1u, std::thread::hardware_concurrency());
+  const double parallel_qps = MeasureQps(queries, reps, [&] {
+    auto results = flat.QueryManyParallel(pairs, threads);
+    sink += results.front().dist;
+  });
+
+  // Sanity: the drivers must agree on the whole query set.
+  size_t mismatches = 0;
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    if (batch_out[i] != index.Query(pairs[i].first, pairs[i].second)) {
+      ++mismatches;
+    }
+  }
+
+  std::printf("\n%-22s %14s %10s\n", "driver", "queries/s", "speedup");
+  bench::PrintRule(4);
+  std::printf("%-22s %14.0f %9.2fx\n", "legacy SpcIndex", legacy_qps, 1.0);
+  std::printf("%-22s %14.0f %9.2fx\n", "flat arena", flat_qps,
+              flat_qps / legacy_qps);
+  std::printf("%-22s %14.0f %9.2fx\n", "flat batched", batch_qps,
+              batch_qps / legacy_qps);
+  std::printf("%-22s %14.0f %9.2fx  (%u threads)\n", "flat batched parallel",
+              parallel_qps, parallel_qps / legacy_qps, threads);
+  std::printf("\nequivalence: %zu mismatches on %zu queries (sink %llu)\n",
+              mismatches, queries,
+              static_cast<unsigned long long>(sink));
+
+  std::FILE* json = std::fopen(json_path.c_str(), "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n"
+               "  \"bench\": \"query_throughput\",\n"
+               "  \"graph\": {\"generator\": \"rmat\", \"scale\": %zu, "
+               "\"vertices\": %zu, \"edges\": %zu},\n"
+               "  \"index\": {\"entries\": %zu, \"wide_bytes\": %zu, "
+               "\"arena_bytes\": %zu, \"overflow_entries\": %zu,\n"
+               "            \"build_seconds\": %.4f, "
+               "\"snapshot_seconds\": %.6f},\n"
+               "  \"queries\": %zu,\n"
+               "  \"threads\": %u,\n"
+               "  \"legacy_qps\": %.0f,\n"
+               "  \"flat_qps\": %.0f,\n"
+               "  \"flat_batch_qps\": %.0f,\n"
+               "  \"flat_parallel_qps\": %.0f,\n"
+               "  \"flat_speedup\": %.3f,\n"
+               "  \"flat_batch_speedup\": %.3f,\n"
+               "  \"flat_parallel_speedup\": %.3f,\n"
+               "  \"mismatches\": %zu\n"
+               "}\n",
+               scale, graph.NumVertices(), graph.NumEdges(),
+               stats.total_entries, stats.wide_bytes, flat.ArenaBytes(),
+               flat.OverflowEntries(), build_s, snapshot_s, queries, threads,
+               legacy_qps, flat_qps, batch_qps, parallel_qps,
+               flat_qps / legacy_qps, batch_qps / legacy_qps,
+               parallel_qps / legacy_qps, mismatches);
+  std::fclose(json);
+  std::printf("wrote %s\n", json_path.c_str());
+  return mismatches == 0 ? 0 : 1;
+}

@@ -29,6 +29,11 @@ class BinaryWriter {
   void PutString(const std::string& s);
   /// Raw bytes, no length prefix.
   void Append(const void* data, size_t n);
+  /// Bulk little-endian arrays, no length prefix: a single memcpy on
+  /// little-endian hosts. Used by the FlatSpcIndex v2 format so index
+  /// arenas serialize at memory speed.
+  void PutU32Array(const uint32_t* data, size_t n);
+  void PutU64Array(const uint64_t* data, size_t n);
 
   const std::vector<uint8_t>& buffer() const { return buffer_; }
 
@@ -54,6 +59,10 @@ class BinaryReader {
   uint32_t GetU32();
   uint64_t GetU64();
   std::string GetString();
+  /// Bulk counterparts of PutU32Array/PutU64Array; on failure the reader
+  /// flips into the failed state and `out` is untouched.
+  bool GetU32Array(uint32_t* out, size_t n);
+  bool GetU64Array(uint64_t* out, size_t n);
 
   /// True when all payload bytes have been consumed and no read failed.
   bool AtEnd() const { return ok_ && pos_ == data_.size(); }

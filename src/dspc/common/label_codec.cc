@@ -26,4 +26,14 @@ bool FitsPacked(Rank hub, Distance dist, PathCount count) {
          count <= kPackedCountMax;
 }
 
+bool FitsFlatInline(Rank hub, Distance dist, PathCount count) {
+  return hub <= kPackedHubMax && dist < kFlatOverflowDistMark &&
+         count <= kPackedCountMax;
+}
+
+uint64_t PackFlatOverflowRef(Rank hub, uint64_t slot) {
+  return (static_cast<uint64_t>(hub) << kFlatHubShift) |
+         (kFlatOverflowDistMark << kPackedCountBits) | (slot & kPackedCountMax);
+}
+
 }  // namespace dspc

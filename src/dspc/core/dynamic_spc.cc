@@ -31,6 +31,7 @@ UpdateStats DynamicSpcIndex::InsertEdge(Vertex a, Vertex b) {
   const UpdateStats stats = inc_.InsertEdge(a, b);
   if (stats.applied) {
     ++updates_since_build_;
+    BumpGeneration();
     MaybePolicyRebuild();
   }
   return stats;
@@ -40,6 +41,7 @@ UpdateStats DynamicSpcIndex::RemoveEdge(Vertex a, Vertex b) {
   const UpdateStats stats = dec_.RemoveEdge(a, b);
   if (stats.applied) {
     ++updates_since_build_;
+    BumpGeneration();
     MaybePolicyRebuild();
   }
   return stats;
@@ -50,6 +52,7 @@ Vertex DynamicSpcIndex::AddVertex() {
   const Vertex v = index_.AddVertex();
   inc_.Resize();
   dec_.Resize();
+  BumpGeneration();
   return v;
 }
 
@@ -105,9 +108,36 @@ UpdateStats DynamicSpcIndex::ApplyBatch(const std::vector<Update>& updates) {
   return total;
 }
 
+std::shared_ptr<const FlatSpcIndex> DynamicSpcIndex::SnapshotForQueries(
+    size_t queries) const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  if (flat_ != nullptr && flat_generation_ == generation_) return flat_;
+  // Stale snapshot: let a short burst of queries ride on the mutable
+  // index so interleaved update/query traffic doesn't rebuild per
+  // update, then pay the O(total entries) refresh once.
+  stale_queries_ += queries;
+  if (stale_queries_ >= options_.snapshot_rebuild_after_queries) {
+    RefreshSnapshotLocked();
+    return flat_;
+  }
+  return nullptr;
+}
+
+SpcResult DynamicSpcIndex::Query(Vertex s, Vertex t) const {
+  if (options_.enable_flat_snapshot) {
+    if (const auto snap = SnapshotForQueries(1)) return snap->Query(s, t);
+  }
+  return index_.Query(s, t);
+}
+
 std::vector<SpcResult> DynamicSpcIndex::BatchQuery(
     const std::vector<std::pair<Vertex, Vertex>>& pairs,
     unsigned threads) const {
+  if (options_.enable_flat_snapshot) {
+    if (const auto snap = SnapshotForQueries(pairs.size())) {
+      return snap->QueryManyParallel(pairs, threads);
+    }
+  }
   std::vector<SpcResult> results(pairs.size());
   if (threads == 0) threads = std::thread::hardware_concurrency();
   if (threads <= 1 || pairs.size() < 64) {
@@ -130,12 +160,29 @@ std::vector<SpcResult> DynamicSpcIndex::BatchQuery(
   return results;
 }
 
+std::shared_ptr<const FlatSpcIndex> DynamicSpcIndex::FlatSnapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  RefreshSnapshotLocked();
+  return flat_;
+}
+
+void DynamicSpcIndex::RefreshSnapshotLocked() const {
+  if (flat_ != nullptr && flat_generation_ == generation_) return;
+  // Publish a fresh snapshot instead of mutating the old one: readers
+  // that still hold the previous shared_ptr keep a valid index.
+  flat_ = std::make_shared<const FlatSpcIndex>(index_);
+  flat_generation_ = generation_;
+  stale_queries_ = 0;
+  ++snapshot_rebuilds_;
+}
+
 void DynamicSpcIndex::Rebuild() {
   index_ = BuildSpcIndex(graph_, options_.ordering);
   inc_.Resize();
   dec_.Resize();
   updates_since_build_ = 0;
   entries_at_build_ = index_.SizeStats().total_entries;
+  BumpGeneration();
 }
 
 void DynamicSpcIndex::MaybePolicyRebuild() {

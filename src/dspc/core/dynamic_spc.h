@@ -14,11 +14,14 @@
 #ifndef DSPC_CORE_DYNAMIC_SPC_H_
 #define DSPC_CORE_DYNAMIC_SPC_H_
 
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "dspc/core/dec_spc.h"
+#include "dspc/core/flat_spc_index.h"
 #include "dspc/core/inc_spc.h"
 #include "dspc/core/spc_index.h"
 #include "dspc/core/update_stats.h"
@@ -42,6 +45,18 @@ struct DynamicSpcOptions {
   /// (0 = never). Both triggers are checked after each update.
   size_t rebuild_after_updates = 0;
   double rebuild_growth_factor = 0.0;
+
+  /// Serve queries from an immutable FlatSpcIndex snapshot (DESIGN.md §5).
+  /// Every applied update bumps a generation counter that invalidates the
+  /// snapshot; it is rebuilt lazily from the mutable index, so steady-state
+  /// query traffic never touches the mutable label sets.
+  bool enable_flat_snapshot = true;
+
+  /// How many queries may be answered by the mutable index after an
+  /// invalidation before the snapshot is rebuilt. 1 rebuilds on the first
+  /// query after any update (snappiest serving, worst for update-heavy
+  /// interleavings); larger values amortize rebuilds across update bursts.
+  size_t snapshot_rebuild_after_queries = 8;
 };
 
 /// A dynamic shortest-path-counting index over an owned graph.
@@ -56,8 +71,15 @@ class DynamicSpcIndex {
                   const DynamicSpcOptions& options = {});
 
   /// SPC query: shortest distance and number of shortest paths between s
-  /// and t; {kInfDistance, 0} when disconnected.
-  SpcResult Query(Vertex s, Vertex t) const { return index_.Query(s, t); }
+  /// and t; {kInfDistance, 0} when disconnected. Served from the flat
+  /// snapshot when it is fresh (see DynamicSpcOptions::enable_flat_snapshot).
+  ///
+  /// Thread-safety contract (all query paths): any number of threads may
+  /// call Query / BatchQuery / FlatSnapshot concurrently — snapshots are
+  /// immutable and handed out as shared_ptr, and the rebuild bookkeeping
+  /// is mutex-guarded. Updates (InsertEdge / RemoveEdge / ...) require
+  /// exclusive access, as they mutate the graph and index in place.
+  SpcResult Query(Vertex s, Vertex t) const;
 
   /// Inserts edge (a, b) and maintains the index with IncSPC.
   UpdateStats InsertEdge(Vertex a, Vertex b);
@@ -83,12 +105,37 @@ class DynamicSpcIndex {
   /// without the BatchHL-style machinery the paper cites as related work.
   UpdateStats ApplyBatch(const std::vector<struct Update>& updates);
 
-  /// Evaluates many queries, using up to `threads` worker threads (the
-  /// index is read-only during queries, so this is safe). With
-  /// threads <= 1 this is a plain loop.
+  /// Evaluates many queries, using up to `threads` worker threads. With
+  /// the flat snapshot enabled, a batch counts as pairs.size() stale
+  /// queries against the rebuild budget — large batches refresh the
+  /// snapshot once and run FlatSpcIndex::QueryManyParallel over it, small
+  /// batches on a stale snapshot ride the mutable index (read-only during
+  /// queries). With threads <= 1 the fallback is a plain loop.
   std::vector<SpcResult> BatchQuery(
       const std::vector<std::pair<Vertex, Vertex>>& pairs,
       unsigned threads = 0) const;
+
+  /// The current flat snapshot, rebuilding it first if stale. The
+  /// returned snapshot is immutable and kept alive by the shared_ptr, so
+  /// callers may query it from many threads for as long as they hold it
+  /// (later rebuilds produce new snapshots instead of mutating this one).
+  std::shared_ptr<const FlatSpcIndex> FlatSnapshot() const;
+
+  /// Structural generation: bumped by every applied update, vertex
+  /// addition, and rebuild.
+  uint64_t Generation() const { return generation_; }
+
+  /// True when the flat snapshot reflects the current generation.
+  bool SnapshotFresh() const {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    return flat_ != nullptr && flat_generation_ == generation_;
+  }
+
+  /// How many times the flat snapshot has been (re)built.
+  size_t SnapshotRebuilds() const {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    return snapshot_rebuilds_;
+  }
 
   /// Rebuilds the index from scratch with HP-SPC under a fresh ordering —
   /// the paper's reconstruction baseline, also used by the lazy rebuild
@@ -108,6 +155,18 @@ class DynamicSpcIndex {
   /// Applies the §6 lazy rebuild policy after an applied update.
   void MaybePolicyRebuild();
 
+  /// Invalidates the flat snapshot after a structural change.
+  void BumpGeneration() { ++generation_; }
+
+  /// Rebuilds the flat snapshot if stale. Caller must hold snapshot_mu_.
+  void RefreshSnapshotLocked() const;
+
+  /// Charges `queries` stale queries against the rebuild budget and
+  /// returns the snapshot to serve them from, or nullptr if they should
+  /// ride the mutable index instead.
+  std::shared_ptr<const FlatSpcIndex> SnapshotForQueries(
+      size_t queries) const;
+
   Graph graph_;
   SpcIndex index_;
   DynamicSpcOptions options_;
@@ -116,6 +175,18 @@ class DynamicSpcIndex {
   size_t updates_since_build_ = 0;
   size_t entries_at_build_ = 0;
   size_t policy_rebuilds_ = 0;
+
+  // Flat-snapshot serving state. Mutable: refreshing the snapshot is a
+  // logically-const caching step triggered from const query paths.
+  // snapshot_mu_ guards all four fields; snapshots themselves are
+  // immutable once published, so queries run on them outside the lock.
+  // generation_ is written only by the (exclusive-access) update methods.
+  uint64_t generation_ = 1;
+  mutable std::mutex snapshot_mu_;
+  mutable std::shared_ptr<const FlatSpcIndex> flat_;
+  mutable uint64_t flat_generation_ = 0;
+  mutable size_t stale_queries_ = 0;
+  mutable size_t snapshot_rebuilds_ = 0;
 };
 
 }  // namespace dspc

@@ -1,0 +1,473 @@
+#include "dspc/core/flat_spc_index.h"
+
+#include <algorithm>
+#include <bit>
+#include <thread>
+
+#include "dspc/common/binary_io.h"
+#include "dspc/common/label_codec.h"
+
+namespace dspc {
+
+namespace {
+
+/// Below this many pairs the sharding overhead beats the win.
+constexpr size_t kParallelCutoff = 256;
+constexpr unsigned kMaxQueryThreads = 16;
+
+}  // namespace
+
+FlatSpcIndex::FlatSpcIndex(const SpcIndex& index) {
+  const size_t n = index.NumVertices();
+  num_vertices_ = n;
+  ordering_ = index.ordering();
+
+  size_t total = 0;
+  size_t overflow = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    const LabelSet& set = index.Labels(v);
+    total += set.size();
+    for (const LabelEntry& e : set) {
+      if (!FitsFlatInline(e.hub, e.dist, e.count)) ++overflow;
+    }
+  }
+
+  // Hubs must fit their 25-bit field for the packed merge to compare
+  // ranks, and overflow slots their 29-bit field; otherwise fall back to
+  // the wide contiguous arena.
+  wide_mode_ = (n > 0 && ordering_.size() - 1 > kPackedHubMax) ||
+               overflow > kPackedCountMax;
+
+  offsets_.assign(n + 1, 0);
+  if (wide_mode_) {
+    wide_entries_.reserve(total);
+    for (Vertex v = 0; v < n; ++v) {
+      const LabelSet& set = index.Labels(v);
+      wide_entries_.insert(wide_entries_.end(), set.begin(), set.end());
+      offsets_[v + 1] = wide_entries_.size();
+    }
+    return;
+  }
+
+  entries_.reserve(total);
+  overflow_.reserve(overflow);
+  for (Vertex v = 0; v < n; ++v) {
+    const LabelSet& set = index.Labels(v);
+    for (const LabelEntry& e : set) {
+      if (FitsFlatInline(e.hub, e.dist, e.count)) {
+        entries_.push_back(PackLabel(e.hub, e.dist, e.count));
+      } else {
+        entries_.push_back(PackFlatOverflowRef(e.hub, overflow_.size()));
+        overflow_.push_back(e);
+      }
+    }
+    offsets_[v + 1] = entries_.size();
+  }
+  BuildDenseDirectory();
+}
+
+void FlatSpcIndex::BuildDenseDirectory() {
+  hub_bits_.assign(num_vertices_ * kDenseWords, 0);
+  word_base_.assign(num_vertices_ * kDenseWords, 0);
+  for (Vertex v = 0; v < num_vertices_; ++v) {
+    uint64_t* bits = hub_bits_.data() + size_t{v} * kDenseWords;
+    for (uint64_t i = offsets_[v]; i < offsets_[v + 1]; ++i) {
+      const Rank h = FlatHub(entries_[i]);
+      if (h >= kDenseRanks) break;  // sorted ascending: the rest is tail
+      bits[h / 64] |= 1ULL << (h % 64);
+    }
+    uint16_t* base = word_base_.data() + size_t{v} * kDenseWords;
+    uint16_t acc = 0;
+    for (size_t w = 0; w < kDenseWords; ++w) {
+      base[w] = acc;
+      acc = static_cast<uint16_t>(acc + std::popcount(bits[w]));
+    }
+  }
+}
+
+uint64_t FlatSpcIndex::DenseEnd(Vertex v) const {
+  const size_t b = size_t{v} * kDenseWords;
+  return offsets_[v] + word_base_[b + kDenseWords - 1] +
+         static_cast<uint64_t>(std::popcount(hub_bits_[b + kDenseWords - 1]));
+}
+
+size_t FlatSpcIndex::ArenaBytes() const {
+  return offsets_.size() * sizeof(uint64_t) +
+         entries_.size() * sizeof(uint64_t) +
+         overflow_.size() * sizeof(LabelEntry) +
+         wide_entries_.size() * sizeof(LabelEntry) +
+         hub_bits_.size() * sizeof(uint64_t) +
+         word_base_.size() * sizeof(uint16_t) +
+         ordering_.rank_of.size() * sizeof(Rank);
+}
+
+inline void FlatSpcIndex::DecodeWord(uint64_t word, Distance* dist,
+                                     PathCount* count) const {
+  if (!IsFlatOverflowRef(word)) [[likely]] {
+    *dist = static_cast<Distance>((word >> kPackedCountBits) & kPackedDistMax);
+    *count = word & kPackedCountMax;
+  } else {
+    const LabelEntry& e = overflow_[FlatOverflowSlot(word)];
+    *dist = e.dist;
+    *count = e.count;
+  }
+}
+
+template <bool kLimited>
+SpcResult FlatSpcIndex::QueryPacked(Vertex s, Vertex t, Rank limit) const {
+  SpcResult result;
+  const uint64_t* const arena = entries_.data();
+
+  auto accumulate = [&](uint64_t wa, uint64_t wb) {
+    Distance da;
+    Distance db;
+    PathCount ca;
+    PathCount cb;
+    DecodeWord(wa, &da, &ca);
+    DecodeWord(wb, &db, &cb);
+    const Distance d = da + db;
+    if (d < result.dist) {
+      result.dist = d;
+      result.count = ca * cb;
+    } else if (d == result.dist) {
+      result.count += ca * cb;
+    }
+  };
+
+  // Dense part: the common top-ranked hubs fall out of word-parallel
+  // bitmap ANDs; each surviving bit maps to its arena slot by prefix
+  // popcount, so there is no serially-dependent two-pointer walk over
+  // the (large) dense share of both label sets.
+  const size_t sb = size_t{s} * kDenseWords;
+  const size_t tb = size_t{t} * kDenseWords;
+  const uint64_t* const bma = hub_bits_.data() + sb;
+  const uint64_t* const bmb = hub_bits_.data() + tb;
+  size_t full_words = kDenseWords;
+  uint64_t boundary_mask = 0;
+  if constexpr (kLimited) {
+    if (limit < kDenseRanks) {
+      full_words = limit / 64;
+      boundary_mask =
+          (limit % 64) ? ((1ULL << (limit % 64)) - 1) : 0;  // bits < limit
+    }
+  }
+  auto scan_word = [&](size_t w, uint64_t common) {
+    const uint64_t bits_a = bma[w];
+    const uint64_t bits_b = bmb[w];
+    const uint64_t base_a = offsets_[s] + word_base_[sb + w];
+    const uint64_t base_b = offsets_[t] + word_base_[tb + w];
+    while (common != 0) {
+      const int bit = std::countr_zero(common);
+      common &= common - 1;
+      const uint64_t below = (1ULL << bit) - 1;
+      const uint64_t ia = base_a + std::popcount(bits_a & below);
+      const uint64_t ib = base_b + std::popcount(bits_b & below);
+      accumulate(arena[ia], arena[ib]);
+    }
+  };
+  for (size_t w = 0; w < full_words; ++w) {
+    scan_word(w, bma[w] & bmb[w]);
+  }
+  if constexpr (kLimited) {
+    if (boundary_mask != 0) {
+      scan_word(full_words, bma[full_words] & bmb[full_words] & boundary_mask);
+    }
+    if (limit < kDenseRanks) return result;  // tail hubs all >= limit
+  }
+
+  // Tail part: classic merge over the short low-rank remainder.
+  const uint64_t* a = arena + DenseEnd(s);
+  const uint64_t* const ae = arena + offsets_[s + 1];
+  const uint64_t* b = arena + DenseEnd(t);
+  const uint64_t* const be = arena + offsets_[t + 1];
+  while (a != ae && b != be) {
+    const uint64_t wa = *a;
+    const uint64_t wb = *b;
+    const uint64_t ha = wa >> kFlatHubShift;
+    const uint64_t hb = wb >> kFlatHubShift;
+    if constexpr (kLimited) {
+      if (ha >= limit || hb >= limit) break;
+    }
+    if (ha == hb) {
+      accumulate(wa, wb);
+      ++a;
+      ++b;
+    } else {
+      // Branchless advance: which side moves is data-dependent and
+      // unpredictable, so turn the mispredicted branch into two flag
+      // additions (matches stay a — rare — branch).
+      a += ha < hb;
+      b += hb < ha;
+    }
+  }
+  return result;
+}
+
+template <bool kLimited>
+SpcResult FlatSpcIndex::QueryWide(Vertex s, Vertex t, Rank limit) const {
+  SpcResult result;
+  const LabelEntry* a = wide_entries_.data() + offsets_[s];
+  const LabelEntry* const ae = wide_entries_.data() + offsets_[s + 1];
+  const LabelEntry* b = wide_entries_.data() + offsets_[t];
+  const LabelEntry* const be = wide_entries_.data() + offsets_[t + 1];
+  while (a != ae && b != be) {
+    if constexpr (kLimited) {
+      if (a->hub >= limit || b->hub >= limit) break;
+    }
+    if (a->hub < b->hub) {
+      ++a;
+    } else if (a->hub > b->hub) {
+      ++b;
+    } else {
+      const Distance d = a->dist + b->dist;
+      if (d < result.dist) {
+        result.dist = d;
+        result.count = a->count * b->count;
+      } else if (d == result.dist) {
+        result.count += a->count * b->count;
+      }
+      ++a;
+      ++b;
+    }
+  }
+  return result;
+}
+
+SpcResult FlatSpcIndex::Query(Vertex s, Vertex t) const {
+  if (wide_mode_) return QueryWide<false>(s, t, 0);
+  return QueryPacked<false>(s, t, 0);
+}
+
+SpcResult FlatSpcIndex::PreQuery(Vertex s, Vertex t) const {
+  const Rank limit = ordering_.rank_of[s];
+  if (wide_mode_) return QueryWide<true>(s, t, limit);
+  return QueryPacked<true>(s, t, limit);
+}
+
+void FlatSpcIndex::QueryMany(std::span<const VertexPair> pairs,
+                             SpcResult* out) const {
+  if (wide_mode_) {
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      out[i] = QueryWide<false>(pairs[i].first, pairs[i].second, 0);
+    }
+    return;
+  }
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    out[i] = QueryPacked<false>(pairs[i].first, pairs[i].second, 0);
+  }
+}
+
+std::vector<SpcResult> FlatSpcIndex::QueryMany(
+    std::span<const VertexPair> pairs) const {
+  std::vector<SpcResult> results(pairs.size());
+  QueryMany(pairs, results.data());
+  return results;
+}
+
+std::vector<SpcResult> FlatSpcIndex::QueryManyParallel(
+    std::span<const VertexPair> pairs, unsigned threads) const {
+  std::vector<SpcResult> results(pairs.size());
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  threads = std::min(threads, kMaxQueryThreads);
+  if (threads <= 1 || pairs.size() < kParallelCutoff) {
+    QueryMany(pairs, results.data());
+    return results;
+  }
+  // Contiguous shards keep each worker's arena touches local.
+  const size_t chunk = (pairs.size() + threads - 1) / threads;
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (unsigned w = 0; w < threads; ++w) {
+    const size_t begin = std::min(pairs.size(), w * chunk);
+    const size_t end = std::min(pairs.size(), begin + chunk);
+    if (begin == end) break;
+    workers.emplace_back([this, pairs, begin, end, &results] {
+      QueryMany(pairs.subspan(begin, end - begin), results.data() + begin);
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  return results;
+}
+
+SpcIndex FlatSpcIndex::Unpack() const {
+  SpcIndex index(ordering_);
+  for (Vertex v = 0; v < num_vertices_; ++v) {
+    const Rank self = ordering_.rank_of[v];
+    for (uint64_t i = offsets_[v]; i < offsets_[v + 1]; ++i) {
+      LabelEntry e;
+      if (wide_mode_) {
+        e = wide_entries_[i];
+      } else {
+        const uint64_t word = entries_[i];
+        e.hub = FlatHub(word);
+        DecodeWord(word, &e.dist, &e.count);
+      }
+      if (e.hub == self) continue;  // self label exists since construction
+      index.InsertLabel(v, e);
+    }
+  }
+  return index;
+}
+
+Status FlatSpcIndex::ValidateArena() const {
+  const size_t n = num_vertices_;
+  if (!ordering_.IsValid() || ordering_.size() != n) {
+    return Status::Corruption("flat index ordering is not a permutation");
+  }
+  if (offsets_.size() != n + 1 || offsets_[0] != 0) {
+    return Status::Corruption("flat index offsets malformed");
+  }
+  const size_t stored = wide_mode_ ? wide_entries_.size() : entries_.size();
+  for (size_t v = 0; v < n; ++v) {
+    if (offsets_[v] > offsets_[v + 1]) {
+      return Status::Corruption("flat index offsets not monotone");
+    }
+  }
+  if (offsets_[n] != stored) {
+    return Status::Corruption("flat index offsets/entries mismatch");
+  }
+  for (Vertex v = 0; v < n; ++v) {
+    const Rank rv = ordering_.rank_of[v];
+    Rank prev = kInvalidRank;
+    bool self_seen = false;
+    for (uint64_t i = offsets_[v]; i < offsets_[v + 1]; ++i) {
+      LabelEntry e;
+      if (wide_mode_) {
+        e = wide_entries_[i];
+      } else {
+        const uint64_t word = entries_[i];
+        e.hub = FlatHub(word);
+        if (IsFlatOverflowRef(word) &&
+            FlatOverflowSlot(word) >= overflow_.size()) {
+          return Status::Corruption("flat index overflow slot out of range");
+        }
+        DecodeWord(word, &e.dist, &e.count);
+      }
+      if (prev != kInvalidRank && e.hub <= prev) {
+        return Status::Corruption("flat index hubs not strictly ascending");
+      }
+      prev = e.hub;
+      if (e.hub > rv) {
+        return Status::Corruption("flat index hub outranked by owner");
+      }
+      if (e.hub == rv) {
+        if (e.dist != 0 || e.count != 1) {
+          return Status::Corruption("flat index bad self label");
+        }
+        self_seen = true;
+      }
+      if (e.count == 0) {
+        return Status::Corruption("flat index zero-count label");
+      }
+    }
+    if (!self_seen) {
+      return Status::Corruption("flat index missing self label");
+    }
+  }
+  return Status::OK();
+}
+
+Status FlatSpcIndex::Save(const std::string& path) const {
+  BinaryWriter w;
+  w.PutU32(kSpcIndexMagic);
+  w.PutU32(kSpcIndexFormatV2);
+  w.PutU64(num_vertices_);
+  w.PutU32Array(ordering_.rank_of.data(), ordering_.rank_of.size());
+  w.PutU8(wide_mode_ ? 1 : 0);
+  w.PutU64Array(offsets_.data(), offsets_.size());
+  if (wide_mode_) {
+    for (const LabelEntry& e : wide_entries_) {
+      w.PutU32(e.hub);
+      w.PutU32(e.dist);
+      w.PutU64(e.count);
+    }
+  } else {
+    w.PutU64Array(entries_.data(), entries_.size());
+    w.PutU64(overflow_.size());
+    for (const LabelEntry& e : overflow_) {
+      w.PutU32(e.hub);
+      w.PutU32(e.dist);
+      w.PutU64(e.count);
+    }
+  }
+  return w.WriteToFile(path);
+}
+
+Status FlatSpcIndex::Load(const std::string& path, FlatSpcIndex* out) {
+  BinaryReader r({});
+  Status s = BinaryReader::ReadFromFile(path, &r);
+  if (!s.ok()) return s;
+  if (r.GetU32() != kSpcIndexMagic) {
+    return Status::Corruption("bad index magic");
+  }
+  const uint32_t version = r.GetU32();
+  if (version == kSpcIndexFormatV1) {
+    // v1 is the mutable index's format; parse it and build the snapshot.
+    SpcIndex index;
+    s = SpcIndex::LoadFromReader(&r, &index);
+    if (!s.ok()) return s;
+    *out = FlatSpcIndex(index);
+    return Status::OK();
+  }
+  if (version == kSpcIndexFormatV2) return LoadFromReader(&r, out);
+  return Status::Corruption("bad index version");
+}
+
+Status FlatSpcIndex::LoadFromReader(BinaryReader* reader, FlatSpcIndex* out) {
+  BinaryReader& r = *reader;
+  FlatSpcIndex flat;
+  const uint64_t n = r.GetU64();
+  if (n > r.remaining() / sizeof(Rank)) {
+    return Status::Corruption("bad vertex count");
+  }
+  flat.num_vertices_ = n;
+  flat.ordering_.rank_of.resize(n);
+  if (!r.GetU32Array(flat.ordering_.rank_of.data(), n)) return r.status();
+  flat.ordering_.vertex_of.assign(n, 0);
+  for (uint64_t v = 0; v < n; ++v) {
+    const Rank rank = flat.ordering_.rank_of[v];
+    if (rank >= n) return Status::Corruption("rank out of range");
+    flat.ordering_.vertex_of[rank] = static_cast<Vertex>(v);
+  }
+  flat.wide_mode_ = r.GetU8() != 0;
+  flat.offsets_.resize(n + 1);
+  if (!r.GetU64Array(flat.offsets_.data(), n + 1)) return r.status();
+  const uint64_t total = flat.offsets_[n];
+  if (flat.wide_mode_) {
+    if (total > r.remaining() / 16) return Status::Corruption("bad entry count");
+    flat.wide_entries_.resize(total);
+    for (uint64_t i = 0; i < total; ++i) {
+      LabelEntry& e = flat.wide_entries_[i];
+      e.hub = r.GetU32();
+      e.dist = r.GetU32();
+      e.count = r.GetU64();
+    }
+  } else {
+    if (total > r.remaining() / sizeof(uint64_t)) {
+      return Status::Corruption("bad entry count");
+    }
+    flat.entries_.resize(total);
+    if (!r.GetU64Array(flat.entries_.data(), total)) return r.status();
+    const uint64_t overflow = r.GetU64();
+    if (overflow > r.remaining() / 16) {
+      return Status::Corruption("bad overflow count");
+    }
+    flat.overflow_.resize(overflow);
+    for (uint64_t i = 0; i < overflow; ++i) {
+      LabelEntry& e = flat.overflow_[i];
+      e.hub = r.GetU32();
+      e.dist = r.GetU32();
+      e.count = r.GetU64();
+    }
+  }
+  if (!r.status().ok()) return r.status();
+  if (!r.AtEnd()) return Status::Corruption("trailing bytes in index file");
+  const Status s = flat.ValidateArena();
+  if (!s.ok()) return s;
+  // The dense directory is derived state, rebuilt rather than stored.
+  if (!flat.wide_mode_) flat.BuildDenseDirectory();
+  *out = std::move(flat);
+  return Status::OK();
+}
+
+}  // namespace dspc

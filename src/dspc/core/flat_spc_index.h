@@ -1,0 +1,170 @@
+// FlatSpcIndex: a read-optimized, immutable snapshot of an SpcIndex
+// (DESIGN.md §5).
+//
+// SpcQUERY is a memory-bound merge-scan, so the serving representation is
+// a single contiguous CSR-style arena: offsets[v]..offsets[v+1] delimits
+// the label set of v inside one packed 64-bit entry array (paper §4.1:
+// 25-bit hub / 10-bit dist / 29-bit count). The hub rank sits in the top
+// bits of each word, so the merge compares hubs with one shift and the
+// arena stays sorted by construction. Entries whose distance or count
+// exceed the packed budgets live out-of-line in a rare wide side table;
+// the arena word keeps the hub inline and points at the side-table slot
+// (see label_codec.h for the word formats). Graphs with more than 2^25
+// vertices cannot keep hubs inline, so the snapshot falls back to a
+// contiguous arena of wide 16-byte entries — still CSR, just unpacked.
+//
+// On top of the arena sits a dense top-rank directory: per vertex, a
+// bitmap over the hub ranks below kDenseRanks plus per-word prefix
+// popcounts. On heavy-tailed graphs the overwhelming share of label
+// entries reference top-ranked hubs (>90% below rank 512 on the bench
+// suite), so the merge-scan's long, serially-dependent two-pointer walk
+// collapses into word-parallel bitmap ANDs; each surviving bit is mapped
+// to its arena slot with a prefix popcount (dense entries are a prefix of
+// the rank-sorted label set). Only the short low-rank tail still merges.
+//
+// The flat snapshot is the serving half of the mutable-build / immutable-
+// serve split: HP-SPC / IncSPC / DecSPC mutate the SpcIndex, queries run
+// against the snapshot. All query methods are const and touch no shared
+// mutable state, so any number of threads may query one snapshot
+// concurrently; QueryManyParallel exploits exactly that.
+
+#ifndef DSPC_CORE_FLAT_SPC_INDEX_H_
+#define DSPC_CORE_FLAT_SPC_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dspc/common/status.h"
+#include "dspc/common/types.h"
+#include "dspc/core/spc_index.h"
+#include "dspc/graph/ordering.h"
+
+namespace dspc {
+
+/// On-disk format identifiers. Version 1 is SpcIndex's tagged per-entry
+/// stream; version 2 is the FlatSpcIndex arena image that loads with bulk
+/// array reads. Both loaders accept both versions and convert.
+inline constexpr uint32_t kSpcIndexMagic = 0x44535049;  // "DSPI"
+inline constexpr uint32_t kSpcIndexFormatV1 = 1;
+inline constexpr uint32_t kSpcIndexFormatV2 = 2;
+
+/// A query pair, as consumed by the batched drivers.
+using VertexPair = std::pair<Vertex, Vertex>;
+
+class FlatSpcIndex {
+ public:
+  FlatSpcIndex() = default;
+
+  /// Builds the snapshot from a mutable index in O(total entries).
+  explicit FlatSpcIndex(const SpcIndex& index);
+
+  /// Number of vertices covered.
+  size_t NumVertices() const { return num_vertices_; }
+
+  /// Total label entries across all vertices.
+  size_t TotalEntries() const {
+    return offsets_.empty() ? 0 : static_cast<size_t>(offsets_.back());
+  }
+
+  /// Entries stored in the wide side table (packed mode only).
+  size_t OverflowEntries() const { return overflow_.size(); }
+
+  /// True when entries are wide 16-byte records instead of packed words
+  /// (only for graphs whose ranks exceed the 25-bit hub budget).
+  bool wide_mode() const { return wide_mode_; }
+
+  /// Bytes of the arena (offsets + entries + side table + rank array) —
+  /// the resident cost of the snapshot.
+  size_t ArenaBytes() const;
+
+  /// Rank of vertex v under the snapshot's frozen ordering.
+  Rank RankOf(Vertex v) const { return ordering_.rank_of[v]; }
+
+  /// The frozen ordering the snapshot was built under.
+  const VertexOrdering& ordering() const { return ordering_; }
+
+  /// SpcQUERY (Algorithm 1) over the packed arena. Results are identical
+  /// to SpcIndex::Query on the source index.
+  SpcResult Query(Vertex s, Vertex t) const;
+
+  /// PreQUERY (paper §3.2.2): only hubs ranked strictly higher than s
+  /// participate. Identical to SpcIndex::PreQuery.
+  SpcResult PreQuery(Vertex s, Vertex t) const;
+
+  /// Answers every pair into `out` (size pairs.size()), single-threaded.
+  /// The batched loop amortizes bounds setup and keeps the arena hot.
+  void QueryMany(std::span<const VertexPair> pairs, SpcResult* out) const;
+  std::vector<SpcResult> QueryMany(std::span<const VertexPair> pairs) const;
+
+  /// Thread-parallel batch driver: shards `pairs` over up to `threads`
+  /// std::thread workers (0 = hardware concurrency, capped). Safe because
+  /// the snapshot is immutable. Falls back to the serial loop for small
+  /// batches.
+  std::vector<SpcResult> QueryManyParallel(std::span<const VertexPair> pairs,
+                                           unsigned threads = 0) const;
+
+  /// Rebuilds a mutable SpcIndex equivalent to this snapshot.
+  SpcIndex Unpack() const;
+
+  /// Serialization in the v2 arena format (CRC-framed, bulk arrays).
+  /// Load also accepts v1 files, converting through SpcIndex.
+  Status Save(const std::string& path) const;
+  static Status Load(const std::string& path, FlatSpcIndex* out);
+
+  /// Parses a v2 payload from `r`, which must be positioned just past the
+  /// magic/version header. Used by the cross-version loaders so a file is
+  /// read from disk exactly once; most callers want Load().
+  static Status LoadFromReader(BinaryReader* r, FlatSpcIndex* out);
+
+ private:
+  /// Merge-scan cores; kLimited enables the PreQUERY rank cutoff without
+  /// taxing the plain Query loop.
+  template <bool kLimited>
+  SpcResult QueryPacked(Vertex s, Vertex t, Rank limit) const;
+  template <bool kLimited>
+  SpcResult QueryWide(Vertex s, Vertex t, Rank limit) const;
+
+  /// Cheap structural checks over a freshly-parsed arena (Load path).
+  Status ValidateArena() const;
+
+  /// Hub ranks covered by the dense directory (must be a multiple of 64).
+  static constexpr Rank kDenseRanks = 512;
+  static constexpr size_t kDenseWords = kDenseRanks / 64;
+
+  /// Rebuilds hub_bits_/word_base_ from offsets_/entries_ (packed mode).
+  void BuildDenseDirectory();
+
+  /// Arena index one past v's last dense (hub < kDenseRanks) entry.
+  uint64_t DenseEnd(Vertex v) const;
+
+  /// Decodes the dist/count of a packed arena word, chasing the rare
+  /// overflow reference into the side table.
+  void DecodeWord(uint64_t word, Distance* dist, PathCount* count) const;
+
+  size_t num_vertices_ = 0;
+  bool wide_mode_ = false;
+  VertexOrdering ordering_;
+  /// offsets_[v]..offsets_[v+1] delimit v's entries; size n+1.
+  std::vector<uint64_t> offsets_;
+  /// Packed arena words, sorted ascending by hub within each vertex range.
+  std::vector<uint64_t> entries_;
+  /// Wide side table for packed-mode overflow entries.
+  std::vector<LabelEntry> overflow_;
+  /// Dense top-rank directory (packed mode): kDenseWords bitmap words per
+  /// vertex; bit r of v's bitmap is set iff L(v) contains hub rank
+  /// v*kDenseWords-relative r.
+  std::vector<uint64_t> hub_bits_;
+  /// word_base_[v*kDenseWords + w]: number of dense entries of v in bitmap
+  /// words [0, w) — the prefix-popcount base for positional lookup.
+  std::vector<uint16_t> word_base_;
+  /// Wide arena (wide_mode_ only), same CSR layout as entries_.
+  std::vector<LabelEntry> wide_entries_;
+};
+
+}  // namespace dspc
+
+#endif  // DSPC_CORE_FLAT_SPC_INDEX_H_

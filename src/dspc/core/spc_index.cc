@@ -4,6 +4,7 @@
 
 #include "dspc/common/binary_io.h"
 #include "dspc/common/label_codec.h"
+#include "dspc/core/flat_spc_index.h"
 
 namespace dspc {
 
@@ -143,13 +144,17 @@ IndexSizeStats SpcIndex::SizeStats() const {
   for (const LabelSet& set : labels_) {
     stats.total_entries += set.size();
     stats.max_label_size = std::max(stats.max_label_size, set.size());
+    for (const LabelEntry& e : set) {
+      if (!FitsFlatInline(e.hub, e.dist, e.count)) ++stats.overflow_entries;
+    }
   }
   stats.avg_label_size =
       labels_.empty()
           ? 0.0
           : static_cast<double>(stats.total_entries) / labels_.size();
   stats.wide_bytes = stats.total_entries * sizeof(LabelEntry);
-  stats.packed_bytes = stats.total_entries * sizeof(uint64_t);
+  stats.packed_bytes = stats.total_entries * sizeof(uint64_t) +
+                       stats.overflow_entries * sizeof(LabelEntry);
   return stats;
 }
 
@@ -190,15 +195,10 @@ Status SpcIndex::ValidateStructure() const {
   return Status::OK();
 }
 
-namespace {
-constexpr uint32_t kIndexMagic = 0x44535049;  // "DSPI"
-constexpr uint32_t kIndexVersion = 1;
-}  // namespace
-
 Status SpcIndex::Save(const std::string& path) const {
   BinaryWriter w;
-  w.PutU32(kIndexMagic);
-  w.PutU32(kIndexVersion);
+  w.PutU32(kSpcIndexMagic);
+  w.PutU32(kSpcIndexFormatV1);
   w.PutU64(labels_.size());
   for (Vertex v = 0; v < labels_.size(); ++v) {
     w.PutU32(ordering_.rank_of[v]);
@@ -226,11 +226,28 @@ Status SpcIndex::Load(const std::string& path, SpcIndex* out) {
   BinaryReader r({});
   Status s = BinaryReader::ReadFromFile(path, &r);
   if (!s.ok()) return s;
-  if (r.GetU32() != kIndexMagic) return Status::Corruption("bad index magic");
-  if (r.GetU32() != kIndexVersion) {
-    return Status::Corruption("bad index version");
+  if (r.GetU32() != kSpcIndexMagic) {
+    return Status::Corruption("bad index magic");
   }
+  const uint32_t version = r.GetU32();
+  if (version == kSpcIndexFormatV1) return LoadFromReader(&r, out);
+  if (version == kSpcIndexFormatV2) {
+    // v2 is the flat arena image; parse it and unpack into a mutable index.
+    FlatSpcIndex flat;
+    s = FlatSpcIndex::LoadFromReader(&r, &flat);
+    if (!s.ok()) return s;
+    *out = flat.Unpack();
+    return Status::OK();
+  }
+  return Status::Corruption("bad index version");
+}
+
+Status SpcIndex::LoadFromReader(BinaryReader* reader, SpcIndex* out) {
+  BinaryReader& r = *reader;
   const uint64_t n = r.GetU64();
+  if (n > r.remaining() / sizeof(Rank)) {
+    return Status::Corruption("bad vertex count");
+  }
   SpcIndex index;
   index.ordering_.rank_of.resize(n);
   index.ordering_.vertex_of.assign(n, 0);
@@ -265,7 +282,7 @@ Status SpcIndex::Load(const std::string& path, SpcIndex* out) {
       }
     }
   }
-  if (!r.AtEnd()) return Status::Corruption("trailing bytes in " + path);
+  if (!r.AtEnd()) return Status::Corruption("trailing bytes in index file");
   index.hub_occurrences_.assign(n, 0);
   for (uint64_t v = 0; v < n; ++v) {
     for (const LabelEntry& e : index.labels_[v]) {
@@ -275,7 +292,7 @@ Status SpcIndex::Load(const std::string& path, SpcIndex* out) {
       }
     }
   }
-  s = index.ValidateStructure();
+  const Status s = index.ValidateStructure();
   if (!s.ok()) return s;
   *out = std::move(index);
   return Status::OK();

@@ -29,6 +29,8 @@
 
 namespace dspc {
 
+class BinaryReader;
+
 /// One label triple. `hub` is the hub's rank; `count` is sigma_{hub,v}.
 struct LabelEntry {
   Rank hub;
@@ -57,7 +59,12 @@ struct IndexSizeStats {
   double avg_label_size = 0.0;
   /// Bytes of the in-memory 16-byte-entry representation.
   size_t wide_bytes = 0;
-  /// Bytes under the paper's packed 64-bit encoding (Section 4.1).
+  /// Entries that exceed the packed 25/10/29-bit budgets and need the
+  /// flat arena's wide side table.
+  size_t overflow_entries = 0;
+  /// Bytes under the paper's packed 64-bit encoding (Section 4.1): one
+  /// word per entry plus a wide side-table record per overflow entry —
+  /// the exact resident cost of the FlatSpcIndex entry storage.
   size_t packed_bytes = 0;
 };
 
@@ -133,9 +140,15 @@ class SpcIndex {
   /// naming the first violation.
   Status ValidateStructure() const;
 
-  /// Serialization with CRC framing. Load validates structure.
+  /// Serialization with CRC framing. Load validates structure and also
+  /// accepts the v2 flat-arena format (unpacking it).
   Status Save(const std::string& path) const;
   static Status Load(const std::string& path, SpcIndex* out);
+
+  /// Parses a v1 payload from `r`, which must be positioned just past the
+  /// magic/version header. Used by the cross-version loaders so a file is
+  /// read from disk exactly once; most callers want Load().
+  static Status LoadFromReader(BinaryReader* r, SpcIndex* out);
 
   friend bool operator==(const SpcIndex& a, const SpcIndex& b) {
     return a.ordering_.rank_of == b.ordering_.rank_of &&

@@ -151,6 +151,111 @@ TEST(AdoptIndexTest, LoadedIndexServesUpdates) {
   std::remove(path.c_str());
 }
 
+TEST(FlatSnapshotTest, GenerationInvalidationAndLazyRebuild) {
+  Graph g = RandomGraph(24, 50, 14);
+  DynamicSpcOptions options;
+  options.snapshot_rebuild_after_queries = 1;  // rebuild on first query
+  DynamicSpcIndex dyn(g, options);
+
+  // No snapshot yet; the first query builds it.
+  EXPECT_FALSE(dyn.SnapshotFresh());
+  EXPECT_EQ(dyn.SnapshotRebuilds(), 0u);
+  const SpcResult before = dyn.Query(0, 23);
+  EXPECT_TRUE(dyn.SnapshotFresh());
+  EXPECT_EQ(dyn.SnapshotRebuilds(), 1u);
+  EXPECT_EQ(before, dyn.index().Query(0, 23));
+
+  // Further queries ride the snapshot without rebuilding.
+  dyn.Query(1, 2);
+  dyn.Query(3, 4);
+  EXPECT_EQ(dyn.SnapshotRebuilds(), 1u);
+
+  // An applied update invalidates; the next query rebuilds and agrees
+  // with ground truth.
+  const Edge fresh = SampleNonEdges(dyn.graph(), 1, 99).at(0);
+  const uint64_t gen = dyn.Generation();
+  ASSERT_TRUE(dyn.InsertEdge(fresh.u, fresh.v).applied);
+  EXPECT_GT(dyn.Generation(), gen);
+  EXPECT_FALSE(dyn.SnapshotFresh());
+  const SpcResult after = dyn.Query(fresh.u, fresh.v);
+  EXPECT_EQ(dyn.SnapshotRebuilds(), 2u);
+  EXPECT_EQ(after, (SpcResult{1, 1}));
+  ExpectIndexMatchesBfs(dyn.graph(), dyn.index());
+
+  // A rejected duplicate insert does not invalidate.
+  dyn.InsertEdge(fresh.u, fresh.v);
+  EXPECT_TRUE(dyn.SnapshotFresh());
+}
+
+TEST(FlatSnapshotTest, StaleQueryThresholdAmortizesRebuilds) {
+  Graph g = RandomGraph(20, 40, 15);
+  DynamicSpcOptions options;
+  options.snapshot_rebuild_after_queries = 3;
+  DynamicSpcIndex dyn(g, options);
+  // Two stale queries stay on the mutable index (and answer correctly);
+  // the third pays the refresh.
+  const SsspCounts truth = BfsCount(dyn.graph(), 0);
+  EXPECT_EQ(dyn.Query(0, 5).dist, truth.dist[5]);
+  EXPECT_EQ(dyn.Query(0, 6).dist, truth.dist[6]);
+  EXPECT_EQ(dyn.SnapshotRebuilds(), 0u);
+  EXPECT_FALSE(dyn.SnapshotFresh());
+  EXPECT_EQ(dyn.Query(0, 7).dist, truth.dist[7]);
+  EXPECT_EQ(dyn.SnapshotRebuilds(), 1u);
+  EXPECT_TRUE(dyn.SnapshotFresh());
+}
+
+TEST(FlatSnapshotTest, BatchQueryRefreshesOnceAndMatchesLegacy) {
+  Graph g = RandomGraph(40, 90, 16);
+  DynamicSpcIndex dyn(g);
+  dyn.InsertEdge(0, 39);
+  std::vector<std::pair<Vertex, Vertex>> pairs;
+  for (Vertex s = 0; s < 40; ++s) {
+    for (Vertex t = 0; t < 40; t += 5) pairs.emplace_back(s, t);
+  }
+  const auto results = dyn.BatchQuery(pairs, 2);
+  EXPECT_EQ(dyn.SnapshotRebuilds(), 1u);
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    ASSERT_EQ(results[i], dyn.index().Query(pairs[i].first, pairs[i].second))
+        << "pair " << i;
+  }
+  // A second batch on an unchanged graph reuses the snapshot.
+  dyn.BatchQuery(pairs, 2);
+  EXPECT_EQ(dyn.SnapshotRebuilds(), 1u);
+}
+
+TEST(FlatSnapshotTest, FlatSnapshotAccessorServesConcurrently) {
+  Graph g = RandomGraph(30, 60, 17);
+  DynamicSpcIndex dyn(g);
+  const std::shared_ptr<const FlatSpcIndex> flat = dyn.FlatSnapshot();
+  EXPECT_TRUE(dyn.SnapshotFresh());
+  for (Vertex s = 0; s < 30; s += 3) {
+    for (Vertex t = 0; t < 30; t += 3) {
+      ASSERT_EQ(flat->Query(s, t), dyn.index().Query(s, t));
+    }
+  }
+  // A held snapshot outlives later rebuilds: update, force a new
+  // snapshot, and the old one still answers for its own generation.
+  const SpcResult before = flat->Query(0, 29);
+  const Edge fresh = SampleNonEdges(dyn.graph(), 1, 55).at(0);
+  ASSERT_TRUE(dyn.InsertEdge(fresh.u, fresh.v).applied);
+  const auto flat2 = dyn.FlatSnapshot();
+  EXPECT_NE(flat.get(), flat2.get());
+  EXPECT_EQ(flat->Query(0, 29), before);
+}
+
+TEST(FlatSnapshotTest, DisabledSnapshotStaysOnMutableIndex) {
+  Graph g = RandomGraph(20, 40, 18);
+  DynamicSpcOptions options;
+  options.enable_flat_snapshot = false;
+  DynamicSpcIndex dyn(g, options);
+  const SsspCounts truth = BfsCount(dyn.graph(), 0);
+  for (Vertex t = 0; t < 20; ++t) {
+    ASSERT_EQ(dyn.Query(0, t).dist, truth.dist[t]);
+  }
+  dyn.BatchQuery({{0, 1}, {2, 3}});
+  EXPECT_EQ(dyn.SnapshotRebuilds(), 0u);
+}
+
 TEST(ManualRebuildTest, ResetsCountersAndStaysExact) {
   Graph g = RandomGraph(18, 30, 13);
   DynamicSpcIndex dyn(std::move(g));

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "dspc/common/binary_io.h"
+#include "dspc/common/label_codec.h"
 #include "dspc/core/hp_spc.h"
 #include "dspc/core/spc_index.h"
 #include "dspc/graph/generators.h"
@@ -154,7 +155,20 @@ TEST(SpcIndexTest, SizeStats) {
   EXPECT_DOUBLE_EQ(stats.avg_label_size,
                    static_cast<double>(stats.total_entries) / 20.0);
   EXPECT_EQ(stats.wide_bytes, stats.total_entries * sizeof(LabelEntry));
+  EXPECT_EQ(stats.overflow_entries, 0u);  // tiny graph: everything packs
   EXPECT_EQ(stats.packed_bytes, stats.total_entries * 8);
+}
+
+TEST(SpcIndexTest, SizeStatsCountsOverflowSideTable) {
+  // Entries exceeding the packed budgets cost an arena word plus a wide
+  // side-table record; packed_bytes must account for both.
+  SpcIndex index(IdentityOrdering(3));
+  index.InsertLabel(1, LabelEntry{0, 1, kPackedCountMax + 1});
+  index.InsertLabel(2, LabelEntry{0, static_cast<Distance>(kPackedDistMax), 1});
+  const IndexSizeStats stats = index.SizeStats();
+  EXPECT_EQ(stats.total_entries, 5u);
+  EXPECT_EQ(stats.overflow_entries, 2u);
+  EXPECT_EQ(stats.packed_bytes, 5 * 8 + 2 * sizeof(LabelEntry));
 }
 
 TEST(SpcIndexSerialization, RoundTripPreservesEverything) {
