@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_inc_changes.dir/bench/bench_fig8_inc_changes.cc.o"
+  "CMakeFiles/bench_fig8_inc_changes.dir/bench/bench_fig8_inc_changes.cc.o.d"
+  "bench_fig8_inc_changes"
+  "bench_fig8_inc_changes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_inc_changes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_query_throughput.dir/bench/bench_query_throughput.cc.o"
+  "CMakeFiles/bench_query_throughput.dir/bench/bench_query_throughput.cc.o.d"
+  "bench_query_throughput"
+  "bench_query_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_query_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

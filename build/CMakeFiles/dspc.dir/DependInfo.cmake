@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dspc/apps/betweenness.cc" "CMakeFiles/dspc.dir/src/dspc/apps/betweenness.cc.o" "gcc" "CMakeFiles/dspc.dir/src/dspc/apps/betweenness.cc.o.d"
+  "/root/repo/src/dspc/apps/recommendation.cc" "CMakeFiles/dspc.dir/src/dspc/apps/recommendation.cc.o" "gcc" "CMakeFiles/dspc.dir/src/dspc/apps/recommendation.cc.o.d"
+  "/root/repo/src/dspc/baseline/bfs_counting.cc" "CMakeFiles/dspc.dir/src/dspc/baseline/bfs_counting.cc.o" "gcc" "CMakeFiles/dspc.dir/src/dspc/baseline/bfs_counting.cc.o.d"
+  "/root/repo/src/dspc/baseline/bibfs_counting.cc" "CMakeFiles/dspc.dir/src/dspc/baseline/bibfs_counting.cc.o" "gcc" "CMakeFiles/dspc.dir/src/dspc/baseline/bibfs_counting.cc.o.d"
+  "/root/repo/src/dspc/baseline/dijkstra_counting.cc" "CMakeFiles/dspc.dir/src/dspc/baseline/dijkstra_counting.cc.o" "gcc" "CMakeFiles/dspc.dir/src/dspc/baseline/dijkstra_counting.cc.o.d"
+  "/root/repo/src/dspc/common/binary_io.cc" "CMakeFiles/dspc.dir/src/dspc/common/binary_io.cc.o" "gcc" "CMakeFiles/dspc.dir/src/dspc/common/binary_io.cc.o.d"
+  "/root/repo/src/dspc/common/label_codec.cc" "CMakeFiles/dspc.dir/src/dspc/common/label_codec.cc.o" "gcc" "CMakeFiles/dspc.dir/src/dspc/common/label_codec.cc.o.d"
+  "/root/repo/src/dspc/common/stats.cc" "CMakeFiles/dspc.dir/src/dspc/common/stats.cc.o" "gcc" "CMakeFiles/dspc.dir/src/dspc/common/stats.cc.o.d"
+  "/root/repo/src/dspc/common/status.cc" "CMakeFiles/dspc.dir/src/dspc/common/status.cc.o" "gcc" "CMakeFiles/dspc.dir/src/dspc/common/status.cc.o.d"
+  "/root/repo/src/dspc/core/dec_spc.cc" "CMakeFiles/dspc.dir/src/dspc/core/dec_spc.cc.o" "gcc" "CMakeFiles/dspc.dir/src/dspc/core/dec_spc.cc.o.d"
+  "/root/repo/src/dspc/core/directed_spc.cc" "CMakeFiles/dspc.dir/src/dspc/core/directed_spc.cc.o" "gcc" "CMakeFiles/dspc.dir/src/dspc/core/directed_spc.cc.o.d"
+  "/root/repo/src/dspc/core/dynamic_spc.cc" "CMakeFiles/dspc.dir/src/dspc/core/dynamic_spc.cc.o" "gcc" "CMakeFiles/dspc.dir/src/dspc/core/dynamic_spc.cc.o.d"
+  "/root/repo/src/dspc/core/flat_spc_index.cc" "CMakeFiles/dspc.dir/src/dspc/core/flat_spc_index.cc.o" "gcc" "CMakeFiles/dspc.dir/src/dspc/core/flat_spc_index.cc.o.d"
+  "/root/repo/src/dspc/core/hp_spc.cc" "CMakeFiles/dspc.dir/src/dspc/core/hp_spc.cc.o" "gcc" "CMakeFiles/dspc.dir/src/dspc/core/hp_spc.cc.o.d"
+  "/root/repo/src/dspc/core/inc_spc.cc" "CMakeFiles/dspc.dir/src/dspc/core/inc_spc.cc.o" "gcc" "CMakeFiles/dspc.dir/src/dspc/core/inc_spc.cc.o.d"
+  "/root/repo/src/dspc/core/spc_index.cc" "CMakeFiles/dspc.dir/src/dspc/core/spc_index.cc.o" "gcc" "CMakeFiles/dspc.dir/src/dspc/core/spc_index.cc.o.d"
+  "/root/repo/src/dspc/core/weighted_spc.cc" "CMakeFiles/dspc.dir/src/dspc/core/weighted_spc.cc.o" "gcc" "CMakeFiles/dspc.dir/src/dspc/core/weighted_spc.cc.o.d"
+  "/root/repo/src/dspc/graph/digraph.cc" "CMakeFiles/dspc.dir/src/dspc/graph/digraph.cc.o" "gcc" "CMakeFiles/dspc.dir/src/dspc/graph/digraph.cc.o.d"
+  "/root/repo/src/dspc/graph/generators.cc" "CMakeFiles/dspc.dir/src/dspc/graph/generators.cc.o" "gcc" "CMakeFiles/dspc.dir/src/dspc/graph/generators.cc.o.d"
+  "/root/repo/src/dspc/graph/graph.cc" "CMakeFiles/dspc.dir/src/dspc/graph/graph.cc.o" "gcc" "CMakeFiles/dspc.dir/src/dspc/graph/graph.cc.o.d"
+  "/root/repo/src/dspc/graph/io.cc" "CMakeFiles/dspc.dir/src/dspc/graph/io.cc.o" "gcc" "CMakeFiles/dspc.dir/src/dspc/graph/io.cc.o.d"
+  "/root/repo/src/dspc/graph/ordering.cc" "CMakeFiles/dspc.dir/src/dspc/graph/ordering.cc.o" "gcc" "CMakeFiles/dspc.dir/src/dspc/graph/ordering.cc.o.d"
+  "/root/repo/src/dspc/graph/update_stream.cc" "CMakeFiles/dspc.dir/src/dspc/graph/update_stream.cc.o" "gcc" "CMakeFiles/dspc.dir/src/dspc/graph/update_stream.cc.o.d"
+  "/root/repo/src/dspc/graph/weighted_graph.cc" "CMakeFiles/dspc.dir/src/dspc/graph/weighted_graph.cc.o" "gcc" "CMakeFiles/dspc.dir/src/dspc/graph/weighted_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dspc_bench_util.dir/bench/bench_util.cc.o"
+  "CMakeFiles/dspc_bench_util.dir/bench/bench_util.cc.o.d"
+  "libdspc_bench_util.a"
+  "libdspc_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dspc_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps_test.cc" "CMakeFiles/dspc_tests.dir/tests/apps_test.cc.o" "gcc" "CMakeFiles/dspc_tests.dir/tests/apps_test.cc.o.d"
+  "/root/repo/tests/baseline_test.cc" "CMakeFiles/dspc_tests.dir/tests/baseline_test.cc.o" "gcc" "CMakeFiles/dspc_tests.dir/tests/baseline_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "CMakeFiles/dspc_tests.dir/tests/common_test.cc.o" "gcc" "CMakeFiles/dspc_tests.dir/tests/common_test.cc.o.d"
+  "/root/repo/tests/directed_spc_test.cc" "CMakeFiles/dspc_tests.dir/tests/directed_spc_test.cc.o" "gcc" "CMakeFiles/dspc_tests.dir/tests/directed_spc_test.cc.o.d"
+  "/root/repo/tests/dynamic_facade_test.cc" "CMakeFiles/dspc_tests.dir/tests/dynamic_facade_test.cc.o" "gcc" "CMakeFiles/dspc_tests.dir/tests/dynamic_facade_test.cc.o.d"
+  "/root/repo/tests/dynamic_property_test.cc" "CMakeFiles/dspc_tests.dir/tests/dynamic_property_test.cc.o" "gcc" "CMakeFiles/dspc_tests.dir/tests/dynamic_property_test.cc.o.d"
+  "/root/repo/tests/flat_spc_index_test.cc" "CMakeFiles/dspc_tests.dir/tests/flat_spc_index_test.cc.o" "gcc" "CMakeFiles/dspc_tests.dir/tests/flat_spc_index_test.cc.o.d"
+  "/root/repo/tests/generators_test.cc" "CMakeFiles/dspc_tests.dir/tests/generators_test.cc.o" "gcc" "CMakeFiles/dspc_tests.dir/tests/generators_test.cc.o.d"
+  "/root/repo/tests/graph_test.cc" "CMakeFiles/dspc_tests.dir/tests/graph_test.cc.o" "gcc" "CMakeFiles/dspc_tests.dir/tests/graph_test.cc.o.d"
+  "/root/repo/tests/hp_spc_test.cc" "CMakeFiles/dspc_tests.dir/tests/hp_spc_test.cc.o" "gcc" "CMakeFiles/dspc_tests.dir/tests/hp_spc_test.cc.o.d"
+  "/root/repo/tests/io_test.cc" "CMakeFiles/dspc_tests.dir/tests/io_test.cc.o" "gcc" "CMakeFiles/dspc_tests.dir/tests/io_test.cc.o.d"
+  "/root/repo/tests/paper_examples_test.cc" "CMakeFiles/dspc_tests.dir/tests/paper_examples_test.cc.o" "gcc" "CMakeFiles/dspc_tests.dir/tests/paper_examples_test.cc.o.d"
+  "/root/repo/tests/smoke_test.cc" "CMakeFiles/dspc_tests.dir/tests/smoke_test.cc.o" "gcc" "CMakeFiles/dspc_tests.dir/tests/smoke_test.cc.o.d"
+  "/root/repo/tests/spc_index_test.cc" "CMakeFiles/dspc_tests.dir/tests/spc_index_test.cc.o" "gcc" "CMakeFiles/dspc_tests.dir/tests/spc_index_test.cc.o.d"
+  "/root/repo/tests/stress_test.cc" "CMakeFiles/dspc_tests.dir/tests/stress_test.cc.o" "gcc" "CMakeFiles/dspc_tests.dir/tests/stress_test.cc.o.d"
+  "/root/repo/tests/update_stream_test.cc" "CMakeFiles/dspc_tests.dir/tests/update_stream_test.cc.o" "gcc" "CMakeFiles/dspc_tests.dir/tests/update_stream_test.cc.o.d"
+  "/root/repo/tests/weighted_spc_test.cc" "CMakeFiles/dspc_tests.dir/tests/weighted_spc_test.cc.o" "gcc" "CMakeFiles/dspc_tests.dir/tests/weighted_spc_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/dspc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_collaboration_network.dir/examples/collaboration_network.cpp.o"
+  "CMakeFiles/example_collaboration_network.dir/examples/collaboration_network.cpp.o.d"
+  "example_collaboration_network"
+  "example_collaboration_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_collaboration_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

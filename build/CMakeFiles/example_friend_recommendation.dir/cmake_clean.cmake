@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_friend_recommendation.dir/examples/friend_recommendation.cpp.o"
+  "CMakeFiles/example_friend_recommendation.dir/examples/friend_recommendation.cpp.o.d"
+  "example_friend_recommendation"
+  "example_friend_recommendation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_friend_recommendation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_group_betweenness.dir/examples/group_betweenness.cpp.o"
+  "CMakeFiles/example_group_betweenness.dir/examples/group_betweenness.cpp.o.d"
+  "example_group_betweenness"
+  "example_group_betweenness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_group_betweenness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

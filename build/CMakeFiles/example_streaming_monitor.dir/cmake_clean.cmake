@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_streaming_monitor.dir/examples/streaming_monitor.cpp.o"
+  "CMakeFiles/example_streaming_monitor.dir/examples/streaming_monitor.cpp.o.d"
+  "example_streaming_monitor"
+  "example_streaming_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_streaming_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
