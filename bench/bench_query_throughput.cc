@@ -13,6 +13,7 @@
 #include "bench_util.h"
 #include "dspc/common/rng.h"
 #include "dspc/common/stopwatch.h"
+#include "dspc/core/dynamic_spc.h"
 #include "dspc/core/flat_spc_index.h"
 #include "dspc/core/hp_spc.h"
 #include "dspc/graph/generators.h"
@@ -103,6 +104,17 @@ int main(int argc, char** argv) {
     sink += results.front().dist;
   });
 
+  // Serving through the dynamic facade: adopt a copy of the index and run
+  // the same batch through DynamicSpcIndex::BatchQuery under background
+  // refresh — what the epoch-guarded snapshot pin costs on the hot path.
+  DynamicSpcOptions facade_options;
+  facade_options.snapshot_refresh = RefreshPolicy::kBackground;
+  const DynamicSpcIndex dyn(graph, index, facade_options);
+  const double facade_qps = MeasureQps(queries, reps, [&] {
+    auto results = dyn.BatchQuery(pairs, threads);
+    sink += results.front().dist;
+  });
+
   // Sanity: the drivers must agree on the whole query set.
   size_t mismatches = 0;
   for (size_t i = 0; i < pairs.size(); ++i) {
@@ -120,6 +132,8 @@ int main(int argc, char** argv) {
               batch_qps / legacy_qps);
   std::printf("%-22s %14.0f %9.2fx  (%u threads)\n", "flat batched parallel",
               parallel_qps, parallel_qps / legacy_qps, threads);
+  std::printf("%-22s %14.0f %9.2fx  (snapshot pin)\n", "dynamic facade batch",
+              facade_qps, facade_qps / legacy_qps);
   std::printf("\nequivalence: %zu mismatches on %zu queries (sink %llu)\n",
               mismatches, queries,
               static_cast<unsigned long long>(sink));
@@ -144,17 +158,20 @@ int main(int argc, char** argv) {
                "  \"flat_qps\": %.0f,\n"
                "  \"flat_batch_qps\": %.0f,\n"
                "  \"flat_parallel_qps\": %.0f,\n"
+               "  \"facade_batch_qps\": %.0f,\n"
                "  \"flat_speedup\": %.3f,\n"
                "  \"flat_batch_speedup\": %.3f,\n"
                "  \"flat_parallel_speedup\": %.3f,\n"
+               "  \"facade_batch_speedup\": %.3f,\n"
                "  \"mismatches\": %zu\n"
                "}\n",
                scale, graph.NumVertices(), graph.NumEdges(),
                stats.total_entries, stats.wide_bytes, flat.ArenaBytes(),
                flat.OverflowEntries(), build_s, snapshot_s, queries, threads,
-               legacy_qps, flat_qps, batch_qps, parallel_qps,
+               legacy_qps, flat_qps, batch_qps, parallel_qps, facade_qps,
                flat_qps / legacy_qps, batch_qps / legacy_qps,
-               parallel_qps / legacy_qps, mismatches);
+               parallel_qps / legacy_qps, facade_qps / legacy_qps,
+               mismatches);
   std::fclose(json);
   std::printf("wrote %s\n", json_path.c_str());
   return mismatches == 0 ? 0 : 1;

@@ -1,0 +1,245 @@
+// Mixed read/write serving bench: reader threads issue single SPC queries
+// continuously while a writer applies update bursts, once per
+// RefreshPolicy (kSync vs kBackground). The p50/p99/max query latency
+// shows whether the O(total entries) snapshot rebuild lands on the query
+// path (sync: the budget-crossing reader stalls for the whole rebuild and
+// everyone else stalls behind the writer lock) or on the background
+// worker (queries keep serving the previous pinned snapshot and never
+// block on maintenance). Emits a human table and machine-readable JSON
+// (BENCH_streaming_latency.json, override with argv[1]).
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "dspc/common/rng.h"
+#include "dspc/common/stats.h"
+#include "dspc/common/stopwatch.h"
+#include "dspc/core/dynamic_spc.h"
+#include "dspc/core/hp_spc.h"
+#include "dspc/graph/generators.h"
+#include "dspc/graph/update_stream.h"
+
+namespace {
+
+using namespace dspc;
+
+constexpr unsigned kReaders = 2;
+constexpr size_t kBurstSize = 25;
+constexpr int kBurstGapMs = 30;
+
+struct WindowStats {
+  size_t queries = 0;
+  double p50_us = 0.0;
+  double p90_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
+  // Stall depth buckets. >1ms is mostly scheduler noise on a loaded box;
+  // >20ms is a query actually waiting out rebuild/lock chains — the
+  // full-rebuild stall the background policy exists to eliminate.
+  size_t stalls_1ms = 0;
+  size_t stalls_20ms = 0;
+
+  static WindowStats From(const SampleStats& s) {
+    WindowStats w;
+    w.queries = s.count();
+    w.p50_us = s.Percentile(50.0);
+    w.p90_us = s.Percentile(90.0);
+    w.p99_us = s.Percentile(99.0);
+    w.max_us = s.Max();
+    for (const double v : s.values()) {
+      if (v > 1000.0) ++w.stalls_1ms;
+      if (v > 20000.0) ++w.stalls_20ms;
+    }
+    return w;
+  }
+};
+
+struct PolicyResult {
+  std::string name;
+  size_t updates = 0;
+  double update_seconds = 0.0;
+  WindowStats burst;  // sampled while the writer was applying updates
+  WindowStats idle;   // sampled between bursts
+  size_t rebuilds = 0;
+  size_t background_rebuilds = 0;
+  size_t retired = 0;
+};
+
+PolicyResult ServeUnderBursts(const Graph& graph, const SpcIndex& base,
+                              const std::vector<Update>& stream,
+                              RefreshPolicy policy, const std::string& name) {
+  DynamicSpcOptions options;
+  options.snapshot_refresh = policy;
+  options.snapshot_rebuild_after_queries = 1;  // rebuild eagerly: worst case
+  DynamicSpcIndex dyn(graph, base, options);   // adopt a copy of the index
+  dyn.WaitForFreshSnapshot();                  // warm the serving path
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> in_burst{false};
+  // [reader][0]: burst-window samples, [reader][1]: idle samples.
+  std::vector<std::array<SampleStats, 2>> per_reader(kReaders);
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  const size_t n = graph.NumVertices();
+  for (unsigned r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      Rng rng(1000 + r);
+      uint64_t sink = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        const auto s = static_cast<Vertex>(rng.NextBounded(n));
+        const auto t = static_cast<Vertex>(rng.NextBounded(n));
+        const bool burst = in_burst.load(std::memory_order_acquire);
+        Stopwatch q;
+        const SpcResult res = dyn.Query(s, t);
+        per_reader[r][burst ? 0 : 1].Add(q.ElapsedMicros());
+        sink += res.dist;
+      }
+      if (sink == 0xDEADBEEF) std::printf("impossible\n");  // keep sink live
+    });
+  }
+
+  // Writer: bursts of updates (spaced like an arriving stream so readers
+  // interleave) with serving gaps between bursts.
+  Stopwatch writer_watch;
+  size_t applied = 0;
+  for (size_t i = 0; i < stream.size(); ++i) {
+    in_burst.store(true, std::memory_order_release);
+    applied += dyn.Apply(stream[i]).applied ? 1 : 0;
+    if ((i + 1) % kBurstSize == 0) {
+      in_burst.store(false, std::memory_order_release);
+      std::this_thread::sleep_for(std::chrono::milliseconds(kBurstGapMs));
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(300));
+    }
+  }
+  in_burst.store(false, std::memory_order_release);
+  const double update_seconds = writer_watch.ElapsedSeconds();
+  // Let readers drain the post-burst rebuild before sampling ends.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  SampleStats burst_all;
+  SampleStats idle_all;
+  for (const auto& s : per_reader) {
+    for (const double v : s[0].values()) burst_all.Add(v);
+    for (const double v : s[1].values()) idle_all.Add(v);
+  }
+
+  PolicyResult out;
+  out.name = name;
+  out.updates = applied;
+  out.update_seconds = update_seconds;
+  out.burst = WindowStats::From(burst_all);
+  out.idle = WindowStats::From(idle_all);
+  out.rebuilds = dyn.SnapshotRebuilds();
+  out.background_rebuilds = dyn.snapshots()->BackgroundRebuilds();
+  out.retired = dyn.snapshots()->RetiredSnapshots();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path =
+      argc > 1 ? argv[1] : "BENCH_streaming_latency.json";
+  const size_t f = bench::ScaleFactor();
+
+  const size_t scale = 12;
+  const size_t edges = 34000 * f;
+  const Graph graph = GenerateRmat(scale, edges, 5);
+  std::printf("graph: RMAT scale=%zu  n=%zu  m=%zu\n", scale,
+              graph.NumVertices(), graph.NumEdges());
+
+  Stopwatch build_watch;
+  const SpcIndex base = BuildSpcIndex(graph);
+  std::printf("index: %zu entries, built in %.2fs\n",
+              base.SizeStats().total_entries, build_watch.ElapsedSeconds());
+
+  // 120 insertions + 30 deletions in bursts of 25.
+  const std::vector<Update> stream = MakeHybridStream(graph, 120, 30, 9);
+
+  const PolicyResult sync = ServeUnderBursts(graph, base, stream,
+                                             RefreshPolicy::kSync, "sync");
+  const PolicyResult bg = ServeUnderBursts(
+      graph, base, stream, RefreshPolicy::kBackground, "background");
+
+  std::printf("\n%-12s %-7s %9s %9s %9s %10s %7s %7s\n", "policy", "window",
+              "queries", "p50 us", "p99 us", "max us", ">1ms", ">20ms");
+  bench::PrintRule(7);
+  for (const PolicyResult& r : {sync, bg}) {
+    std::printf("%-12s %-7s %9zu %9.1f %9.1f %10.1f %7zu %7zu\n",
+                r.name.c_str(), "burst", r.burst.queries, r.burst.p50_us,
+                r.burst.p99_us, r.burst.max_us, r.burst.stalls_1ms,
+                r.burst.stalls_20ms);
+    std::printf("%-12s %-7s %9zu %9.1f %9.1f %10.1f %7zu %7zu  "
+                "(%zu rebuilds)\n",
+                r.name.c_str(), "idle", r.idle.queries, r.idle.p50_us,
+                r.idle.p99_us, r.idle.max_us, r.idle.stalls_1ms,
+                r.idle.stalls_20ms, r.rebuilds);
+  }
+  const double worst_ratio =
+      bg.burst.max_us > 0.0 ? sync.burst.max_us / bg.burst.max_us : 0.0;
+  std::printf(
+      "\nworst in-burst query stall: sync %.1fms vs background %.1fms "
+      "(%.1fx);\nfull-rebuild stalls (>20ms): sync %zu vs background %zu "
+      "(background rebuilds: %zu, snapshots retired: %zu)\n",
+      sync.burst.max_us / 1000.0, bg.burst.max_us / 1000.0, worst_ratio,
+      sync.burst.stalls_20ms + sync.idle.stalls_20ms,
+      bg.burst.stalls_20ms + bg.idle.stalls_20ms, bg.background_rebuilds,
+      bg.retired);
+
+  std::FILE* json = std::fopen(json_path.c_str(), "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n"
+               "  \"bench\": \"streaming_latency\",\n"
+               "  \"graph\": {\"generator\": \"rmat\", \"scale\": %zu, "
+               "\"vertices\": %zu, \"edges\": %zu},\n"
+               "  \"readers\": %u,\n"
+               "  \"burst_size\": %zu,\n"
+               "  \"burst_gap_ms\": %d,\n"
+               "  \"policies\": [\n",
+               scale, graph.NumVertices(), graph.NumEdges(), kReaders,
+               kBurstSize, kBurstGapMs);
+  bool first = true;
+  for (const PolicyResult& r : {sync, bg}) {
+    std::fprintf(
+        json,
+        "    %s{\"policy\": \"%s\", \"updates\": %zu, "
+        "\"update_seconds\": %.4f,\n"
+        "     \"burst\": {\"queries\": %zu, \"p50_us\": %.2f, "
+        "\"p90_us\": %.2f, \"p99_us\": %.2f, \"max_us\": %.2f, "
+        "\"stalls_over_1ms\": %zu, \"stalls_over_20ms\": %zu},\n"
+        "     \"idle\": {\"queries\": %zu, \"p50_us\": %.2f, "
+        "\"p90_us\": %.2f, \"p99_us\": %.2f, \"max_us\": %.2f, "
+        "\"stalls_over_1ms\": %zu, \"stalls_over_20ms\": %zu},\n"
+        "     \"rebuilds\": %zu, \"background_rebuilds\": %zu, "
+        "\"retired_snapshots\": %zu}\n",
+        first ? "" : ",", r.name.c_str(), r.updates, r.update_seconds,
+        r.burst.queries, r.burst.p50_us, r.burst.p90_us, r.burst.p99_us,
+        r.burst.max_us, r.burst.stalls_1ms, r.burst.stalls_20ms,
+        r.idle.queries, r.idle.p50_us, r.idle.p90_us, r.idle.p99_us,
+        r.idle.max_us, r.idle.stalls_1ms, r.idle.stalls_20ms, r.rebuilds,
+        r.background_rebuilds, r.retired);
+    first = false;
+  }
+  std::fprintf(json,
+               "  ],\n"
+               "  \"sync_over_background_worst_burst_stall\": %.3f\n"
+               "}\n",
+               worst_ratio);
+  std::fclose(json);
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}

@@ -1,6 +1,12 @@
 // Streaming update monitor: sustained hybrid insert/delete stream with
 // live query service — the operational scenario of the paper's Figure 10
 // experiment, reported as throughput/latency instead of a table.
+//
+// Serving runs under RefreshPolicy::kBackground (DESIGN.md §7): queries
+// pin the published snapshot and never wait for maintenance; a worker
+// thread rebuilds stale snapshots behind the stream. The tail latency
+// column is the point — p99 stays at snapshot-merge cost even while
+// updates churn the mutable index.
 
 #include <cstdio>
 
@@ -18,8 +24,12 @@ int main() {
   std::printf("graph: %zu vertices, %zu edges\n", g.NumVertices(),
               g.NumEdges());
 
+  DynamicSpcOptions options;
+  options.snapshot_refresh = RefreshPolicy::kBackground;
+  options.snapshot_rebuild_after_queries = 4;
+
   Stopwatch build_watch;
-  DynamicSpcIndex index(g);
+  DynamicSpcIndex index(g, options);
   std::printf("index built in %.2fs (%zu label entries)\n",
               build_watch.ElapsedSeconds(),
               index.index().SizeStats().total_entries);
@@ -32,6 +42,7 @@ int main() {
   SampleStats query_us;
   Rng rng(13);
   const size_t n = index.graph().NumVertices();
+  uint64_t max_lag = 0;  // generations the served snapshot trailed by
 
   Stopwatch run_watch;
   for (size_t i = 0; i < stream.size(); ++i) {
@@ -49,10 +60,16 @@ int main() {
       (void)sink;
       query_us.Add(qw.ElapsedMicros());
     }
+    if (const auto pin = index.PinSnapshot()) {
+      const uint64_t lag = index.Generation() - pin.generation;
+      if (lag > max_lag) max_lag = lag;
+    }
 
     if ((i + 1) % 50 == 0) {
-      std::printf("  after %3zu updates: median ins %.2fms, median qry %.1fus\n",
-                  i + 1, inc_ms.Median(), query_us.Median());
+      std::printf("  after %3zu updates: median ins %.2fms, qry p50 %.1fus "
+                  "p99 %.1fus\n",
+                  i + 1, inc_ms.Median(), query_us.Median(),
+                  query_us.Percentile(99.0));
     }
   }
 
@@ -63,11 +80,19 @@ int main() {
               inc_ms.Median(), inc_ms.P75(), inc_ms.Max());
   std::printf("deletions:  median %.2fms  p75 %.2fms  max %.2fms\n",
               dec_ms.Median(), dec_ms.P75(), dec_ms.Max());
-  std::printf("queries:    median %.1fus  p75 %.1fus\n", query_us.Median(),
-              query_us.P75());
+  std::printf("queries:    p50 %.1fus  p75 %.1fus  p99 %.1fus  max %.1fus\n",
+              query_us.Median(), query_us.P75(), query_us.Percentile(99.0),
+              query_us.Max());
+  std::printf(
+      "snapshots:  %zu rebuilt (%zu in background), %zu retired, max "
+      "staleness %llu generations\n",
+      index.SnapshotRebuilds(), index.snapshots()->BackgroundRebuilds(),
+      index.snapshots()->RetiredSnapshots(),
+      static_cast<unsigned long long>(max_lag));
   std::printf(
       "\nReconstruction after every update would have cost ~%.0fs total;\n"
-      "the dynamic algorithms served the same stream in %.2fs.\n",
+      "the dynamic algorithms served the same stream in %.2fs with the\n"
+      "rebuilds off the query path.\n",
       build_watch.ElapsedSeconds() * static_cast<double>(stream.size()), wall);
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "dspc/core/dynamic_spc.h"
 
 #include <algorithm>
+#include <mutex>
 #include <thread>
 
 #include "dspc/core/hp_spc.h"
@@ -15,6 +16,15 @@ DynamicSpcIndex::DynamicSpcIndex(Graph graph, const DynamicSpcOptions& options)
       inc_(&graph_, &index_),
       dec_(&graph_, &index_, options.dec) {
   entries_at_build_ = index_.SizeStats().total_entries;
+  snapshots_ = std::make_unique<SnapshotManager>(
+      [this] { return CopyIndexForSnapshot(); }, options_.snapshot_refresh,
+      options_.snapshot_rebuild_after_queries);
+  // Background serving reads only published snapshots, so publish one
+  // before any query can arrive (also warms the serving path).
+  if (options_.enable_flat_snapshot &&
+      options_.snapshot_refresh == RefreshPolicy::kBackground) {
+    snapshots_->RefreshNow(Generation());
+  }
 }
 
 DynamicSpcIndex::DynamicSpcIndex(Graph graph, SpcIndex index,
@@ -25,29 +35,47 @@ DynamicSpcIndex::DynamicSpcIndex(Graph graph, SpcIndex index,
       inc_(&graph_, &index_),
       dec_(&graph_, &index_, options.dec) {
   entries_at_build_ = index_.SizeStats().total_entries;
+  snapshots_ = std::make_unique<SnapshotManager>(
+      [this] { return CopyIndexForSnapshot(); }, options_.snapshot_refresh,
+      options_.snapshot_rebuild_after_queries);
+  if (options_.enable_flat_snapshot &&
+      options_.snapshot_refresh == RefreshPolicy::kBackground) {
+    snapshots_->RefreshNow(Generation());
+  }
+}
+
+SnapshotManager::IndexCopy DynamicSpcIndex::CopyIndexForSnapshot() const {
+  // Copy-on-read: the shared lock excludes writers for the O(entries)
+  // copy only; the expensive FlatSpcIndex packing runs on the caller's
+  // thread with no lock held.
+  std::shared_lock<std::shared_mutex> lock(index_mu_);
+  return {index_, Generation()};
 }
 
 UpdateStats DynamicSpcIndex::InsertEdge(Vertex a, Vertex b) {
+  std::unique_lock<std::shared_mutex> lock(index_mu_);
   const UpdateStats stats = inc_.InsertEdge(a, b);
   if (stats.applied) {
     ++updates_since_build_;
     BumpGeneration();
-    MaybePolicyRebuild();
+    MaybePolicyRebuildLocked();
   }
   return stats;
 }
 
 UpdateStats DynamicSpcIndex::RemoveEdge(Vertex a, Vertex b) {
+  std::unique_lock<std::shared_mutex> lock(index_mu_);
   const UpdateStats stats = dec_.RemoveEdge(a, b);
   if (stats.applied) {
     ++updates_since_build_;
     BumpGeneration();
-    MaybePolicyRebuild();
+    MaybePolicyRebuildLocked();
   }
   return stats;
 }
 
 Vertex DynamicSpcIndex::AddVertex() {
+  std::unique_lock<std::shared_mutex> lock(index_mu_);
   graph_.AddVertex();
   const Vertex v = index_.AddVertex();
   inc_.Resize();
@@ -58,10 +86,15 @@ Vertex DynamicSpcIndex::AddVertex() {
 
 UpdateStats DynamicSpcIndex::RemoveVertex(Vertex v) {
   UpdateStats total;
-  if (!graph_.IsValidVertex(v)) return total;
   // Deleting a vertex is a sequence of decremental edge updates (paper
-  // Section 3). Copy the adjacency: RemoveEdge mutates it.
-  const std::vector<Vertex> nbrs = graph_.Neighbors(v);
+  // Section 3). Copy the adjacency under the read lock: RemoveEdge
+  // mutates it (and takes the write lock itself, so don't hold it here).
+  std::vector<Vertex> nbrs;
+  {
+    std::shared_lock<std::shared_mutex> lock(index_mu_);
+    if (!graph_.IsValidVertex(v)) return total;
+    nbrs = graph_.Neighbors(v);
+  }
   for (const Vertex u : nbrs) {
     total.Accumulate(RemoveEdge(v, u));
   }
@@ -108,25 +141,12 @@ UpdateStats DynamicSpcIndex::ApplyBatch(const std::vector<Update>& updates) {
   return total;
 }
 
-std::shared_ptr<const FlatSpcIndex> DynamicSpcIndex::SnapshotForQueries(
-    size_t queries) const {
-  std::lock_guard<std::mutex> lock(snapshot_mu_);
-  if (flat_ != nullptr && flat_generation_ == generation_) return flat_;
-  // Stale snapshot: let a short burst of queries ride on the mutable
-  // index so interleaved update/query traffic doesn't rebuild per
-  // update, then pay the O(total entries) refresh once.
-  stale_queries_ += queries;
-  if (stale_queries_ >= options_.snapshot_rebuild_after_queries) {
-    RefreshSnapshotLocked();
-    return flat_;
-  }
-  return nullptr;
-}
-
 SpcResult DynamicSpcIndex::Query(Vertex s, Vertex t) const {
   if (options_.enable_flat_snapshot) {
-    if (const auto snap = SnapshotForQueries(1)) return snap->Query(s, t);
+    const auto pin = snapshots_->Acquire(Generation(), 1);
+    if (Covers(pin, s, t)) return pin->Query(s, t);
   }
+  std::shared_lock<std::shared_mutex> lock(index_mu_);
   return index_.Query(s, t);
 }
 
@@ -134,11 +154,17 @@ std::vector<SpcResult> DynamicSpcIndex::BatchQuery(
     const std::vector<std::pair<Vertex, Vertex>>& pairs,
     unsigned threads) const {
   if (options_.enable_flat_snapshot) {
-    if (const auto snap = SnapshotForQueries(pairs.size())) {
-      return snap->QueryManyParallel(pairs, threads);
-    }
+    const auto pin = snapshots_->Acquire(Generation(), pairs.size());
+    const bool covers_all =
+        pin && std::all_of(pairs.begin(), pairs.end(), [&](const auto& p) {
+          return Covers(pin, p.first, p.second);
+        });
+    if (covers_all) return pin->QueryManyParallel(pairs, threads);
   }
   std::vector<SpcResult> results(pairs.size());
+  // Mutable-index fallback: hold the read lock across the whole batch so
+  // worker threads see one consistent generation.
+  std::shared_lock<std::shared_mutex> lock(index_mu_);
   if (threads == 0) threads = std::thread::hardware_concurrency();
   if (threads <= 1 || pairs.size() < 64) {
     for (size_t i = 0; i < pairs.size(); ++i) {
@@ -161,22 +187,23 @@ std::vector<SpcResult> DynamicSpcIndex::BatchQuery(
 }
 
 std::shared_ptr<const FlatSpcIndex> DynamicSpcIndex::FlatSnapshot() const {
-  std::lock_guard<std::mutex> lock(snapshot_mu_);
-  RefreshSnapshotLocked();
-  return flat_;
+  return snapshots_->AwaitGeneration(Generation()).snapshot;
 }
 
-void DynamicSpcIndex::RefreshSnapshotLocked() const {
-  if (flat_ != nullptr && flat_generation_ == generation_) return;
-  // Publish a fresh snapshot instead of mutating the old one: readers
-  // that still hold the previous shared_ptr keep a valid index.
-  flat_ = std::make_shared<const FlatSpcIndex>(index_);
-  flat_generation_ = generation_;
-  stale_queries_ = 0;
-  ++snapshot_rebuilds_;
+SnapshotManager::Pinned DynamicSpcIndex::PinSnapshot() const {
+  return snapshots_->Pin();
+}
+
+SnapshotManager::Pinned DynamicSpcIndex::WaitForFreshSnapshot() const {
+  return snapshots_->AwaitGeneration(Generation());
 }
 
 void DynamicSpcIndex::Rebuild() {
+  std::unique_lock<std::shared_mutex> lock(index_mu_);
+  RebuildLocked();
+}
+
+void DynamicSpcIndex::RebuildLocked() {
   index_ = BuildSpcIndex(graph_, options_.ordering);
   inc_.Resize();
   dec_.Resize();
@@ -185,7 +212,7 @@ void DynamicSpcIndex::Rebuild() {
   BumpGeneration();
 }
 
-void DynamicSpcIndex::MaybePolicyRebuild() {
+void DynamicSpcIndex::MaybePolicyRebuildLocked() {
   bool fire = false;
   if (options_.rebuild_after_updates > 0 &&
       updates_since_build_ >= options_.rebuild_after_updates) {
@@ -200,7 +227,7 @@ void DynamicSpcIndex::MaybePolicyRebuild() {
     }
   }
   if (fire) {
-    Rebuild();
+    RebuildLocked();
     ++policy_rebuilds_;
   }
 }

@@ -10,12 +10,23 @@
 //
 // The vertex ordering is frozen at construction (paper Section 6); newly
 // added vertices receive the lowest ranks.
+//
+// Concurrency model (DESIGN.md §7): queries are served from immutable
+// FlatSpcIndex snapshots published by a SnapshotManager; readers pin the
+// current snapshot with one atomic load and never block on maintenance.
+// The mutable graph/index pair is guarded by a shared mutex — updates
+// take it exclusively, snapshot copies and the (rare) mutable-index query
+// fallback take it shared — so any number of reader threads may run
+// concurrently with writer threads. Individual updates are atomic;
+// multi-update sequences (ApplyBatch, RemoveVertex) are not one atomic
+// unit: readers may observe intermediate generations.
 
 #ifndef DSPC_CORE_DYNAMIC_SPC_H_
 #define DSPC_CORE_DYNAMIC_SPC_H_
 
+#include <atomic>
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -23,6 +34,7 @@
 #include "dspc/core/dec_spc.h"
 #include "dspc/core/flat_spc_index.h"
 #include "dspc/core/inc_spc.h"
+#include "dspc/core/snapshot_manager.h"
 #include "dspc/core/spc_index.h"
 #include "dspc/core/update_stats.h"
 #include "dspc/graph/graph.h"
@@ -48,15 +60,25 @@ struct DynamicSpcOptions {
 
   /// Serve queries from an immutable FlatSpcIndex snapshot (DESIGN.md §5).
   /// Every applied update bumps a generation counter that invalidates the
-  /// snapshot; it is rebuilt lazily from the mutable index, so steady-state
-  /// query traffic never touches the mutable label sets.
+  /// snapshot; the refresh policy below decides who rebuilds it and when.
   bool enable_flat_snapshot = true;
 
-  /// How many queries may be answered by the mutable index after an
-  /// invalidation before the snapshot is rebuilt. 1 rebuilds on the first
-  /// query after any update (snappiest serving, worst for update-heavy
-  /// interleavings); larger values amortize rebuilds across update bursts.
+  /// How many queries may observe a stale snapshot before a rebuild is
+  /// scheduled. 1 rebuilds on the first query after any update (snappiest
+  /// serving, worst for update-heavy interleavings); larger values
+  /// amortize rebuilds across update bursts.
   size_t snapshot_rebuild_after_queries = 8;
+
+  /// When and where stale snapshots are rebuilt (DESIGN.md §7):
+  ///  - kSync (default, the historical behavior): stale queries ride the
+  ///    mutable index, then one query pays the rebuild inline. Always
+  ///    current answers; deterministic rebuild counts.
+  ///  - kBackground: queries always serve the pinned snapshot — possibly
+  ///    a few generations stale — and rebuilds happen on a worker thread,
+  ///    so the query path never blocks on maintenance or on writers. An
+  ///    initial snapshot is published eagerly at construction.
+  ///  - kManual: only FlatSnapshot()/WaitForFreshSnapshot() rebuild.
+  RefreshPolicy snapshot_refresh = RefreshPolicy::kSync;
 };
 
 /// A dynamic shortest-path-counting index over an owned graph.
@@ -71,14 +93,15 @@ class DynamicSpcIndex {
                   const DynamicSpcOptions& options = {});
 
   /// SPC query: shortest distance and number of shortest paths between s
-  /// and t; {kInfDistance, 0} when disconnected. Served from the flat
-  /// snapshot when it is fresh (see DynamicSpcOptions::enable_flat_snapshot).
+  /// and t; {kInfDistance, 0} when disconnected.
   ///
   /// Thread-safety contract (all query paths): any number of threads may
-  /// call Query / BatchQuery / FlatSnapshot concurrently — snapshots are
-  /// immutable and handed out as shared_ptr, and the rebuild bookkeeping
-  /// is mutex-guarded. Updates (InsertEdge / RemoveEdge / ...) require
-  /// exclusive access, as they mutate the graph and index in place.
+  /// call Query / BatchQuery / FlatSnapshot / PinSnapshot concurrently
+  /// with each other and with updates. Snapshot-served queries never
+  /// block; queries that ride the mutable index take a shared lock and
+  /// may briefly wait for an in-flight update. Under
+  /// RefreshPolicy::kBackground answers may trail the newest updates by a
+  /// bounded number of generations (see DynamicSpcOptions).
   SpcResult Query(Vertex s, Vertex t) const;
 
   /// Inserts edge (a, b) and maintains the index with IncSPC.
@@ -107,35 +130,53 @@ class DynamicSpcIndex {
 
   /// Evaluates many queries, using up to `threads` worker threads. With
   /// the flat snapshot enabled, a batch counts as pairs.size() stale
-  /// queries against the rebuild budget — large batches refresh the
-  /// snapshot once and run FlatSpcIndex::QueryManyParallel over it, small
-  /// batches on a stale snapshot ride the mutable index (read-only during
-  /// queries). With threads <= 1 the fallback is a plain loop.
+  /// queries against the rebuild budget and runs
+  /// FlatSpcIndex::QueryManyParallel over the acquired snapshot; batches
+  /// that should ride the mutable index shard it read-locked. With
+  /// threads <= 1 the fallback is a plain loop.
   std::vector<SpcResult> BatchQuery(
       const std::vector<std::pair<Vertex, Vertex>>& pairs,
       unsigned threads = 0) const;
 
-  /// The current flat snapshot, rebuilding it first if stale. The
-  /// returned snapshot is immutable and kept alive by the shared_ptr, so
-  /// callers may query it from many threads for as long as they hold it
-  /// (later rebuilds produce new snapshots instead of mutating this one).
+  /// The current flat snapshot, rebuilding it first if stale (under
+  /// kBackground this waits for the worker to publish). The returned
+  /// snapshot is immutable and kept alive by the shared_ptr, so callers
+  /// may query it from many threads for as long as they hold it (later
+  /// rebuilds publish new snapshots instead of mutating this one).
   std::shared_ptr<const FlatSpcIndex> FlatSnapshot() const;
+
+  /// Pins the currently published snapshot together with the generation
+  /// it reflects, without charging the staleness budget or triggering any
+  /// rebuild. Empty before the first publish. The non-blocking read for
+  /// callers that want to reason about snapshot staleness themselves.
+  SnapshotManager::Pinned PinSnapshot() const;
+
+  /// Requests (if needed) and waits for a snapshot of the current
+  /// generation, returning it pinned. The quiesce point for tests and
+  /// benches running under RefreshPolicy::kBackground. Call from a
+  /// moment when no writer is concurrently advancing the generation.
+  SnapshotManager::Pinned WaitForFreshSnapshot() const;
 
   /// Structural generation: bumped by every applied update, vertex
   /// addition, and rebuild.
-  uint64_t Generation() const { return generation_; }
+  uint64_t Generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
 
-  /// True when the flat snapshot reflects the current generation.
+  /// True when the published flat snapshot reflects the current
+  /// generation.
   bool SnapshotFresh() const {
-    std::lock_guard<std::mutex> lock(snapshot_mu_);
-    return flat_ != nullptr && flat_generation_ == generation_;
+    return snapshots_->FreshAt(Generation()) &&
+           static_cast<bool>(snapshots_->Pin());
   }
 
   /// How many times the flat snapshot has been (re)built.
-  size_t SnapshotRebuilds() const {
-    std::lock_guard<std::mutex> lock(snapshot_mu_);
-    return snapshot_rebuilds_;
-  }
+  size_t SnapshotRebuilds() const { return snapshots_->Rebuilds(); }
+
+  /// The snapshot manager's counters (background rebuilds, retired
+  /// snapshots, published generation). Always present — with
+  /// enable_flat_snapshot off the query paths simply never consult it.
+  const SnapshotManager* snapshots() const { return snapshots_.get(); }
 
   /// Rebuilds the index from scratch with HP-SPC under a fresh ordering —
   /// the paper's reconstruction baseline, also used by the lazy rebuild
@@ -148,24 +189,36 @@ class DynamicSpcIndex {
   /// Number of times the lazy rebuild policy fired.
   size_t PolicyRebuilds() const { return policy_rebuilds_; }
 
+  /// The owned graph / mutable index. Not synchronized: callers reading
+  /// these concurrently with updates must provide their own exclusion
+  /// (single-threaded tests and benches use them freely).
   const Graph& graph() const { return graph_; }
   const SpcIndex& index() const { return index_; }
 
  private:
-  /// Applies the §6 lazy rebuild policy after an applied update.
-  void MaybePolicyRebuild();
+  /// Applies the §6 lazy rebuild policy after an applied update. Caller
+  /// holds index_mu_ exclusively.
+  void MaybePolicyRebuildLocked();
 
-  /// Invalidates the flat snapshot after a structural change.
-  void BumpGeneration() { ++generation_; }
+  /// Rebuild body; caller holds index_mu_ exclusively.
+  void RebuildLocked();
 
-  /// Rebuilds the flat snapshot if stale. Caller must hold snapshot_mu_.
-  void RefreshSnapshotLocked() const;
+  /// Invalidates the flat snapshot after a structural change. Caller
+  /// holds index_mu_ exclusively.
+  void BumpGeneration() {
+    generation_.fetch_add(1, std::memory_order_acq_rel);
+  }
 
-  /// Charges `queries` stale queries against the rebuild budget and
-  /// returns the snapshot to serve them from, or nullptr if they should
-  /// ride the mutable index instead.
-  std::shared_ptr<const FlatSpcIndex> SnapshotForQueries(
-      size_t queries) const;
+  /// SnapshotManager source: copies the mutable index at a consistent
+  /// point (shared lock) together with its generation.
+  SnapshotManager::IndexCopy CopyIndexForSnapshot() const;
+
+  /// True when the pinned snapshot covers both endpoints — a stale
+  /// snapshot predates vertices added after it was built, and those
+  /// queries must ride the mutable index.
+  static bool Covers(const SnapshotManager::Pinned& pin, Vertex s, Vertex t) {
+    return pin && s < pin->NumVertices() && t < pin->NumVertices();
+  }
 
   Graph graph_;
   SpcIndex index_;
@@ -176,17 +229,18 @@ class DynamicSpcIndex {
   size_t entries_at_build_ = 0;
   size_t policy_rebuilds_ = 0;
 
-  // Flat-snapshot serving state. Mutable: refreshing the snapshot is a
-  // logically-const caching step triggered from const query paths.
-  // snapshot_mu_ guards all four fields; snapshots themselves are
-  // immutable once published, so queries run on them outside the lock.
-  // generation_ is written only by the (exclusive-access) update methods.
-  uint64_t generation_ = 1;
-  mutable std::mutex snapshot_mu_;
-  mutable std::shared_ptr<const FlatSpcIndex> flat_;
-  mutable uint64_t flat_generation_ = 0;
-  mutable size_t stale_queries_ = 0;
-  mutable size_t snapshot_rebuilds_ = 0;
+  /// Guards graph_/index_ (and the counters above): updates exclusive,
+  /// snapshot copies and mutable-index queries shared.
+  mutable std::shared_mutex index_mu_;
+
+  /// Structural generation, read lock-free by query paths. Written only
+  /// under exclusive index_mu_.
+  std::atomic<uint64_t> generation_{1};
+
+  /// Snapshot publication/rebuild machinery. Declared last so its
+  /// destructor joins the background worker before graph_/index_ (which
+  /// the worker's copy step reads) are torn down.
+  std::unique_ptr<SnapshotManager> snapshots_;
 };
 
 }  // namespace dspc

@@ -1,0 +1,178 @@
+#include "dspc/core/snapshot_manager.h"
+
+#include <utility>
+
+namespace dspc {
+
+SnapshotManager::SnapshotManager(Source source, RefreshPolicy policy,
+                                 size_t stale_query_budget)
+    : source_(std::move(source)),
+      policy_(policy),
+      stale_query_budget_(stale_query_budget) {}
+
+SnapshotManager::~SnapshotManager() {
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+SnapshotManager::Pinned SnapshotManager::PinOf(
+    const std::shared_ptr<const Versioned>& v) {
+  if (v == nullptr) return {};
+  // Aliasing ctor: the pin shares v's control block but points at the
+  // index, so callers hold a plain FlatSpcIndex handle while the refcount
+  // keeps the whole versioned snapshot alive.
+  return {std::shared_ptr<const FlatSpcIndex>(v, &v->flat), v->generation};
+}
+
+SnapshotManager::Pinned SnapshotManager::Pin() const {
+  return PinOf(published_.load(std::memory_order_acquire));
+}
+
+SnapshotManager::Pinned SnapshotManager::Acquire(uint64_t current_generation,
+                                                 size_t queries) {
+  const Pinned cur = Pin();
+  if (cur && cur.generation == current_generation) return cur;
+
+  switch (policy_) {
+    case RefreshPolicy::kManual:
+      // Stale (or nothing published): the caller rides the mutable index;
+      // only explicit refreshes publish.
+      return {};
+
+    case RefreshPolicy::kSync: {
+      {
+        std::lock_guard<std::mutex> lock(state_mu_);
+        stale_queries_ += queries;
+        if (stale_queries_ < stale_query_budget_) return {};
+      }
+      return RefreshNow(current_generation);
+    }
+
+    case RefreshPolicy::kBackground: {
+      bool request = false;
+      {
+        std::lock_guard<std::mutex> lock(state_mu_);
+        stale_queries_ += queries;
+        if (stale_queries_ >= stale_query_budget_) {
+          stale_queries_ = 0;
+          request = true;
+        }
+      }
+      if (request) RequestRebuild(current_generation);
+      // Serve the pinned snapshot even though it is stale — bounded
+      // staleness is the policy's contract. Empty only before the first
+      // publish (the facade publishes eagerly at construction).
+      return cur;
+    }
+  }
+  return {};
+}
+
+SnapshotManager::Pinned SnapshotManager::RefreshNow(
+    uint64_t current_generation) {
+  std::lock_guard<std::mutex> rebuild_lock(rebuild_mu_);
+  // A racing refresh may have published while we waited for the build
+  // lock; don't build the same generation twice.
+  if (const Pinned cur = Pin();
+      cur && cur.generation >= current_generation) {
+    return cur;
+  }
+  auto snap = BuildFromSource();
+  Publish(snap);
+  return PinOf(snap);
+}
+
+SnapshotManager::Pinned SnapshotManager::AwaitGeneration(uint64_t generation) {
+  if (policy_ != RefreshPolicy::kBackground) return RefreshNow(generation);
+  RequestRebuild(generation);
+  std::unique_lock<std::mutex> lock(state_mu_);
+  publish_cv_.wait(lock, [&] {
+    return stop_ ||
+           published_generation_.load(std::memory_order_acquire) >= generation;
+  });
+  return Pin();
+}
+
+void SnapshotManager::RequestRebuild(uint64_t target_generation) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  if (stop_) return;
+  if (published_generation_.load(std::memory_order_acquire) >=
+      target_generation) {
+    return;
+  }
+  if (target_generation > requested_generation_) {
+    requested_generation_ = target_generation;
+  }
+  EnsureWorkerLocked();
+  work_cv_.notify_one();
+}
+
+std::shared_ptr<const SnapshotManager::Versioned>
+SnapshotManager::BuildFromSource() {
+  IndexCopy copy = source_();  // consistent copy; source owns the locking
+  auto snap = std::make_shared<Versioned>(
+      Versioned{copy.generation, FlatSpcIndex(copy.index)});
+  rebuilds_.fetch_add(1, std::memory_order_relaxed);
+  return snap;
+}
+
+void SnapshotManager::Publish(std::shared_ptr<const Versioned> snap) {
+  std::shared_ptr<const Versioned> old =
+      published_.load(std::memory_order_acquire);
+  // Monotone swap: a slow build must never replace a newer snapshot.
+  while (old == nullptr || old->generation < snap->generation) {
+    if (published_.compare_exchange_weak(old, snap,
+                                         std::memory_order_acq_rel)) {
+      if (old != nullptr) retired_.fetch_add(1, std::memory_order_relaxed);
+      published_generation_.store(snap->generation,
+                                  std::memory_order_release);
+      {
+        // Lock between the store and the notify so AwaitGeneration cannot
+        // miss the wakeup; also reset the staleness budget for the fresh
+        // snapshot.
+        std::lock_guard<std::mutex> lock(state_mu_);
+        stale_queries_ = 0;
+      }
+      publish_cv_.notify_all();
+      return;
+    }
+  }
+}
+
+void SnapshotManager::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(state_mu_);
+  while (true) {
+    work_cv_.wait(lock, [&] {
+      return stop_ ||
+             requested_generation_ >
+                 published_generation_.load(std::memory_order_acquire);
+    });
+    if (stop_) {
+      // Wake any AwaitGeneration waiter stuck behind a request that will
+      // now never be built.
+      publish_cv_.notify_all();
+      return;
+    }
+    lock.unlock();
+    {
+      std::lock_guard<std::mutex> rebuild_lock(rebuild_mu_);
+      auto snap = BuildFromSource();
+      background_rebuilds_.fetch_add(1, std::memory_order_relaxed);
+      Publish(snap);
+    }
+    lock.lock();
+    // If writers advanced past the copy we just published, the predicate
+    // still holds and the loop builds again.
+  }
+}
+
+void SnapshotManager::EnsureWorkerLocked() {
+  if (worker_.joinable()) return;
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+}  // namespace dspc

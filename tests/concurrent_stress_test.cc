@@ -1,0 +1,254 @@
+// Concurrent serving stress: writer threads apply updates while reader
+// threads pin snapshots and issue Query/BatchQuery, asserting that every
+// answer is consistent with some published snapshot generation — no torn
+// reads (a snapshot always answers exactly as BFS on the graph of the
+// generation it claims) and no use-after-free of retired snapshots (a pin
+// held across many later publishes keeps answering for its own
+// generation; TSan/ASan builds turn any liveness bug into a hard fail).
+//
+// The update script is fixed up front so the per-generation ground truth
+// can be precomputed by replaying it on a scratch graph: generation g is
+// the initial graph plus the first g-1 updates.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "dspc/baseline/bfs_counting.h"
+#include "dspc/common/rng.h"
+#include "dspc/core/dynamic_spc.h"
+#include "dspc/graph/generators.h"
+#include "dspc/graph/update_stream.h"
+
+namespace dspc {
+namespace {
+
+struct Script {
+  Graph start;
+  std::vector<Update> updates;          // all guaranteed to apply
+  std::vector<VertexPair> probes;       // fixed query set
+  // truth[g - 1][i]: BFS answer for probes[i] on the generation-g graph
+  // (g in [1, 1 + updates.size()]).
+  std::vector<std::vector<SpcResult>> truth;
+
+  uint64_t MaxGeneration() const { return 1 + updates.size(); }
+
+  const std::vector<SpcResult>& TruthAt(uint64_t gen) const {
+    return truth[gen - 1];
+  }
+
+  /// True iff `r` is the answer for probe i at some generation.
+  bool ConsistentWithSomeGeneration(size_t i, const SpcResult& r) const {
+    for (const auto& per_gen : truth) {
+      if (per_gen[i] == r) return true;
+    }
+    return false;
+  }
+};
+
+/// Interleaves sampled non-edge insertions and original-edge deletions
+/// (disjoint by construction, so every update applies), then replays the
+/// stream to record per-generation ground truth for the probe set.
+Script MakeScript(size_t n, uint64_t seed, size_t inserts, size_t deletes,
+                  size_t probes) {
+  Script script;
+  script.start = GenerateBarabasiAlbert(n, 2, seed);
+  const std::vector<Edge> ins = SampleNonEdges(script.start, inserts, seed + 1);
+  const std::vector<Edge> del = SampleEdges(script.start, deletes, seed + 2);
+  size_t ii = 0;
+  size_t di = 0;
+  while (ii < ins.size() || di < del.size()) {
+    // 2:1 insert:delete interleave.
+    for (int k = 0; k < 2 && ii < ins.size(); ++k, ++ii) {
+      script.updates.push_back(Update::Insert(ins[ii].u, ins[ii].v));
+    }
+    if (di < del.size()) {
+      script.updates.push_back(Update::Delete(del[di].u, del[di].v));
+      ++di;
+    }
+  }
+
+  Rng rng(seed + 3);
+  for (size_t i = 0; i < probes; ++i) {
+    script.probes.emplace_back(static_cast<Vertex>(rng.NextBounded(n)),
+                               static_cast<Vertex>(rng.NextBounded(n)));
+  }
+
+  Graph replay = script.start;
+  auto record = [&] {
+    std::vector<SpcResult> answers;
+    answers.reserve(script.probes.size());
+    for (const auto& [s, t] : script.probes) {
+      answers.push_back(BfsCountPair(replay, s, t));
+    }
+    script.truth.push_back(std::move(answers));
+  };
+  record();  // generation 1
+  for (const Update& u : script.updates) {
+    if (u.kind == Update::Kind::kInsert) {
+      EXPECT_TRUE(replay.AddEdge(u.edge.u, u.edge.v));
+    } else {
+      EXPECT_TRUE(replay.RemoveEdge(u.edge.u, u.edge.v));
+    }
+    record();
+  }
+  return script;
+}
+
+/// Reader body shared by the tests: loops until `stop`, validating pins
+/// against their claimed generation and facade answers against the set of
+/// all generations. Uses EXPECT (thread-safe) and bails out on the first
+/// failure to keep logs readable.
+void ReaderLoop(const DynamicSpcIndex& dyn, const Script& script,
+                const std::atomic<bool>& stop, std::atomic<size_t>* iterations,
+                std::atomic<int>* failures) {
+  // A large batch exercises the parallel snapshot driver mid-update.
+  std::vector<VertexPair> batch;
+  for (int rep = 0; rep < 4; ++rep) {
+    batch.insert(batch.end(), script.probes.begin(), script.probes.end());
+  }
+  while (!stop.load(std::memory_order_acquire) &&
+         failures->load(std::memory_order_relaxed) == 0) {
+    // 1) Pinned snapshot: exact answers for the generation it claims.
+    if (const auto pin = dyn.PinSnapshot()) {
+      if (pin.generation < 1 || pin.generation > script.MaxGeneration()) {
+        ADD_FAILURE() << "pinned generation " << pin.generation
+                      << " was never published";
+        failures->fetch_add(1);
+        return;
+      }
+      const auto& want = script.TruthAt(pin.generation);
+      for (size_t i = 0; i < script.probes.size(); ++i) {
+        const auto [s, t] = script.probes[i];
+        const SpcResult got = pin->Query(s, t);
+        if (got != want[i]) {
+          ADD_FAILURE() << "torn read: pin gen=" << pin.generation << " probe "
+                        << i << " (" << s << "," << t << ") got {" << got.dist
+                        << "," << got.count << "} want {" << want[i].dist << ","
+                        << want[i].count << "}";
+          failures->fetch_add(1);
+          return;
+        }
+      }
+    }
+    // 2) Facade single queries: must match some published generation.
+    for (size_t i = 0; i < script.probes.size(); ++i) {
+      const auto [s, t] = script.probes[i];
+      const SpcResult got = dyn.Query(s, t);
+      if (!script.ConsistentWithSomeGeneration(i, got)) {
+        ADD_FAILURE() << "query probe " << i << " (" << s << "," << t
+                      << ") answer {" << got.dist << "," << got.count
+                      << "} matches no generation";
+        failures->fetch_add(1);
+        return;
+      }
+    }
+    // 3) Batched parallel driver over a snapshot.
+    const std::vector<SpcResult> results = dyn.BatchQuery(batch, 2);
+    for (size_t i = 0; i < results.size(); ++i) {
+      const size_t probe = i % script.probes.size();
+      if (!script.ConsistentWithSomeGeneration(probe, results[i])) {
+        ADD_FAILURE() << "batch probe " << probe << " answer matches no "
+                      << "generation";
+        failures->fetch_add(1);
+        return;
+      }
+    }
+    iterations->fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::yield();
+  }
+}
+
+void RunConcurrentScript(const Script& script, const DynamicSpcOptions& options,
+                         unsigned readers) {
+  DynamicSpcIndex dyn(script.start, options);
+
+  // Held across the whole run: retirement must never invalidate it.
+  const auto held = dyn.PinSnapshot();
+
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> iterations{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> pool;
+  pool.reserve(readers);
+  for (unsigned r = 0; r < readers; ++r) {
+    pool.emplace_back([&] {
+      ReaderLoop(dyn, script, stop, &iterations, &failures);
+    });
+  }
+
+  // Writer: the scripted update burst, spaced so readers interleave.
+  for (const Update& u : script.updates) {
+    EXPECT_TRUE(dyn.Apply(u).applied);
+    std::this_thread::sleep_for(std::chrono::microseconds(300));
+    if (failures.load() != 0) break;
+  }
+  // Grace period so readers observe the final generations too.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : pool) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(iterations.load(), 0u) << "readers never completed a pass";
+
+  // Quiesced end state: the fresh snapshot answers the final truth.
+  const auto fin = dyn.WaitForFreshSnapshot();
+  ASSERT_TRUE(static_cast<bool>(fin));
+  ASSERT_EQ(fin.generation, dyn.Generation());
+  ASSERT_EQ(fin.generation, script.MaxGeneration());
+  const auto& want = script.TruthAt(fin.generation);
+  for (size_t i = 0; i < script.probes.size(); ++i) {
+    const auto [s, t] = script.probes[i];
+    EXPECT_EQ(fin->Query(s, t), want[i]) << "final probe " << i;
+  }
+
+  // The pin held since generation 1 still answers its own truth even
+  // though its snapshot has long been retired.
+  if (held) {
+    const auto& old_want = script.TruthAt(held.generation);
+    for (size_t i = 0; i < script.probes.size(); ++i) {
+      const auto [s, t] = script.probes[i];
+      EXPECT_EQ(held->Query(s, t), old_want[i])
+          << "retired snapshot changed under a held pin, probe " << i;
+    }
+  }
+}
+
+TEST(ConcurrentStressTest, BackgroundReadersSeeOnlyPublishedGenerations) {
+  const Script script = MakeScript(80, 41, 24, 12, 20);
+  DynamicSpcOptions options;
+  options.snapshot_refresh = RefreshPolicy::kBackground;
+  options.snapshot_rebuild_after_queries = 1;  // churn rebuilds hard
+  RunConcurrentScript(script, options, 3);
+}
+
+TEST(ConcurrentStressTest, SyncInlineRebuildsStayConsistentUnderReaders) {
+  const Script script = MakeScript(64, 57, 18, 9, 16);
+  DynamicSpcOptions options;
+  options.snapshot_refresh = RefreshPolicy::kSync;
+  options.snapshot_rebuild_after_queries = 4;
+  RunConcurrentScript(script, options, 2);
+}
+
+TEST(ConcurrentStressTest, RetirementCounterAdvancesUnderChurn) {
+  const Script script = MakeScript(48, 73, 12, 6, 8);
+  DynamicSpcOptions options;
+  options.snapshot_refresh = RefreshPolicy::kBackground;
+  options.snapshot_rebuild_after_queries = 1;
+  DynamicSpcIndex dyn(script.start, options);
+  for (const Update& u : script.updates) {
+    ASSERT_TRUE(dyn.Apply(u).applied);
+    dyn.WaitForFreshSnapshot();  // force a publish per generation
+  }
+  ASSERT_NE(dyn.snapshots(), nullptr);
+  // Every publish after the first retires a predecessor.
+  EXPECT_EQ(dyn.snapshots()->RetiredSnapshots(),
+            dyn.SnapshotRebuilds() - 1);
+  EXPECT_GE(dyn.snapshots()->BackgroundRebuilds(), script.updates.size());
+}
+
+}  // namespace
+}  // namespace dspc

@@ -1,0 +1,297 @@
+// Differential fuzz for dynamic maintenance + snapshot serving: seeded
+// randomized mixed insert/delete/query streams on small BA / R-MAT
+// graphs, with every answer cross-checked against the BiBFS baseline on
+// the current graph AND (periodically) against a from-scratch rebuilt
+// index. Queries are deliberately landed exactly on the snapshot
+// staleness boundary (budget-1 stale rides vs. the budget-crossing query
+// that pays or schedules the rebuild), for every RefreshPolicy.
+//
+// Under RefreshPolicy::kBackground answers are bounded-stale, so the
+// check is generation-aware: a full graph history (generation -> graph)
+// is replayed alongside the index, un-quiesced answers must match BiBFS
+// on *some* recorded generation, and pinned snapshots must match BiBFS on
+// exactly the generation they claim.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dspc/baseline/bibfs_counting.h"
+#include "dspc/common/rng.h"
+#include "dspc/core/dynamic_spc.h"
+#include "dspc/core/hp_spc.h"
+#include "dspc/graph/generators.h"
+#include "dspc/graph/update_stream.h"
+
+namespace dspc {
+namespace {
+
+constexpr size_t kStaleBudget = 3;
+
+/// Drives one randomized stream and checks every answer differentially.
+class DifferentialStream {
+ public:
+  DifferentialStream(const Graph& start, RefreshPolicy policy, uint64_t seed)
+      : policy_(policy), rng_(seed) {
+    DynamicSpcOptions options;
+    options.snapshot_refresh = policy;
+    options.snapshot_rebuild_after_queries = kStaleBudget;
+    dyn_ = std::make_unique<DynamicSpcIndex>(start, options);
+    history_.emplace(dyn_->Generation(), dyn_->graph());
+  }
+
+  void Run(int steps) {
+    for (int step = 0; step < steps && !::testing::Test::HasFatalFailure();
+         ++step) {
+      const double dice = rng_.NextDouble();
+      if (dice < 0.40) {
+        InsertRandomNonEdge();
+      } else if (dice < 0.65) {
+        DeleteRandomEdge();
+      } else if (dice < 0.70) {
+        AddAndConnectVertex();
+      } else {
+        QueryBurst("burst step " + std::to_string(step));
+      }
+      if (step % 30 == 29) CrossCheckAgainstRebuild(step);
+    }
+    ASSERT_TRUE(dyn_->index().ValidateStructure().ok());
+    CrossCheckAgainstRebuild(steps);
+  }
+
+ private:
+  size_t NumVertices() const { return dyn_->graph().NumVertices(); }
+
+  Vertex RandomVertex() {
+    return static_cast<Vertex>(rng_.NextBounded(NumVertices()));
+  }
+
+  void RecordGeneration() {
+    history_.emplace(dyn_->Generation(), dyn_->graph());
+  }
+
+  /// Checks one query answer differentially against BiBFS. Sync/manual
+  /// answers must match the current graph exactly. Background answers are
+  /// validated twice: the pinned snapshot against the generation it
+  /// claims, and the facade Query against the recorded history
+  /// (membership: the answer belongs to some real generation).
+  void CheckQuery(Vertex s, Vertex t, const std::string& ctx) {
+    if (policy_ != RefreshPolicy::kBackground) {
+      const SpcResult got = dyn_->Query(s, t);
+      const SpcResult want = BiBfsCountPair(dyn_->graph(), s, t);
+      ASSERT_EQ(got.dist, want.dist) << ctx << " s=" << s << " t=" << t;
+      ASSERT_EQ(got.count, want.count) << ctx << " s=" << s << " t=" << t;
+      return;
+    }
+
+    // Pinned snapshot: answers must be exact for the claimed generation.
+    if (const auto pin = dyn_->PinSnapshot();
+        pin && s < pin->NumVertices() && t < pin->NumVertices()) {
+      const auto it = history_.find(pin.generation);
+      ASSERT_NE(it, history_.end())
+          << ctx << " pinned unknown generation " << pin.generation;
+      const SpcResult got = pin->Query(s, t);
+      const SpcResult want = BiBfsCountPair(it->second, s, t);
+      ASSERT_EQ(got.dist, want.dist)
+          << ctx << " pinned gen=" << pin.generation << " s=" << s
+          << " t=" << t;
+      ASSERT_EQ(got.count, want.count)
+          << ctx << " pinned gen=" << pin.generation << " s=" << s
+          << " t=" << t;
+    }
+
+    // Facade query: bounded-stale, so membership over the history.
+    const SpcResult got = dyn_->Query(s, t);
+    for (const auto& [gen, graph] : history_) {
+      if (s >= graph.NumVertices() || t >= graph.NumVertices()) continue;
+      if (BiBfsCountPair(graph, s, t) == got) return;
+    }
+    FAIL() << ctx << " background answer {" << got.dist << "," << got.count
+           << "} for s=" << s << " t=" << t
+           << " matches no recorded generation";
+  }
+
+  /// Lands queries exactly on the staleness boundary: after an update the
+  /// snapshot is stale, so the first budget-1 queries ride the old state
+  /// (mutable index under sync/manual, stale snapshot under background)
+  /// and the budget-th query crosses the threshold and pays/schedules the
+  /// rebuild. Every one of them is answer-checked.
+  void BoundaryProbe(const std::string& ctx) {
+    for (size_t q = 0; q + 1 < kStaleBudget; ++q) {
+      CheckQuery(RandomVertex(), RandomVertex(),
+                 ctx + " stale-ride " + std::to_string(q));
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+    CheckQuery(RandomVertex(), RandomVertex(), ctx + " budget-crossing");
+  }
+
+  void InsertRandomNonEdge() {
+    const Vertex u = RandomVertex();
+    const Vertex v = RandomVertex();
+    if (u == v || dyn_->graph().HasEdge(u, v)) return;
+    ASSERT_TRUE(dyn_->InsertEdge(u, v).applied);
+    RecordGeneration();
+    BoundaryProbe("after insert");
+  }
+
+  void DeleteRandomEdge() {
+    const std::vector<Edge> edges = dyn_->graph().Edges();
+    if (edges.empty()) return;
+    const Edge e = edges[rng_.NextBounded(edges.size())];
+    ASSERT_TRUE(dyn_->RemoveEdge(e.u, e.v).applied);
+    RecordGeneration();
+    BoundaryProbe("after delete");
+  }
+
+  /// Vertex addition makes stale snapshots *narrower* than the graph —
+  /// queries on the new vertex must fall through to the mutable index.
+  void AddAndConnectVertex() {
+    const Vertex v = dyn_->AddVertex();
+    RecordGeneration();
+    const Vertex u = static_cast<Vertex>(rng_.NextBounded(v));
+    CheckQuery(v, u, "fresh isolated vertex");
+    if (::testing::Test::HasFatalFailure()) return;
+    ASSERT_TRUE(dyn_->InsertEdge(v, u).applied);
+    RecordGeneration();
+    BoundaryProbe("after vertex attach");
+  }
+
+  void QueryBurst(const std::string& ctx) {
+    for (int q = 0; q < 4; ++q) {
+      CheckQuery(RandomVertex(), RandomVertex(), ctx);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+
+  /// The incremental index vs. reconstruction: quiesce the snapshot, then
+  /// compare facade answers, the flat snapshot, and a from-scratch HP-SPC
+  /// build on a sample of pairs (plus BiBFS as the independent referee).
+  void CrossCheckAgainstRebuild(int step) {
+    const auto pin = dyn_->WaitForFreshSnapshot();
+    ASSERT_TRUE(static_cast<bool>(pin));
+    ASSERT_EQ(pin.generation, dyn_->Generation());
+    const SpcIndex rebuilt = BuildSpcIndex(dyn_->graph());
+    for (int i = 0; i < 40; ++i) {
+      const Vertex s = RandomVertex();
+      const Vertex t = RandomVertex();
+      const SpcResult truth = BiBfsCountPair(dyn_->graph(), s, t);
+      const SpcResult from_scratch = rebuilt.Query(s, t);
+      const SpcResult maintained = dyn_->Query(s, t);
+      const SpcResult snapshot = pin->Query(s, t);
+      ASSERT_EQ(from_scratch, truth)
+          << "rebuild disagrees with BiBFS at step " << step << " s=" << s
+          << " t=" << t;
+      ASSERT_EQ(maintained, truth)
+          << "maintained index disagrees with BiBFS at step " << step
+          << " s=" << s << " t=" << t;
+      ASSERT_EQ(snapshot, truth)
+          << "fresh snapshot disagrees with BiBFS at step " << step
+          << " s=" << s << " t=" << t;
+    }
+  }
+
+  const RefreshPolicy policy_;
+  Rng rng_;
+  std::unique_ptr<DynamicSpcIndex> dyn_;
+  /// Graph state at every generation the index has passed through.
+  std::unordered_map<uint64_t, Graph> history_;
+};
+
+using FuzzParam = std::tuple<RefreshPolicy, uint64_t>;
+
+class DifferentialFuzzTest : public ::testing::TestWithParam<FuzzParam> {};
+
+std::string FuzzParamName(const ::testing::TestParamInfo<FuzzParam>& info) {
+  const RefreshPolicy policy = std::get<0>(info.param);
+  std::string name = policy == RefreshPolicy::kSync         ? "Sync"
+                     : policy == RefreshPolicy::kBackground ? "Background"
+                                                            : "Manual";
+  return name + "Seed" + std::to_string(std::get<1>(info.param));
+}
+
+TEST_P(DifferentialFuzzTest, BaStream) {
+  const auto [policy, seed] = GetParam();
+  DifferentialStream stream(GenerateBarabasiAlbert(48, 2, seed), policy, seed);
+  stream.Run(90);
+}
+
+TEST_P(DifferentialFuzzTest, RmatStream) {
+  const auto [policy, seed] = GetParam();
+  DifferentialStream stream(GenerateRmat(6, 150, seed), policy, seed);
+  stream.Run(90);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DifferentialFuzzTest,
+    ::testing::Combine(::testing::Values(RefreshPolicy::kSync,
+                                         RefreshPolicy::kBackground,
+                                         RefreshPolicy::kManual),
+                       ::testing::Values(1001u, 2002u)),
+    FuzzParamName);
+
+// The boundary bookkeeping itself, deterministically: exactly budget-1
+// stale queries ride without a rebuild, the budget-th rebuilds (sync) or
+// schedules (background), and manual never rebuilds on its own.
+TEST(SnapshotBoundaryTest, SyncRebuildLandsExactlyOnBudget) {
+  DynamicSpcOptions options;
+  options.snapshot_rebuild_after_queries = kStaleBudget;
+  DynamicSpcIndex dyn(GenerateBarabasiAlbert(40, 2, 7), options);
+  // Warm a fresh snapshot, then invalidate it.
+  ASSERT_NE(dyn.FlatSnapshot(), nullptr);
+  const size_t warm = dyn.SnapshotRebuilds();
+  const Edge e = SampleNonEdges(dyn.graph(), 1, 8).at(0);
+  ASSERT_TRUE(dyn.InsertEdge(e.u, e.v).applied);
+
+  for (size_t q = 0; q + 1 < kStaleBudget; ++q) {
+    dyn.Query(0, 1);
+    EXPECT_EQ(dyn.SnapshotRebuilds(), warm) << "stale ride " << q;
+    EXPECT_FALSE(dyn.SnapshotFresh());
+  }
+  dyn.Query(0, 1);  // the budget-crossing query pays the rebuild
+  EXPECT_EQ(dyn.SnapshotRebuilds(), warm + 1);
+  EXPECT_TRUE(dyn.SnapshotFresh());
+}
+
+TEST(SnapshotBoundaryTest, ManualNeverRebuildsOnQueries) {
+  DynamicSpcOptions options;
+  options.snapshot_refresh = RefreshPolicy::kManual;
+  options.snapshot_rebuild_after_queries = 1;
+  DynamicSpcIndex dyn(GenerateBarabasiAlbert(30, 2, 9), options);
+  for (int i = 0; i < 10; ++i) dyn.Query(0, static_cast<Vertex>(i));
+  EXPECT_EQ(dyn.SnapshotRebuilds(), 0u);
+  // Explicit refresh publishes; queries then serve it untouched.
+  ASSERT_NE(dyn.FlatSnapshot(), nullptr);
+  EXPECT_EQ(dyn.SnapshotRebuilds(), 1u);
+  EXPECT_TRUE(dyn.SnapshotFresh());
+  dyn.Query(1, 2);
+  EXPECT_EQ(dyn.SnapshotRebuilds(), 1u);
+}
+
+TEST(SnapshotBoundaryTest, BackgroundPublishesWithoutBlockingQueries) {
+  DynamicSpcOptions options;
+  options.snapshot_refresh = RefreshPolicy::kBackground;
+  options.snapshot_rebuild_after_queries = 1;
+  DynamicSpcIndex dyn(GenerateBarabasiAlbert(40, 2, 11), options);
+  // Eager initial publish.
+  EXPECT_GE(dyn.SnapshotRebuilds(), 1u);
+  const auto pin0 = dyn.PinSnapshot();
+  ASSERT_TRUE(static_cast<bool>(pin0));
+  EXPECT_EQ(pin0.generation, dyn.Generation());
+
+  const Edge e = SampleNonEdges(dyn.graph(), 1, 12).at(0);
+  ASSERT_TRUE(dyn.InsertEdge(e.u, e.v).applied);
+  // Queries keep answering immediately from the retired-or-current
+  // snapshot; the publish catches up asynchronously.
+  for (int i = 0; i < 5; ++i) dyn.Query(0, 1);
+  const auto fresh = dyn.WaitForFreshSnapshot();
+  ASSERT_TRUE(static_cast<bool>(fresh));
+  EXPECT_EQ(fresh.generation, dyn.Generation());
+  EXPECT_EQ(fresh->Query(e.u, e.v), (SpcResult{1, 1}));
+  // The old pin still answers for its own (pre-insert) generation.
+  EXPECT_NE(pin0->Query(e.u, e.v), (SpcResult{1, 1}));
+}
+
+}  // namespace
+}  // namespace dspc
