@@ -1,8 +1,10 @@
 // Query-throughput shoot-out: legacy SpcIndex::Query vs the FlatSpcIndex
 // packed arena, its batched driver, and the thread-parallel batch driver —
-// all on the same graph and the same query set. Emits a human table on
-// stdout and machine-readable JSON (BENCH_query_throughput.json, override
-// with argv[1]) for the repo's benchmark trajectory.
+// all on the same graph and the same query set — plus a shard-count sweep
+// (1/4/16 vertex-range shards) quantifying what the sharded serving
+// layout costs the query path. Emits a human table on stdout and
+// machine-readable JSON (BENCH_query_throughput.json, override with
+// argv[1]) for the repo's benchmark trajectory.
 
 #include <cstdio>
 #include <string>
@@ -97,12 +99,47 @@ int main(int argc, char** argv) {
     sink += batch_out.back().dist;
   });
 
+  // The parallel driver writes into a preallocated buffer: at 1 thread it
+  // must match the batched loop instead of paying an allocation per call.
   const unsigned threads =
       std::max(1u, std::thread::hardware_concurrency());
+  std::vector<SpcResult> parallel_out(pairs.size());
   const double parallel_qps = MeasureQps(queries, reps, [&] {
-    auto results = flat.QueryManyParallel(pairs, threads);
-    sink += results.front().dist;
+    flat.QueryManyParallel(pairs, parallel_out.data(), threads);
+    sink += parallel_out.front().dist;
   });
+
+  // Shard sweep: the serving layout pays one extra indirection per query
+  // endpoint; this row quantifies it per shard count.
+  struct ShardRow {
+    size_t shards;
+    size_t effective;
+    double flat_qps;
+    double batch_qps;
+    double parallel_qps;
+  };
+  std::vector<ShardRow> sweep;
+  for (const size_t shards : {1u, 4u, 16u}) {
+    const FlatSpcIndex sharded(index, shards);
+    ShardRow row;
+    row.shards = shards;
+    row.effective = sharded.NumShards();
+    row.flat_qps = MeasureQps(queries, reps, [&] {
+      for (const auto& [s, t] : pairs) {
+        const SpcResult r = sharded.Query(s, t);
+        sink += r.dist + r.count;
+      }
+    });
+    row.batch_qps = MeasureQps(queries, reps, [&] {
+      sharded.QueryMany(pairs, batch_out.data());
+      sink += batch_out.back().dist;
+    });
+    row.parallel_qps = MeasureQps(queries, reps, [&] {
+      sharded.QueryManyParallel(pairs, parallel_out.data(), threads);
+      sink += parallel_out.front().dist;
+    });
+    sweep.push_back(row);
+  }
 
   // Serving through the dynamic facade: adopt a copy of the index and run
   // the same batch through DynamicSpcIndex::BatchQuery under background
@@ -134,6 +171,11 @@ int main(int argc, char** argv) {
               parallel_qps, parallel_qps / legacy_qps, threads);
   std::printf("%-22s %14.0f %9.2fx  (snapshot pin)\n", "dynamic facade batch",
               facade_qps, facade_qps / legacy_qps);
+  for (const ShardRow& row : sweep) {
+    std::printf("%-16s (%2zu) %14.0f %9.2fx  (batch %.0f, parallel %.0f)\n",
+                "sharded arena", row.shards, row.flat_qps,
+                row.flat_qps / legacy_qps, row.batch_qps, row.parallel_qps);
+  }
   std::printf("\nequivalence: %zu mismatches on %zu queries (sink %llu)\n",
               mismatches, queries,
               static_cast<unsigned long long>(sink));
@@ -163,8 +205,8 @@ int main(int argc, char** argv) {
                "  \"flat_batch_speedup\": %.3f,\n"
                "  \"flat_parallel_speedup\": %.3f,\n"
                "  \"facade_batch_speedup\": %.3f,\n"
-               "  \"mismatches\": %zu\n"
-               "}\n",
+               "  \"mismatches\": %zu,\n"
+               "  \"shard_sweep\": [\n",
                scale, graph.NumVertices(), graph.NumEdges(),
                stats.total_entries, stats.wide_bytes, flat.ArenaBytes(),
                flat.OverflowEntries(), build_s, snapshot_s, queries, threads,
@@ -172,6 +214,16 @@ int main(int argc, char** argv) {
                flat_qps / legacy_qps, batch_qps / legacy_qps,
                parallel_qps / legacy_qps, facade_qps / legacy_qps,
                mismatches);
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const ShardRow& row = sweep[i];
+    std::fprintf(json,
+                 "    %s{\"shards\": %zu, \"effective_shards\": %zu, "
+                 "\"flat_qps\": %.0f, \"batch_qps\": %.0f, "
+                 "\"parallel_qps\": %.0f}\n",
+                 i == 0 ? "" : ",", row.shards, row.effective, row.flat_qps,
+                 row.batch_qps, row.parallel_qps);
+  }
+  std::fprintf(json, "  ]\n}\n");
   std::fclose(json);
   std::printf("wrote %s\n", json_path.c_str());
   return mismatches == 0 ? 0 : 1;

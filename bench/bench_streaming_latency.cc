@@ -1,11 +1,15 @@
 // Mixed read/write serving bench: reader threads issue single SPC queries
 // continuously while a writer applies update bursts, once per
-// RefreshPolicy (kSync vs kBackground). The p50/p99/max query latency
-// shows whether the O(total entries) snapshot rebuild lands on the query
-// path (sync: the budget-crossing reader stalls for the whole rebuild and
-// everyone else stalls behind the writer lock) or on the background
-// worker (queries keep serving the previous pinned snapshot and never
-// block on maintenance). Emits a human table and machine-readable JSON
+// RefreshPolicy (kSync vs kBackground) and per snapshot shard count
+// (1/4/16). The p50/p99/max query latency shows whether the snapshot
+// rebuild lands on the query path (sync: the budget-crossing reader
+// stalls for the whole rebuild and everyone else stalls behind the
+// writer lock) or on the background worker (queries keep serving the
+// previous pinned snapshot and never block on maintenance); the
+// update-processing time and the repacked/adopted shard counters show
+// what the delta protocol saves — with one shard every refresh copies
+// and repacks the whole index, with 16 it touches only dirty ranges
+// (DESIGN.md §8). Emits a human table and machine-readable JSON
 // (BENCH_streaming_latency.json, override with argv[1]).
 
 #include <algorithm>
@@ -63,6 +67,7 @@ struct WindowStats {
 
 struct PolicyResult {
   std::string name;
+  size_t shards = 0;
   size_t updates = 0;
   double update_seconds = 0.0;
   WindowStats burst;  // sampled while the writer was applying updates
@@ -70,14 +75,18 @@ struct PolicyResult {
   size_t rebuilds = 0;
   size_t background_rebuilds = 0;
   size_t retired = 0;
+  size_t shards_repacked = 0;
+  size_t shards_adopted = 0;
 };
 
 PolicyResult ServeUnderBursts(const Graph& graph, const SpcIndex& base,
                               const std::vector<Update>& stream,
-                              RefreshPolicy policy, const std::string& name) {
+                              RefreshPolicy policy, size_t shards,
+                              const std::string& name) {
   DynamicSpcOptions options;
   options.snapshot_refresh = policy;
   options.snapshot_rebuild_after_queries = 1;  // rebuild eagerly: worst case
+  options.snapshot_shards = shards;
   DynamicSpcIndex dyn(graph, base, options);   // adopt a copy of the index
   dyn.WaitForFreshSnapshot();                  // warm the serving path
 
@@ -135,6 +144,7 @@ PolicyResult ServeUnderBursts(const Graph& graph, const SpcIndex& base,
 
   PolicyResult out;
   out.name = name;
+  out.shards = shards;
   out.updates = applied;
   out.update_seconds = update_seconds;
   out.burst = WindowStats::From(burst_all);
@@ -142,6 +152,8 @@ PolicyResult ServeUnderBursts(const Graph& graph, const SpcIndex& base,
   out.rebuilds = dyn.SnapshotRebuilds();
   out.background_rebuilds = dyn.snapshots()->BackgroundRebuilds();
   out.retired = dyn.snapshots()->RetiredSnapshots();
+  out.shards_repacked = dyn.snapshots()->ShardsRepacked();
+  out.shards_adopted = dyn.snapshots()->ShardsAdopted();
   return out;
 }
 
@@ -166,24 +178,38 @@ int main(int argc, char** argv) {
   // 120 insertions + 30 deletions in bursts of 25.
   const std::vector<Update> stream = MakeHybridStream(graph, 120, 30, 9);
 
-  const PolicyResult sync = ServeUnderBursts(graph, base, stream,
-                                             RefreshPolicy::kSync, "sync");
-  const PolicyResult bg = ServeUnderBursts(
-      graph, base, stream, RefreshPolicy::kBackground, "background");
+  // The policy sweep: sync and background at the library's default shard
+  // count, plus the background shard sweep isolating the delta rebuild's
+  // contribution (1 shard = the monolithic PR-2 behavior).
+  const size_t kDefaultShards = DynamicSpcOptions::kDefaultSnapshotShards;
+  const PolicyResult sync = ServeUnderBursts(
+      graph, base, stream, RefreshPolicy::kSync, kDefaultShards, "sync");
+  const PolicyResult bg = ServeUnderBursts(graph, base, stream,
+                                           RefreshPolicy::kBackground,
+                                           kDefaultShards, "background");
+  const PolicyResult bg_s1 = ServeUnderBursts(graph, base, stream,
+                                              RefreshPolicy::kBackground, 1,
+                                              "background_s1");
+  const PolicyResult bg_s4 = ServeUnderBursts(graph, base, stream,
+                                              RefreshPolicy::kBackground, 4,
+                                              "background_s4");
+  const std::vector<PolicyResult> results = {sync, bg_s1, bg_s4, bg};
 
-  std::printf("\n%-12s %-7s %9s %9s %9s %10s %7s %7s\n", "policy", "window",
+  std::printf("\n%-14s %-7s %9s %9s %9s %10s %7s %7s\n", "policy", "window",
               "queries", "p50 us", "p99 us", "max us", ">1ms", ">20ms");
   bench::PrintRule(7);
-  for (const PolicyResult& r : {sync, bg}) {
-    std::printf("%-12s %-7s %9zu %9.1f %9.1f %10.1f %7zu %7zu\n",
+  for (const PolicyResult& r : results) {
+    std::printf("%-14s %-7s %9zu %9.1f %9.1f %10.1f %7zu %7zu\n",
                 r.name.c_str(), "burst", r.burst.queries, r.burst.p50_us,
                 r.burst.p99_us, r.burst.max_us, r.burst.stalls_1ms,
                 r.burst.stalls_20ms);
-    std::printf("%-12s %-7s %9zu %9.1f %9.1f %10.1f %7zu %7zu  "
-                "(%zu rebuilds)\n",
+    std::printf("%-14s %-7s %9zu %9.1f %9.1f %10.1f %7zu %7zu  "
+                "(%zu rebuilds, %zu shards repacked, %zu adopted, "
+                "updates %.2fs)\n",
                 r.name.c_str(), "idle", r.idle.queries, r.idle.p50_us,
                 r.idle.p99_us, r.idle.max_us, r.idle.stalls_1ms,
-                r.idle.stalls_20ms, r.rebuilds);
+                r.idle.stalls_20ms, r.rebuilds, r.shards_repacked,
+                r.shards_adopted, r.update_seconds);
   }
   const double worst_ratio =
       bg.burst.max_us > 0.0 ? sync.burst.max_us / bg.burst.max_us : 0.0;
@@ -213,10 +239,10 @@ int main(int argc, char** argv) {
                scale, graph.NumVertices(), graph.NumEdges(), kReaders,
                kBurstSize, kBurstGapMs);
   bool first = true;
-  for (const PolicyResult& r : {sync, bg}) {
+  for (const PolicyResult& r : results) {
     std::fprintf(
         json,
-        "    %s{\"policy\": \"%s\", \"updates\": %zu, "
+        "    %s{\"policy\": \"%s\", \"shards\": %zu, \"updates\": %zu, "
         "\"update_seconds\": %.4f,\n"
         "     \"burst\": {\"queries\": %zu, \"p50_us\": %.2f, "
         "\"p90_us\": %.2f, \"p99_us\": %.2f, \"max_us\": %.2f, "
@@ -225,20 +251,27 @@ int main(int argc, char** argv) {
         "\"p90_us\": %.2f, \"p99_us\": %.2f, \"max_us\": %.2f, "
         "\"stalls_over_1ms\": %zu, \"stalls_over_20ms\": %zu},\n"
         "     \"rebuilds\": %zu, \"background_rebuilds\": %zu, "
-        "\"retired_snapshots\": %zu}\n",
-        first ? "" : ",", r.name.c_str(), r.updates, r.update_seconds,
-        r.burst.queries, r.burst.p50_us, r.burst.p90_us, r.burst.p99_us,
-        r.burst.max_us, r.burst.stalls_1ms, r.burst.stalls_20ms,
-        r.idle.queries, r.idle.p50_us, r.idle.p90_us, r.idle.p99_us,
-        r.idle.max_us, r.idle.stalls_1ms, r.idle.stalls_20ms, r.rebuilds,
-        r.background_rebuilds, r.retired);
+        "\"retired_snapshots\": %zu, \"shards_repacked\": %zu, "
+        "\"shards_adopted\": %zu}\n",
+        first ? "" : ",", r.name.c_str(), r.shards, r.updates,
+        r.update_seconds, r.burst.queries, r.burst.p50_us, r.burst.p90_us,
+        r.burst.p99_us, r.burst.max_us, r.burst.stalls_1ms,
+        r.burst.stalls_20ms, r.idle.queries, r.idle.p50_us, r.idle.p90_us,
+        r.idle.p99_us, r.idle.max_us, r.idle.stalls_1ms, r.idle.stalls_20ms,
+        r.rebuilds, r.background_rebuilds, r.retired, r.shards_repacked,
+        r.shards_adopted);
     first = false;
   }
   std::fprintf(json,
                "  ],\n"
-               "  \"sync_over_background_worst_burst_stall\": %.3f\n"
+               "  \"sync_over_background_worst_burst_stall\": %.3f,\n"
+               "  \"default_shards\": %zu,\n"
+               "  \"background_s1_over_default_update_seconds\": %.3f\n"
                "}\n",
-               worst_ratio);
+               worst_ratio, kDefaultShards,
+               bg.update_seconds > 0.0
+                   ? bg_s1.update_seconds / bg.update_seconds
+                   : 0.0);
   std::fclose(json);
   std::printf("wrote %s\n", json_path.c_str());
   return 0;

@@ -1,0 +1,100 @@
+#include "dspc/common/thread_pool.h"
+
+#include <algorithm>
+
+namespace dspc {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  threads = std::clamp(threads, 1u, kMaxThreads);
+  workers_.reserve(threads - 1);
+  for (unsigned i = 0; i + 1 < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::lock_guard<std::mutex> region_lock(region_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    region_n_ = n;
+    region_fn_ = &fn;
+    next_.store(0, std::memory_order_relaxed);
+    // A region with fewer indices than workers only needs n - 1 helpers
+    // (the caller drains too); the rest wake, see no claim left, and go
+    // straight back to sleep without joining the rendezvous.
+    claims_ = std::min(workers_.size(), n - 1);
+    inflight_workers_ = claims_;
+    ++region_seq_;
+  }
+  start_cv_.notify_all();
+  // The caller is a full participant: it drains the same cursor, so a
+  // region never waits on a worker that the scheduler has not run yet.
+  std::exception_ptr error;
+  try {
+    for (size_t i = next_.fetch_add(1, std::memory_order_relaxed); i < n;
+         i = next_.fetch_add(1, std::memory_order_relaxed)) {
+      fn(i);
+    }
+  } catch (...) {
+    error = std::current_exception();
+    // Poison the cursor so workers stop picking up new indices, then
+    // fall through to the rendezvous — fn (and the caller state it
+    // references) must outlive every in-flight call.
+    next_.store(n, std::memory_order_relaxed);
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return inflight_workers_ == 0; });
+  region_fn_ = nullptr;
+  if (error == nullptr) error = region_error_;
+  region_error_ = nullptr;
+  if (error != nullptr) std::rethrow_exception(error);
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_seq = 0;
+  while (true) {
+    const std::function<void(size_t)>* fn = nullptr;
+    size_t n = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock, [&] { return stop_ || region_seq_ != seen_seq; });
+      if (stop_) return;
+      seen_seq = region_seq_;
+      if (claims_ == 0) continue;  // region already has enough helpers
+      --claims_;
+      fn = region_fn_;
+      n = region_n_;
+    }
+    try {
+      for (size_t i = next_.fetch_add(1, std::memory_order_relaxed); i < n;
+           i = next_.fetch_add(1, std::memory_order_relaxed)) {
+        (*fn)(i);
+      }
+    } catch (...) {
+      next_.store(n, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(mu_);
+      if (region_error_ == nullptr) region_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--inflight_workers_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace dspc

@@ -1,0 +1,78 @@
+// A small fixed-size worker pool with a blocking parallel-for, used by
+// the snapshot rebuild path to repack dirty shards concurrently
+// (DESIGN.md §8). Deliberately minimal: one fork-join region at a time,
+// no task queue, no futures — the rebuild worker is the only client and
+// its regions are serialized by SnapshotManager::rebuild_mu_ anyway.
+//
+// Workers are spawned once at construction and parked on a condition
+// variable between regions, so a ParallelFor costs two notifications, not
+// thread creation. With zero workers (threads <= 1, or single-core
+// hardware) ParallelFor degrades to a plain loop on the calling thread.
+
+#ifndef DSPC_COMMON_THREAD_POOL_H_
+#define DSPC_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dspc {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads - 1` workers (the caller participates in every
+  /// region, so `threads` is the total parallelism). 0 = hardware
+  /// concurrency, capped at kMaxThreads.
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism of a region (workers + the calling thread).
+  unsigned size() const { return static_cast<unsigned>(workers_.size()) + 1; }
+
+  /// Runs fn(i) for every i in [0, n), distributing indices over the
+  /// workers and the calling thread via an atomic cursor; returns when
+  /// all n calls have completed. `fn` must be safe to call concurrently
+  /// for distinct indices. One region at a time (externally serialized by
+  /// the caller; an internal mutex enforces it defensively).
+  ///
+  /// Exception safety: if any fn(i) throws — on the caller or a worker —
+  /// the cursor is drained, the region still fully rendezvouses (no
+  /// worker is left touching caller state), and the first exception is
+  /// rethrown from ParallelFor. Remaining indices may be skipped.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  static constexpr unsigned kMaxThreads = 16;
+
+ private:
+  void WorkerLoop();
+
+  /// Serializes ParallelFor regions.
+  std::mutex region_mu_;
+
+  /// Guards the region descriptor below and the wakeup protocol.
+  std::mutex mu_;
+  std::condition_variable start_cv_;  ///< wakes workers for a new region
+  std::condition_variable done_cv_;   ///< wakes the caller when all done
+  uint64_t region_seq_ = 0;           ///< bumped per region (wakeup token)
+  size_t region_n_ = 0;
+  const std::function<void(size_t)>* region_fn_ = nullptr;
+  std::atomic<size_t> next_{0};    ///< index cursor of the active region
+  size_t claims_ = 0;              ///< helper slots left in the region
+  size_t inflight_workers_ = 0;    ///< workers still inside the region
+  std::exception_ptr region_error_;  ///< first exception thrown by a worker
+  bool stop_ = false;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace dspc
+
+#endif  // DSPC_COMMON_THREAD_POOL_H_

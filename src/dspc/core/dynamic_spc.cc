@@ -9,22 +9,38 @@
 
 namespace dspc {
 
+namespace {
+
+/// RAII writer-priority signal: raised for the whole update application,
+/// including the wait for the exclusive lock (a reader-starved writer
+/// spends most of its time exactly there).
+class WriterScope {
+ public:
+  explicit WriterScope(std::atomic<uint32_t>* counter) : counter_(counter) {
+    counter_->fetch_add(1, std::memory_order_relaxed);
+  }
+  ~WriterScope() { counter_->fetch_sub(1, std::memory_order_relaxed); }
+  WriterScope(const WriterScope&) = delete;
+  WriterScope& operator=(const WriterScope&) = delete;
+
+ private:
+  std::atomic<uint32_t>* counter_;
+};
+
+unsigned ResolveRebuildThreads(unsigned requested) {
+  if (requested != 0) return requested;
+  return std::clamp(std::thread::hardware_concurrency(), 1u, 8u);
+}
+
+}  // namespace
+
 DynamicSpcIndex::DynamicSpcIndex(Graph graph, const DynamicSpcOptions& options)
     : graph_(std::move(graph)),
       index_(BuildSpcIndex(graph_, options.ordering)),
       options_(options),
       inc_(&graph_, &index_),
       dec_(&graph_, &index_, options.dec) {
-  entries_at_build_ = index_.SizeStats().total_entries;
-  snapshots_ = std::make_unique<SnapshotManager>(
-      [this] { return CopyIndexForSnapshot(); }, options_.snapshot_refresh,
-      options_.snapshot_rebuild_after_queries);
-  // Background serving reads only published snapshots, so publish one
-  // before any query can arrive (also warms the serving path).
-  if (options_.enable_flat_snapshot &&
-      options_.snapshot_refresh == RefreshPolicy::kBackground) {
-    snapshots_->RefreshNow(Generation());
-  }
+  InitSnapshots();
 }
 
 DynamicSpcIndex::DynamicSpcIndex(Graph graph, SpcIndex index,
@@ -34,53 +50,115 @@ DynamicSpcIndex::DynamicSpcIndex(Graph graph, SpcIndex index,
       options_(options),
       inc_(&graph_, &index_),
       dec_(&graph_, &index_, options.dec) {
+  InitSnapshots();
+}
+
+void DynamicSpcIndex::InitSnapshots() {
   entries_at_build_ = index_.SizeStats().total_entries;
+  snapshot_shards_ = options_.snapshot_shards != 0
+                         ? options_.snapshot_shards
+                         : DynamicSpcOptions::kDefaultSnapshotShards;
+  ResetShardLayoutLocked();
   snapshots_ = std::make_unique<SnapshotManager>(
-      [this] { return CopyIndexForSnapshot(); }, options_.snapshot_refresh,
-      options_.snapshot_rebuild_after_queries);
+      [this](const FlatSpcIndex* prev) { return CopyDeltaForSnapshot(prev); },
+      options_.snapshot_refresh, options_.snapshot_rebuild_after_queries,
+      ResolveRebuildThreads(options_.snapshot_rebuild_threads));
+  // Background serving reads only published snapshots, so publish one
+  // before any query can arrive (also warms the serving path).
   if (options_.enable_flat_snapshot &&
       options_.snapshot_refresh == RefreshPolicy::kBackground) {
     snapshots_->RefreshNow(Generation());
   }
 }
 
-SnapshotManager::IndexCopy DynamicSpcIndex::CopyIndexForSnapshot() const {
-  // Copy-on-read: the shared lock excludes writers for the O(entries)
-  // copy only; the expensive FlatSpcIndex packing runs on the caller's
-  // thread with no lock held.
+void DynamicSpcIndex::ResetShardLayoutLocked() {
+  ++layout_stamp_;
+  shard_layout_ = FlatSpcIndex::ComputeShardLayout(index_.NumVertices(),
+                                                   snapshot_shards_);
+  // Every shard starts dirty at the current generation: the stamp change
+  // already forces the next refresh to be a full build.
+  shard_dirty_gen_.assign(shard_layout_.count,
+                          generation_.load(std::memory_order_relaxed));
+  index_.ClearTouched();
+}
+
+void DynamicSpcIndex::NoteTouchedLocked() {
+  const uint64_t gen = generation_.load(std::memory_order_relaxed);
+  for (const Vertex v : index_.TouchedVertices()) {
+    shard_dirty_gen_[v >> shard_layout_.shift] = gen;
+  }
+  index_.ClearTouched();
+}
+
+FlatSpcIndex::IndexDelta DynamicSpcIndex::CopyDeltaForSnapshot(
+    const FlatSpcIndex* prev) const {
+  // Delta copy-on-read: the shared lock excludes writers only for the
+  // O(entries in dirty shards) label copies; the expensive packing runs
+  // on the caller's thread with no lock held.
   std::shared_lock<std::shared_mutex> lock(index_mu_);
-  return {index_, Generation()};
+  FlatSpcIndex::IndexDelta delta;
+  delta.generation = Generation();
+  delta.layout_stamp = layout_stamp_;
+  delta.num_vertices = index_.NumVertices();
+  delta.num_shards = snapshot_shards_;
+  const bool incremental =
+      prev != nullptr && prev->LayoutStamp() == layout_stamp_;
+  if (!incremental) {
+    delta.full = true;
+    delta.ordering = index_.ordering();
+  }
+  for (size_t i = 0; i < shard_layout_.count; ++i) {
+    if (incremental && shard_dirty_gen_[i] <= prev->ShardGeneration(i)) {
+      continue;  // clean: the rebuild adopts prev's arena
+    }
+    delta.dirty.push_back(
+        {i, index_.CopyLabelRange(shard_layout_.BeginOf(i),
+                                  shard_layout_.EndOf(i, delta.num_vertices))});
+  }
+  return delta;
 }
 
 UpdateStats DynamicSpcIndex::InsertEdge(Vertex a, Vertex b) {
+  WriterScope writer(&active_writers_);
   std::unique_lock<std::shared_mutex> lock(index_mu_);
   const UpdateStats stats = inc_.InsertEdge(a, b);
   if (stats.applied) {
     ++updates_since_build_;
     BumpGeneration();
+    NoteTouchedLocked();
     MaybePolicyRebuildLocked();
+  } else {
+    index_.ClearTouched();
   }
   return stats;
 }
 
 UpdateStats DynamicSpcIndex::RemoveEdge(Vertex a, Vertex b) {
+  WriterScope writer(&active_writers_);
   std::unique_lock<std::shared_mutex> lock(index_mu_);
   const UpdateStats stats = dec_.RemoveEdge(a, b);
   if (stats.applied) {
     ++updates_since_build_;
     BumpGeneration();
+    NoteTouchedLocked();
     MaybePolicyRebuildLocked();
+  } else {
+    index_.ClearTouched();
   }
   return stats;
 }
 
 Vertex DynamicSpcIndex::AddVertex() {
+  WriterScope writer(&active_writers_);
   std::unique_lock<std::shared_mutex> lock(index_mu_);
   graph_.AddVertex();
   const Vertex v = index_.AddVertex();
   inc_.Resize();
   dec_.Resize();
   BumpGeneration();
+  // The vertex count changed, so shard boundaries (and the stale
+  // snapshot's coverage) changed with it: new layout, full rebuild next.
+  ResetShardLayoutLocked();
   return v;
 }
 
@@ -141,10 +219,35 @@ UpdateStats DynamicSpcIndex::ApplyBatch(const std::vector<Update>& updates) {
   return total;
 }
 
+void DynamicSpcIndex::MaybeBackpressure(uint64_t current_generation,
+                                        uint64_t pinned_generation) const {
+  if (options_.snapshot_refresh != RefreshPolicy::kBackground) {
+    return;  // sync/manual readers already pace themselves on the lock
+  }
+  if (options_.snapshot_writer_priority &&
+      active_writers_.load(std::memory_order_relaxed) > 0) {
+    std::this_thread::yield();
+    return;
+  }
+  // A publish can race ahead of this reader's generation read, making
+  // the pin *newer* than current_generation — that is freshness, not
+  // lag, so only subtract when the pin actually trails.
+  if (options_.snapshot_backpressure_lag != 0 &&
+      pinned_generation < current_generation &&
+      current_generation - pinned_generation >
+          options_.snapshot_backpressure_lag) {
+    std::this_thread::yield();
+  }
+}
+
 SpcResult DynamicSpcIndex::Query(Vertex s, Vertex t) const {
   if (options_.enable_flat_snapshot) {
-    const auto pin = snapshots_->Acquire(Generation(), 1);
-    if (Covers(pin, s, t)) return pin->Query(s, t);
+    const uint64_t generation = Generation();
+    const auto pin = snapshots_->Acquire(generation, 1);
+    if (Covers(pin, s, t)) {
+      MaybeBackpressure(generation, pin.generation);
+      return pin->Query(s, t);
+    }
   }
   std::shared_lock<std::shared_mutex> lock(index_mu_);
   return index_.Query(s, t);
@@ -154,12 +257,16 @@ std::vector<SpcResult> DynamicSpcIndex::BatchQuery(
     const std::vector<std::pair<Vertex, Vertex>>& pairs,
     unsigned threads) const {
   if (options_.enable_flat_snapshot) {
-    const auto pin = snapshots_->Acquire(Generation(), pairs.size());
+    const uint64_t generation = Generation();
+    const auto pin = snapshots_->Acquire(generation, pairs.size());
     const bool covers_all =
         pin && std::all_of(pairs.begin(), pairs.end(), [&](const auto& p) {
           return Covers(pin, p.first, p.second);
         });
-    if (covers_all) return pin->QueryManyParallel(pairs, threads);
+    if (covers_all) {
+      MaybeBackpressure(generation, pin.generation);
+      return pin->QueryManyParallel(pairs, threads);
+    }
   }
   std::vector<SpcResult> results(pairs.size());
   // Mutable-index fallback: hold the read lock across the whole batch so
@@ -199,6 +306,7 @@ SnapshotManager::Pinned DynamicSpcIndex::WaitForFreshSnapshot() const {
 }
 
 void DynamicSpcIndex::Rebuild() {
+  WriterScope writer(&active_writers_);
   std::unique_lock<std::shared_mutex> lock(index_mu_);
   RebuildLocked();
 }
@@ -210,6 +318,8 @@ void DynamicSpcIndex::RebuildLocked() {
   updates_since_build_ = 0;
   entries_at_build_ = index_.SizeStats().total_entries;
   BumpGeneration();
+  // A fresh ordering re-ranks every hub, so no previous shard survives.
+  ResetShardLayoutLocked();
 }
 
 void DynamicSpcIndex::MaybePolicyRebuildLocked() {

@@ -79,6 +79,44 @@ struct DynamicSpcOptions {
   ///    initial snapshot is published eagerly at construction.
   ///  - kManual: only FlatSnapshot()/WaitForFreshSnapshot() rebuild.
   RefreshPolicy snapshot_refresh = RefreshPolicy::kSync;
+
+  /// Vertex-range shards in the flat snapshot (DESIGN.md §8). Updates
+  /// mark the shards of every vertex whose label set changed; a refresh
+  /// repacks only those and adopts the rest from the previous snapshot,
+  /// so rebuild cost tracks update locality instead of total index size.
+  /// 1 reproduces the monolithic layout; 0 picks kDefaultSnapshotShards.
+  /// The effective count is rounded to power-of-two shard widths
+  /// (FlatSpcIndex::ComputeShardLayout).
+  static constexpr size_t kDefaultSnapshotShards = 16;
+  size_t snapshot_shards = 0;
+
+  /// Worker threads for repacking dirty shards during one refresh
+  /// (FlatSpcIndex::Rebuild). 0 picks hardware concurrency (capped at
+  /// 8); 1 packs serially on the rebuilding thread.
+  unsigned snapshot_rebuild_threads = 0;
+
+  /// Reader backpressure under kBackground: the policy's contract is
+  /// *bounded* staleness, but spinning readers on a saturated machine
+  /// can starve the rebuild worker of CPU, letting the published
+  /// snapshot fall arbitrarily far behind. When the snapshot trails the
+  /// mutable index by more than this many generations, each
+  /// snapshot-served query donates one timeslice (std::this_thread::
+  /// yield) before answering — queries never block and never wait for a
+  /// rebuild, they just stop out-competing maintenance for the CPU that
+  /// would resolve the lag. Costs a few microseconds per query while
+  /// saturated, zero when the worker keeps up. 0 disables.
+  uint64_t snapshot_backpressure_lag = 8;
+
+  /// Writer-priority yield under kBackground: snapshot-served queries
+  /// never touch the writer's lock, so on a machine with more spinning
+  /// readers than cores the scheduler starves update application (the
+  /// writer computes label changes on an equal CPU share against
+  /// readers that never block). While any update is mid-application,
+  /// each snapshot-served query donates one timeslice before answering:
+  /// updates then process at near-isolated speed and queries still
+  /// answer (stale, non-blocking) in microseconds. One relaxed atomic
+  /// load per query when no writer is active.
+  bool snapshot_writer_priority = true;
 };
 
 /// A dynamic shortest-path-counting index over an owned graph.
@@ -196,6 +234,10 @@ class DynamicSpcIndex {
   const SpcIndex& index() const { return index_; }
 
  private:
+  /// Shared tail of both constructors: resolves the shard layout and
+  /// wires up the snapshot manager (plus the eager kBackground publish).
+  void InitSnapshots();
+
   /// Applies the §6 lazy rebuild policy after an applied update. Caller
   /// holds index_mu_ exclusively.
   void MaybePolicyRebuildLocked();
@@ -209,9 +251,23 @@ class DynamicSpcIndex {
     generation_.fetch_add(1, std::memory_order_acq_rel);
   }
 
-  /// SnapshotManager source: copies the mutable index at a consistent
-  /// point (shared lock) together with its generation.
-  SnapshotManager::IndexCopy CopyIndexForSnapshot() const;
+  /// Drains the mutable index's touched-vertex set into the per-shard
+  /// dirty generations (dirty-shard tracking, DESIGN.md §8). Caller
+  /// holds index_mu_ exclusively and has already bumped the generation.
+  void NoteTouchedLocked();
+
+  /// Recomputes the shard layout and marks everything dirty — required
+  /// whenever the ordering or vertex count changes (AddVertex, Rebuild),
+  /// since shard boundaries and packed hub ranks both derive from them.
+  /// Caller holds index_mu_ exclusively (or is the constructor).
+  void ResetShardLayoutLocked();
+
+  /// SnapshotManager source: under the shared lock, decides which shards
+  /// are dirty relative to `prev` (per-shard generations vs. the dirty
+  /// tracking) and copies only those label ranges — or everything, when
+  /// the layout stamp no longer matches.
+  FlatSpcIndex::IndexDelta CopyDeltaForSnapshot(
+      const FlatSpcIndex* prev) const;
 
   /// True when the pinned snapshot covers both endpoints — a stale
   /// snapshot predates vertices added after it was built, and those
@@ -219,6 +275,12 @@ class DynamicSpcIndex {
   static bool Covers(const SnapshotManager::Pinned& pin, Vertex s, Vertex t) {
     return pin && s < pin->NumVertices() && t < pin->NumVertices();
   }
+
+  /// Bounded-staleness enforcement (snapshot_backpressure_lag): donates
+  /// one timeslice when the snapshot being served trails the mutable
+  /// index too far, so spinning readers cannot starve maintenance.
+  void MaybeBackpressure(uint64_t current_generation,
+                         uint64_t pinned_generation) const;
 
   Graph graph_;
   SpcIndex index_;
@@ -229,6 +291,17 @@ class DynamicSpcIndex {
   size_t entries_at_build_ = 0;
   size_t policy_rebuilds_ = 0;
 
+  /// Dirty-shard tracking (DESIGN.md §8), all written under exclusive
+  /// index_mu_ and read under the shared lock by the snapshot source:
+  /// the requested shard count, the current layout (mirrors
+  /// FlatSpcIndex::ComputeShardLayout), a stamp identifying the
+  /// (ordering, vertex count, layout) triple, and per shard the last
+  /// generation at which one of its vertices' label sets changed.
+  size_t snapshot_shards_ = 1;
+  FlatSpcIndex::ShardLayout shard_layout_;
+  uint64_t layout_stamp_ = 1;
+  std::vector<uint64_t> shard_dirty_gen_;
+
   /// Guards graph_/index_ (and the counters above): updates exclusive,
   /// snapshot copies and mutable-index queries shared.
   mutable std::shared_mutex index_mu_;
@@ -236,6 +309,11 @@ class DynamicSpcIndex {
   /// Structural generation, read lock-free by query paths. Written only
   /// under exclusive index_mu_.
   std::atomic<uint64_t> generation_{1};
+
+  /// Updates currently being applied (including time spent waiting for
+  /// the exclusive lock) — the writer-priority signal read lock-free by
+  /// MaybeBackpressure.
+  mutable std::atomic<uint32_t> active_writers_{0};
 
   /// Snapshot publication/rebuild machinery. Declared last so its
   /// destructor joins the background worker before graph_/index_ (which

@@ -1,14 +1,20 @@
 #include "dspc/core/snapshot_manager.h"
 
+#include <algorithm>
+#include <cassert>
 #include <utility>
+
+#include "dspc/common/thread_pool.h"
 
 namespace dspc {
 
 SnapshotManager::SnapshotManager(Source source, RefreshPolicy policy,
-                                 size_t stale_query_budget)
+                                 size_t stale_query_budget,
+                                 unsigned rebuild_threads)
     : source_(std::move(source)),
       policy_(policy),
-      stale_query_budget_(stale_query_budget) {}
+      stale_query_budget_(stale_query_budget),
+      rebuild_threads_(rebuild_threads) {}
 
 SnapshotManager::~SnapshotManager() {
   {
@@ -113,16 +119,55 @@ void SnapshotManager::RequestRebuild(uint64_t target_generation) {
 
 std::shared_ptr<const SnapshotManager::Versioned>
 SnapshotManager::BuildFromSource() {
-  IndexCopy copy = source_();  // consistent copy; source owns the locking
+  // rebuild_mu_ (held by every caller) serializes builds, so the snapshot
+  // read here is exactly what Publish will swap out.
+  const std::shared_ptr<const Versioned> prev =
+      published_.load(std::memory_order_acquire);
+  const FlatSpcIndex* prev_flat = prev ? &prev->flat : nullptr;
+  // Delta copy; the source owns the locking and the dirty bookkeeping.
+  FlatSpcIndex::IndexDelta delta = source_(prev_flat);
+  const size_t dirty = delta.dirty.size();
+  // The repack pool lives only for this rebuild and is sized to the
+  // dirty work: thread spawn is microseconds against millisecond-scale
+  // packs, and no facade ever holds parked threads between refreshes.
+  std::unique_ptr<ThreadPool> pool;
+  if (rebuild_threads_ > 1 && dirty > 1) {
+    pool = std::make_unique<ThreadPool>(
+        std::min<size_t>(rebuild_threads_, dirty));
+  }
+  const bool adoption = prev_flat != nullptr && !delta.full && dirty == 0;
+  const uint64_t generation = delta.generation;
   auto snap = std::make_shared<Versioned>(
-      Versioned{copy.generation, FlatSpcIndex(copy.index)});
+      Versioned{generation,
+                FlatSpcIndex::Rebuild(prev_flat, std::move(delta),
+                                      pool.get())});
   rebuilds_.fetch_add(1, std::memory_order_relaxed);
+  // Count adoption from arena identity (not the delta's dirty list), so
+  // the metrics stay honest even if the rebuild had to repack clean
+  // shards (the packed->wide fallback).
+  size_t adopted = 0;
+  if (prev_flat != nullptr &&
+      snap->flat.LayoutStamp() == prev_flat->LayoutStamp()) {
+    for (size_t i = 0; i < snap->flat.NumShards(); ++i) {
+      if (snap->flat.SharesShardWith(*prev_flat, i)) ++adopted;
+    }
+  }
+  shards_repacked_.fetch_add(snap->flat.NumShards() - adopted,
+                             std::memory_order_relaxed);
+  shards_adopted_.fetch_add(adopted, std::memory_order_relaxed);
+  if (adoption) adoption_publishes_.fetch_add(1, std::memory_order_relaxed);
   return snap;
 }
 
 void SnapshotManager::Publish(std::shared_ptr<const Versioned> snap) {
   std::shared_ptr<const Versioned> old =
       published_.load(std::memory_order_acquire);
+  // Builds are serialized under rebuild_mu_ and each one copies at a
+  // generation at least as fresh as the snapshot it read, so publication
+  // is strictly monotone by construction — a non-increasing generation
+  // here is a protocol bug (e.g. a source returning stale generations),
+  // not a benign race.
+  assert(old == nullptr || snap->generation > old->generation);
   // Monotone swap: a slow build must never replace a newer snapshot.
   while (old == nullptr || old->generation < snap->generation) {
     if (published_.compare_exchange_weak(old, snap,
@@ -157,12 +202,18 @@ void SnapshotManager::WorkerLoop() {
       publish_cv_.notify_all();
       return;
     }
+    const uint64_t target = requested_generation_;
     lock.unlock();
     {
       std::lock_guard<std::mutex> rebuild_lock(rebuild_mu_);
-      auto snap = BuildFromSource();
-      background_rebuilds_.fetch_add(1, std::memory_order_relaxed);
-      Publish(snap);
+      // Mirror RefreshNow's guard: a concurrent manual refresh may have
+      // published this generation while we waited for the build lock,
+      // and publication is strictly monotone — never build it twice.
+      if (published_generation_.load(std::memory_order_acquire) < target) {
+        auto snap = BuildFromSource();
+        background_rebuilds_.fetch_add(1, std::memory_order_relaxed);
+        Publish(snap);
+      }
     }
     lock.lock();
     // If writers advanced past the copy we just published, the predicate

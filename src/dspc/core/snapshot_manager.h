@@ -32,10 +32,20 @@
 //                even when it trails the mutable index by a few
 //                generations (bounded staleness). Crossing the staleness
 //                budget requests an off-thread rebuild: a worker copies
-//                the mutable index at a consistent point (copy-on-read
-//                under the facade's shared lock), builds the next
-//                snapshot without any lock held, and publishes it. The
-//                query path never blocks on maintenance.
+//                the dirty vertex ranges of the mutable index at a
+//                consistent point (delta copy-on-read under the facade's
+//                shared lock), builds the next snapshot without any lock
+//                held, and publishes it. The query path never blocks on
+//                maintenance.
+//
+// Rebuilds are incremental (DESIGN.md §8): the Source callback receives
+// the previously published snapshot and returns an IndexDelta covering
+// only the shards whose vertices changed since that snapshot's per-shard
+// generations. FlatSpcIndex::Rebuild adopts every clean shard by
+// shared_ptr and repacks the dirty ones — in parallel over the manager's
+// thread pool when rebuild_threads > 1. A delta with no dirty shards
+// short-circuits to pure adoption: no label is copied or packed, the
+// publish just moves the snapshot generation forward.
 //   kManual      No automatic rebuilds; stale queries ride the mutable
 //                index. Only explicit RefreshNow/AwaitGeneration calls
 //                (DynamicSpcIndex::FlatSnapshot) publish.
@@ -69,16 +79,17 @@ enum class RefreshPolicy {
   kManual,      ///< only explicit refreshes rebuild
 };
 
+class ThreadPool;
+
 class SnapshotManager {
  public:
-  /// A consistent copy of the mutable index together with the structural
-  /// generation it reflects. Produced by the Source callback at a point
-  /// where no writer is mid-update.
-  struct IndexCopy {
-    SpcIndex index;
-    uint64_t generation = 0;
-  };
-  using Source = std::function<IndexCopy()>;
+  /// Produces a consistent delta copy of the mutable index at a point
+  /// where no writer is mid-update: label copies for exactly the shards
+  /// that changed relative to `prev` (the currently published snapshot,
+  /// null before the first publish — the source must then return a full
+  /// delta, as it must whenever the layout stamp no longer matches).
+  using Source =
+      std::function<FlatSpcIndex::IndexDelta(const FlatSpcIndex* prev)>;
 
   /// A pinned snapshot: the immutable index plus the generation it was
   /// built from. Holding the Pinned keeps the snapshot alive across any
@@ -93,12 +104,14 @@ class SnapshotManager {
     const FlatSpcIndex& operator*() const { return *snapshot; }
   };
 
-  /// `source` produces consistent copies of the mutable index;
+  /// `source` produces consistent delta copies of the mutable index;
   /// `stale_query_budget` is the number of queries that may observe a
   /// stale snapshot before a rebuild is scheduled (the facade's
-  /// snapshot_rebuild_after_queries knob).
+  /// snapshot_rebuild_after_queries knob); `rebuild_threads` bounds the
+  /// per-rebuild pool that repacks dirty shards concurrently (<= 1
+  /// packs serially and never spawns threads).
   SnapshotManager(Source source, RefreshPolicy policy,
-                  size_t stale_query_budget);
+                  size_t stale_query_budget, unsigned rebuild_threads = 1);
   ~SnapshotManager();
 
   SnapshotManager(const SnapshotManager&) = delete;
@@ -160,6 +173,21 @@ class SnapshotManager {
     return retired_.load(std::memory_order_relaxed);
   }
 
+  /// Shards repacked across all rebuilds (the paid work) vs. shards
+  /// adopted from the previous snapshot by shared_ptr (the saved work).
+  /// Their ratio is the delta protocol's effectiveness on the workload.
+  size_t ShardsRepacked() const {
+    return shards_repacked_.load(std::memory_order_relaxed);
+  }
+  size_t ShardsAdopted() const {
+    return shards_adopted_.load(std::memory_order_relaxed);
+  }
+
+  /// Rebuilds that were pure adoptions (no dirty shard, no packing).
+  size_t AdoptionPublishes() const {
+    return adoption_publishes_.load(std::memory_order_relaxed);
+  }
+
  private:
   /// A snapshot tagged with the generation it was built from. Published
   /// as shared_ptr<const Versioned>; Pinned aliases into `flat`.
@@ -170,8 +198,11 @@ class SnapshotManager {
 
   static Pinned PinOf(const std::shared_ptr<const Versioned>& v);
 
-  /// Copies the mutable index via source_ and packs it into a snapshot.
-  /// Runs with no manager lock held (the build dominates the cost).
+  /// Pulls a delta from source_ (relative to the published snapshot) and
+  /// packs the next snapshot, adopting clean shards. Runs under
+  /// rebuild_mu_ but with no state lock held (the build dominates the
+  /// cost); rebuild_mu_ also guarantees the published snapshot cannot
+  /// move between the delta copy and the publish.
   std::shared_ptr<const Versioned> BuildFromSource();
 
   /// Atomically swaps `snap` in if it is newer than the published one;
@@ -188,6 +219,9 @@ class SnapshotManager {
   const Source source_;
   const RefreshPolicy policy_;
   const size_t stale_query_budget_;
+  /// Upper bound on the per-rebuild repack pool (see BuildFromSource);
+  /// <= 1 packs serially and never spawns threads.
+  const unsigned rebuild_threads_;
 
   /// The published snapshot. Readers Pin() with one atomic load; Publish
   /// swaps with compare-exchange so generations only move forward.
@@ -197,6 +231,9 @@ class SnapshotManager {
   std::atomic<size_t> rebuilds_{0};
   std::atomic<size_t> background_rebuilds_{0};
   std::atomic<size_t> retired_{0};
+  std::atomic<size_t> shards_repacked_{0};
+  std::atomic<size_t> shards_adopted_{0};
+  std::atomic<size_t> adoption_publishes_{0};
 
   /// Serializes snapshot construction so racing refreshes build once.
   std::mutex rebuild_mu_;

@@ -39,9 +39,15 @@ bool RemoveLabelFrom(LabelSet& set, Rank hub) {
 SpcIndex::SpcIndex(VertexOrdering ordering) : ordering_(std::move(ordering)) {
   labels_.resize(ordering_.size());
   hub_occurrences_.assign(ordering_.size(), 0);
+  touched_flag_.assign(ordering_.size(), 0);
   for (Vertex v = 0; v < labels_.size(); ++v) {
     labels_[v].push_back(LabelEntry{ordering_.rank_of[v], 0, 1});
   }
+}
+
+void SpcIndex::ClearTouched() {
+  for (const Vertex v : touched_) touched_flag_[v] = 0;
+  touched_.clear();
 }
 
 SpcResult SpcIndex::Query(Vertex s, Vertex t) const {
@@ -104,10 +110,16 @@ Vertex SpcIndex::AddVertex() {
   labels_.emplace_back();
   labels_.back().push_back(LabelEntry{ordering_.rank_of[v], 0, 1});
   hub_occurrences_.push_back(0);
+  touched_flag_.push_back(0);
+  MarkTouched(v);
   return v;
 }
 
 LabelEntry* SpcIndex::FindLabel(Vertex v, Rank hub) {
+  // Conservative touch: the maintenance algorithms use the mutable
+  // overload to update dist/count in place, so the pointer handout is the
+  // last point where the write is observable.
+  MarkTouched(v);
   return FindLabelIn(labels_[v], hub);
 }
 
@@ -116,17 +128,20 @@ const LabelEntry* SpcIndex::FindLabel(Vertex v, Rank hub) const {
 }
 
 void SpcIndex::InsertLabel(Vertex v, const LabelEntry& entry) {
+  MarkTouched(v);
   InsertLabelInto(labels_[v], entry);
   if (entry.hub != ordering_.rank_of[v]) ++hub_occurrences_[entry.hub];
 }
 
 bool SpcIndex::RemoveLabel(Vertex v, Rank hub) {
   if (!RemoveLabelFrom(labels_[v], hub)) return false;
+  MarkTouched(v);
   if (hub != ordering_.rank_of[v]) --hub_occurrences_[hub];
   return true;
 }
 
 size_t SpcIndex::ClearToSelfLabel(Vertex v) {
+  MarkTouched(v);
   LabelSet& set = labels_[v];
   const size_t removed = set.size() - 1;
   const Rank self = ordering_.rank_of[v];
@@ -261,6 +276,7 @@ Status SpcIndex::LoadFromReader(BinaryReader* reader, SpcIndex* out) {
     index.ordering_.vertex_of[rank] = static_cast<Vertex>(v);
   }
   index.labels_.resize(n);
+  index.touched_flag_.assign(n, 0);
   for (uint64_t v = 0; v < n; ++v) {
     const uint64_t count = r.GetU64();
     if (count > r.remaining()) return Status::Corruption("bad label count");

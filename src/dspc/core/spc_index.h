@@ -19,6 +19,7 @@
 #define DSPC_CORE_SPC_INDEX_H_
 
 #include <cstddef>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -93,6 +94,19 @@ class SpcIndex {
   /// Label set of v (sorted ascending by hub rank).
   const LabelSet& Labels(Vertex v) const { return labels_[v]; }
 
+  /// Contiguous view of the label sets of vertices [begin, end) — the
+  /// zero-copy input for per-shard snapshot packing (DESIGN.md §8).
+  std::span<const LabelSet> LabelRange(Vertex begin, Vertex end) const {
+    return {labels_.data() + begin, labels_.data() + end};
+  }
+
+  /// Deep copy of the label sets of vertices [begin, end) — the delta
+  /// copy-on-read primitive: the snapshot worker copies only the ranges
+  /// of dirty shards instead of the whole index.
+  std::vector<LabelSet> CopyLabelRange(Vertex begin, Vertex end) const {
+    return {labels_.begin() + begin, labels_.begin() + end};
+  }
+
   /// SpcQUERY (Algorithm 1): shortest distance and path count between s
   /// and t by merge-scanning L(s) and L(t). Disconnected: {inf, 0}.
   SpcResult Query(Vertex s, Vertex t) const;
@@ -129,6 +143,17 @@ class SpcIndex {
   /// by IncSPC may otherwise survive, see dec_spc.cc).
   size_t HubOccurrences(Rank r) const { return hub_occurrences_[r]; }
 
+  // --- mutation tracking (delta snapshots, DESIGN.md §8) -----------------
+
+  /// Vertices whose label sets may have changed since the last
+  /// ClearTouched(), deduplicated, in no particular order. Conservative:
+  /// handing out a mutable FindLabel pointer counts as a touch whether or
+  /// not the caller writes through it.
+  const std::vector<Vertex>& TouchedVertices() const { return touched_; }
+
+  /// Resets the touched set (the facade drains it after every update).
+  void ClearTouched();
+
   // --- diagnostics / persistence -----------------------------------------
 
   /// Size statistics (Table 4).
@@ -156,11 +181,23 @@ class SpcIndex {
   }
 
  private:
+  /// Records v in the touched set (idempotent per ClearTouched window).
+  void MarkTouched(Vertex v) {
+    if (!touched_flag_[v]) {
+      touched_flag_[v] = 1;
+      touched_.push_back(v);
+    }
+  }
+
   VertexOrdering ordering_;
   std::vector<LabelSet> labels_;
   /// hub_occurrences_[r]: count of non-self entries with hub rank r across
   /// all label sets. Maintained by InsertLabel/RemoveLabel/ClearToSelfLabel.
   std::vector<size_t> hub_occurrences_;
+  /// Touched-vertex set: dense dedup flag per vertex plus the compact
+  /// list, so marking is O(1) and clearing is O(|touched|).
+  std::vector<uint8_t> touched_flag_;
+  std::vector<Vertex> touched_;
 };
 
 /// Rank-indexed scratch view of one label set, shared by every

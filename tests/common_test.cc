@@ -1,10 +1,13 @@
 // Unit tests for the common runtime: Status, Rng, SampleStats, the packed
-// label codec, and the CRC-framed binary I/O.
+// label codec, the CRC-framed binary I/O, and the shard-repack ThreadPool.
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "dspc/common/binary_io.h"
 #include "dspc/common/label_codec.h"
@@ -12,6 +15,7 @@
 #include "dspc/common/stats.h"
 #include "dspc/common/status.h"
 #include "dspc/common/stopwatch.h"
+#include "dspc/common/thread_pool.h"
 
 namespace dspc {
 namespace {
@@ -313,6 +317,50 @@ TEST(BinaryIoTest, BulkArrayOverrunFails) {
   // A huge count must fail cleanly instead of overflowing the size math.
   BinaryReader r2(std::vector<uint8_t>(8, 0));
   EXPECT_FALSE(r2.GetU64Array(out, ~size_t{0} / 2));
+}
+
+// --- ThreadPool -------------------------------------------------------------
+
+TEST(ThreadPoolTest, ParallelForVisitsEveryIndexExactlyOnce) {
+  for (const unsigned threads : {1u, 2u, 4u}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.size(), threads);
+    for (const size_t n : {size_t{0}, size_t{1}, size_t{3}, size_t{1000}}) {
+      std::vector<std::atomic<int>> hits(n);
+      pool.ParallelFor(n, [&](size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+      });
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(hits[i].load(), 1) << "threads=" << threads << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, RegionsReuseWorkersBackToBack) {
+  ThreadPool pool(3);
+  std::atomic<size_t> total{0};
+  for (int region = 0; region < 50; ++region) {
+    pool.ParallelFor(17, [&](size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 50u * 17u);
+}
+
+TEST(ThreadPoolTest, ExceptionDrainsRegionAndRethrows) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(1000,
+                                [&](size_t i) {
+                                  if (i == 3) throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+  // The rendezvous completed and the pool stays usable afterwards.
+  std::atomic<size_t> after{0};
+  pool.ParallelFor(64, [&](size_t) {
+    after.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(after.load(), 64u);
 }
 
 }  // namespace

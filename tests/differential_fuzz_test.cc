@@ -33,11 +33,13 @@ constexpr size_t kStaleBudget = 3;
 /// Drives one randomized stream and checks every answer differentially.
 class DifferentialStream {
  public:
-  DifferentialStream(const Graph& start, RefreshPolicy policy, uint64_t seed)
+  DifferentialStream(const Graph& start, RefreshPolicy policy, uint64_t seed,
+                     size_t snapshot_shards = 0)
       : policy_(policy), rng_(seed) {
     DynamicSpcOptions options;
     options.snapshot_refresh = policy;
     options.snapshot_rebuild_after_queries = kStaleBudget;
+    options.snapshot_shards = snapshot_shards;
     dyn_ = std::make_unique<DynamicSpcIndex>(start, options);
     history_.emplace(dyn_->Generation(), dyn_->graph());
   }
@@ -166,13 +168,15 @@ class DifferentialStream {
   }
 
   /// The incremental index vs. reconstruction: quiesce the snapshot, then
-  /// compare facade answers, the flat snapshot, and a from-scratch HP-SPC
-  /// build on a sample of pairs (plus BiBFS as the independent referee).
+  /// compare facade answers, the (sharded) flat snapshot, an unsharded
+  /// snapshot of the same rebuilt index, and a from-scratch HP-SPC build
+  /// on a sample of pairs (plus BiBFS as the independent referee).
   void CrossCheckAgainstRebuild(int step) {
     const auto pin = dyn_->WaitForFreshSnapshot();
     ASSERT_TRUE(static_cast<bool>(pin));
     ASSERT_EQ(pin.generation, dyn_->Generation());
     const SpcIndex rebuilt = BuildSpcIndex(dyn_->graph());
+    const FlatSpcIndex unsharded(rebuilt);
     for (int i = 0; i < 40; ++i) {
       const Vertex s = RandomVertex();
       const Vertex t = RandomVertex();
@@ -189,6 +193,9 @@ class DifferentialStream {
       ASSERT_EQ(snapshot, truth)
           << "fresh snapshot disagrees with BiBFS at step " << step
           << " s=" << s << " t=" << t;
+      ASSERT_EQ(unsharded.Query(s, t), truth)
+          << "unsharded snapshot disagrees with BiBFS at step " << step
+          << " s=" << s << " t=" << t;
     }
   }
 
@@ -199,7 +206,11 @@ class DifferentialStream {
   std::unordered_map<uint64_t, Graph> history_;
 };
 
-using FuzzParam = std::tuple<RefreshPolicy, uint64_t>;
+// (policy, seed, snapshot shard count). The shard sweep covers the
+// monolithic layout (1), uneven small counts (2, 7), and more shards
+// than some test graphs have vertices (64); every answer is checked
+// against BiBFS and the unsharded snapshot of a from-scratch rebuild.
+using FuzzParam = std::tuple<RefreshPolicy, uint64_t, size_t>;
 
 class DifferentialFuzzTest : public ::testing::TestWithParam<FuzzParam> {};
 
@@ -208,18 +219,20 @@ std::string FuzzParamName(const ::testing::TestParamInfo<FuzzParam>& info) {
   std::string name = policy == RefreshPolicy::kSync         ? "Sync"
                      : policy == RefreshPolicy::kBackground ? "Background"
                                                             : "Manual";
-  return name + "Seed" + std::to_string(std::get<1>(info.param));
+  return name + "Seed" + std::to_string(std::get<1>(info.param)) + "Shards" +
+         std::to_string(std::get<2>(info.param));
 }
 
 TEST_P(DifferentialFuzzTest, BaStream) {
-  const auto [policy, seed] = GetParam();
-  DifferentialStream stream(GenerateBarabasiAlbert(48, 2, seed), policy, seed);
+  const auto [policy, seed, shards] = GetParam();
+  DifferentialStream stream(GenerateBarabasiAlbert(48, 2, seed), policy, seed,
+                            shards);
   stream.Run(90);
 }
 
 TEST_P(DifferentialFuzzTest, RmatStream) {
-  const auto [policy, seed] = GetParam();
-  DifferentialStream stream(GenerateRmat(6, 150, seed), policy, seed);
+  const auto [policy, seed, shards] = GetParam();
+  DifferentialStream stream(GenerateRmat(6, 150, seed), policy, seed, shards);
   stream.Run(90);
 }
 
@@ -228,7 +241,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(RefreshPolicy::kSync,
                                          RefreshPolicy::kBackground,
                                          RefreshPolicy::kManual),
-                       ::testing::Values(1001u, 2002u)),
+                       ::testing::Values(1001u, 2002u),
+                       ::testing::Values(1u, 2u, 7u, 64u)),
     FuzzParamName);
 
 // The boundary bookkeeping itself, deterministically: exactly budget-1
