@@ -2,7 +2,9 @@
 // packed arena, its batched driver, and the thread-parallel batch driver —
 // all on the same graph and the same query set — plus a shard-count sweep
 // (1/4/16 vertex-range shards) quantifying what the sharded serving
-// layout costs the query path. Emits a human table on stdout and
+// layout costs the query path, and facade-vs-SpcService rows pricing the
+// typed serving API (validation + consistency routing, DESIGN.md §9)
+// against direct facade calls. Emits a human table on stdout and
 // machine-readable JSON (BENCH_query_throughput.json, override with
 // argv[1]) for the repo's benchmark trajectory.
 
@@ -13,6 +15,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "dspc/api/spc_service.h"
 #include "dspc/common/rng.h"
 #include "dspc/common/stopwatch.h"
 #include "dspc/core/dynamic_spc.h"
@@ -141,15 +144,43 @@ int main(int argc, char** argv) {
     sweep.push_back(row);
   }
 
-  // Serving through the dynamic facade: adopt a copy of the index and run
-  // the same batch through DynamicSpcIndex::BatchQuery under background
-  // refresh — what the epoch-guarded snapshot pin costs on the hot path.
+  // Serving through the dynamic facade and through the typed SpcService
+  // on top of it (the real serving surface, DESIGN.md §9): adopt a copy
+  // of the index and run the same batch under background refresh. The
+  // facade row prices the epoch-guarded snapshot pin; the service row
+  // adds request validation + consistency routing on top — the
+  // service-layer overhead budget is <= 2% of the facade row.
   DynamicSpcOptions facade_options;
-  facade_options.snapshot_refresh = RefreshPolicy::kBackground;
-  const DynamicSpcIndex dyn(graph, index, facade_options);
+  facade_options.snapshot.refresh = RefreshPolicy::kBackground;
+  SpcService service(graph, index, facade_options);
+  const DynamicSpcIndex& dyn = service.engine();
   const double facade_qps = MeasureQps(queries, reps, [&] {
     auto results = dyn.BatchQuery(pairs, threads);
     sink += results.front().dist;
+  });
+  ReadOptions service_read;  // kFresh: served from the warm snapshot
+  service_read.threads = threads;
+  const double service_qps = MeasureQps(queries, reps, [&] {
+    auto resp = service.QueryBatch(pairs, service_read);
+    sink += resp.ok() ? resp->results.front().dist : 0;
+  });
+  const double service_overhead_pct =
+      facade_qps > 0.0 ? (facade_qps - service_qps) / facade_qps * 100.0
+                       : 0.0;
+
+  // Single-query service path (validation + routing per call, no batch
+  // amortization) vs the facade's Query.
+  const double facade_single_qps = MeasureQps(queries, reps, [&] {
+    for (const auto& [s, t] : pairs) {
+      const SpcResult r = dyn.Query(s, t);
+      sink += r.dist + r.count;
+    }
+  });
+  const double service_single_qps = MeasureQps(queries, reps, [&] {
+    for (const auto& [s, t] : pairs) {
+      const auto resp = service.Query(s, t);
+      sink += resp.ok() ? resp->result.dist + resp->result.count : 0;
+    }
   });
 
   // Sanity: the drivers must agree on the whole query set.
@@ -171,6 +202,16 @@ int main(int argc, char** argv) {
               parallel_qps, parallel_qps / legacy_qps, threads);
   std::printf("%-22s %14.0f %9.2fx  (snapshot pin)\n", "dynamic facade batch",
               facade_qps, facade_qps / legacy_qps);
+  std::printf("%-22s %14.0f %9.2fx  (overhead %.2f%%)\n", "SpcService batch",
+              service_qps, service_qps / legacy_qps, service_overhead_pct);
+  std::printf("%-22s %14.0f %9.2fx\n", "dynamic facade single",
+              facade_single_qps, facade_single_qps / legacy_qps);
+  std::printf("%-22s %14.0f %9.2fx  (overhead %.2f%%)\n", "SpcService single",
+              service_single_qps, service_single_qps / legacy_qps,
+              facade_single_qps > 0.0
+                  ? (facade_single_qps - service_single_qps) /
+                        facade_single_qps * 100.0
+                  : 0.0);
   for (const ShardRow& row : sweep) {
     std::printf("%-16s (%2zu) %14.0f %9.2fx  (batch %.0f, parallel %.0f)\n",
                 "sharded arena", row.shards, row.flat_qps,
@@ -201,6 +242,10 @@ int main(int argc, char** argv) {
                "  \"flat_batch_qps\": %.0f,\n"
                "  \"flat_parallel_qps\": %.0f,\n"
                "  \"facade_batch_qps\": %.0f,\n"
+               "  \"service_batch_qps\": %.0f,\n"
+               "  \"service_batch_overhead_pct\": %.3f,\n"
+               "  \"facade_single_qps\": %.0f,\n"
+               "  \"service_single_qps\": %.0f,\n"
                "  \"flat_speedup\": %.3f,\n"
                "  \"flat_batch_speedup\": %.3f,\n"
                "  \"flat_parallel_speedup\": %.3f,\n"
@@ -211,9 +256,10 @@ int main(int argc, char** argv) {
                stats.total_entries, stats.wide_bytes, flat.ArenaBytes(),
                flat.OverflowEntries(), build_s, snapshot_s, queries, threads,
                legacy_qps, flat_qps, batch_qps, parallel_qps, facade_qps,
-               flat_qps / legacy_qps, batch_qps / legacy_qps,
-               parallel_qps / legacy_qps, facade_qps / legacy_qps,
-               mismatches);
+               service_qps, service_overhead_pct, facade_single_qps,
+               service_single_qps, flat_qps / legacy_qps,
+               batch_qps / legacy_qps, parallel_qps / legacy_qps,
+               facade_qps / legacy_qps, mismatches);
   for (size_t i = 0; i < sweep.size(); ++i) {
     const ShardRow& row = sweep[i];
     std::fprintf(json,

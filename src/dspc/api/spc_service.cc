@@ -1,0 +1,259 @@
+#include "dspc/api/spc_service.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace dspc {
+
+namespace {
+
+// Error construction is kept out of line (and out of the serving hot
+// path): admission failures build strings, served requests never do.
+[[gnu::cold, gnu::noinline]] Status BadVertex(const char* what, Vertex v,
+                                              size_t n) {
+  return Status::InvalidArgument(std::string(what) + " vertex id " +
+                                 std::to_string(v) + " outside [0, " +
+                                 std::to_string(n) + ")");
+}
+
+[[gnu::cold, gnu::noinline]] Status FutureMinGeneration(uint64_t min_gen,
+                                                        uint64_t gen) {
+  return Status::InvalidArgument(
+      "min_generation " + std::to_string(min_gen) +
+      " exceeds the current generation " + std::to_string(gen) +
+      " — not a token issued by this service");
+}
+
+}  // namespace
+
+SpcService::SpcService(Graph graph, const DynamicSpcOptions& options)
+    : engine_(std::move(graph), options) {}
+
+SpcService::SpcService(Graph graph, SpcIndex index,
+                       const DynamicSpcOptions& options)
+    : engine_(std::move(graph), std::move(index), options) {}
+
+Status SpcService::ValidateVertex(Vertex v, const char* what) const {
+  const size_t n = engine_.NumVertices();
+  if (static_cast<size_t>(v) < n) return Status::OK();
+  return BadVertex(what, v, n);
+}
+
+/// The kSnapshot case of RouteRead, out of line: it is the only mode
+/// with refusal (kUnavailable) outcomes, and keeping it out of RouteRead
+/// keeps the kFresh/kBoundedStaleness hot path small enough to inline.
+Status SpcService::RouteSnapshotRead(const ReadOptions& options,
+                                     size_t queries, Vertex max_vertex,
+                                     uint64_t gen,
+                                     SnapshotManager::Pinned* pin) const {
+  // With snapshots disabled no publish can ever happen: that is a
+  // configuration error, not a transient one — kUnavailable would invite
+  // a retry loop that can never succeed.
+  if (!engine_.options().snapshot.enabled) {
+    return Status::NotSupported(
+        "kSnapshot reads need snapshots enabled on this service "
+        "(SnapshotOptions::enabled)");
+  }
+  // Never block: pin whatever is published. Under kBackground the pin
+  // still charges the staleness budget so the worker keeps the snapshot
+  // converging even for pure-snapshot workloads; under kSync/kManual
+  // Acquire could rebuild inline or withhold a stale pin, so take the
+  // raw (free) pin instead.
+  const bool background =
+      engine_.snapshots()->policy() == RefreshPolicy::kBackground;
+  *pin = background ? engine_.AcquireSnapshot(gen, queries)
+                    : engine_.PinSnapshot();
+  if (!*pin) {
+    // Under kSync/kManual nothing publishes until some other traffic does
+    // (a budget-crossing kFresh read, or an explicit refresh), so a pure
+    // kSnapshot client must warm the snapshot once — say so instead of
+    // inviting a blind retry.
+    return Status::Unavailable(
+        "kSnapshot read with no published snapshot; warm one with "
+        "WaitForSnapshot({Generation()}) first (under kSync, kFresh "
+        "traffic also publishes eventually)");
+  }
+  if (pin->generation < options.min_generation) {
+    return Status::Unavailable(
+        "published snapshot at generation " +
+        std::to_string(pin->generation) + " trails min_generation " +
+        std::to_string(options.min_generation) +
+        "; retry, WaitForSnapshot, or relax to kFresh");
+  }
+  if (max_vertex >= (*pin)->NumVertices()) {
+    return Status::Unavailable(
+        "published snapshot predates vertex " + std::to_string(max_vertex) +
+        "; retry after the next refresh or relax to kFresh");
+  }
+  engine_.YieldForMaintenance(gen, pin->generation);
+  return Status::OK();
+}
+
+Status SpcService::RouteRead(const ReadOptions& options, size_t queries,
+                             Vertex max_vertex, uint64_t* generation,
+                             SnapshotManager::Pinned* pin) const {
+  const uint64_t gen = engine_.Generation();
+  *generation = gen;
+  if (options.min_generation > gen) [[unlikely]] {
+    return FutureMinGeneration(options.min_generation, gen);
+  }
+
+  if (options.consistency == Consistency::kSnapshot) {
+    return RouteSnapshotRead(options, queries, max_vertex, gen, pin);
+  }
+
+  // kFresh / kBoundedStaleness: acquire (budget-charging, so rebuilds
+  // keep getting scheduled), serve the pin when it satisfies the mode's
+  // bound, ride the live index otherwise — which is current by
+  // definition and therefore satisfies any valid min_generation and any
+  // lag bound.
+  auto acquired = engine_.AcquireSnapshot(gen, queries);
+  if (acquired && max_vertex < acquired->NumVertices()) {
+    if (acquired.generation >= gen ||
+        (options.consistency == Consistency::kBoundedStaleness &&
+         gen - acquired.generation <= options.max_lag &&
+         acquired.generation >= options.min_generation)) {
+      // Same pacing as the engine's own query path: every snapshot-served
+      // read donates a timeslice while a writer is mid-update (or the
+      // snapshot trails too far), current pin or not.
+      engine_.YieldForMaintenance(gen, acquired.generation);
+      *pin = std::move(acquired);
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<QueryResponse> SpcService::Query(Vertex s, Vertex t,
+                                          const ReadOptions& options) const {
+  // One admission check for both endpoints: this sits on the hot path,
+  // so read the id-space bound once.
+  const size_t n = engine_.NumVertices();
+  if (static_cast<size_t>(s) >= n || static_cast<size_t>(t) >= n)
+      [[unlikely]] {
+    return BadVertex(static_cast<size_t>(s) >= n ? "source" : "target",
+                     static_cast<size_t>(s) >= n ? s : t, n);
+  }
+
+  uint64_t generation = 0;
+  SnapshotManager::Pinned pin;
+  if (Status st = RouteRead(options, 1, std::max(s, t), &generation, &pin);
+      !st.ok()) [[unlikely]] {
+    return st;
+  }
+
+  // Responses are built fully formed in the return slot (no default
+  // construction + field-by-field overwrite): this path runs per query.
+  if (pin) {
+    return StatusOr<QueryResponse>(
+        std::in_place, pin->Query(s, t), pin.generation,
+        generation > pin.generation ? generation - pin.generation : 0,
+        ServedFrom::kSnapshot);
+  }
+  return StatusOr<QueryResponse>(std::in_place, engine_.QueryLive(s, t),
+                                 generation, uint64_t{0},
+                                 ServedFrom::kLiveIndex);
+}
+
+StatusOr<BatchQueryResponse> SpcService::QueryBatch(
+    std::span<const VertexPair> pairs, const ReadOptions& options) const {
+  const size_t n = engine_.NumVertices();
+  Vertex max_vertex = 0;
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    const auto [s, t] = pairs[i];
+    if (static_cast<size_t>(s) >= n || static_cast<size_t>(t) >= n) {
+      const Status bad =
+          BadVertex(static_cast<size_t>(s) >= n ? "source" : "target",
+                    static_cast<size_t>(s) >= n ? s : t, n);
+      return Status::InvalidArgument("pair " + std::to_string(i) + ": " +
+                                     bad.message());
+    }
+    max_vertex = std::max({max_vertex, s, t});
+  }
+
+  uint64_t generation = 0;
+  SnapshotManager::Pinned pin;
+  if (Status st =
+          RouteRead(options, pairs.size(), max_vertex, &generation, &pin);
+      !st.ok()) {
+    return st;
+  }
+
+  StatusOr<BatchQueryResponse> out(std::in_place);
+  if (pin) {
+    out->results = pin->QueryManyParallel(pairs, options.threads);
+    out->generation = pin.generation;
+    out->staleness =
+        generation > pin.generation ? generation - pin.generation : 0;
+    out->served_from = ServedFrom::kSnapshot;
+  } else {
+    out->results = engine_.BatchQueryLive(pairs, options.threads);
+    out->generation = generation;
+    out->served_from = ServedFrom::kLiveIndex;
+  }
+  return out;
+}
+
+StatusOr<UpdateResponse> SpcService::ApplyUpdates(
+    std::span<const Update> updates) {
+  const size_t n = engine_.NumVertices();
+  for (size_t i = 0; i < updates.size(); ++i) {
+    const Edge& e = updates[i].edge;
+    if (static_cast<size_t>(e.u) >= n || static_cast<size_t>(e.v) >= n) {
+      const Status bad =
+          BadVertex("edge", static_cast<size_t>(e.u) >= n ? e.u : e.v, n);
+      return Status::InvalidArgument("update " + std::to_string(i) + ": " +
+                                     bad.message());
+    }
+  }
+  UpdateResponse resp;
+  resp.stats = engine_.ApplyBatch(updates);
+  resp.token.generation = engine_.Generation();
+  return resp;
+}
+
+StatusOr<UpdateResponse> SpcService::InsertEdge(Vertex u, Vertex v) {
+  const Update update = Update::Insert(u, v);
+  return ApplyUpdates({&update, 1});
+}
+
+StatusOr<UpdateResponse> SpcService::RemoveEdge(Vertex u, Vertex v) {
+  const Update update = Update::Delete(u, v);
+  return ApplyUpdates({&update, 1});
+}
+
+AddVertexResponse SpcService::AddVertex() {
+  AddVertexResponse resp;
+  resp.vertex = engine_.AddVertex();
+  resp.token.generation = engine_.Generation();
+  return resp;
+}
+
+StatusOr<UpdateResponse> SpcService::RemoveVertex(Vertex v) {
+  if (Status st = ValidateVertex(v, "vertex"); !st.ok()) return st;
+  UpdateResponse resp;
+  resp.stats = engine_.RemoveVertex(v);
+  resp.token.generation = engine_.Generation();
+  return resp;
+}
+
+Status SpcService::WaitForSnapshot(WriteToken token) const {
+  if (!engine_.options().snapshot.enabled) {
+    return Status::NotSupported(
+        "snapshots are disabled on this service (SnapshotOptions::enabled)");
+  }
+  if (token.generation > engine_.Generation()) {
+    return Status::InvalidArgument(
+        "token generation " + std::to_string(token.generation) +
+        " exceeds the current generation — not issued by this service");
+  }
+  const auto pin = engine_.AwaitSnapshotAtLeast(token.generation);
+  if (!pin || pin.generation < token.generation) {
+    return Status::Unavailable(
+        "snapshot manager stopped before reaching generation " +
+        std::to_string(token.generation));
+  }
+  return Status::OK();
+}
+
+}  // namespace dspc

@@ -1,0 +1,242 @@
+// SpcService: the typed, consistency-aware serving surface over
+// DynamicSpcIndex (DESIGN.md §9).
+//
+// The core engine answers raw Query(s, t) calls with whatever the current
+// refresh policy happens to serve; a production caller needs three things
+// the raw entry point cannot express:
+//
+//   admission   Requests are validated before they touch the index —
+//               out-of-range vertex ids return Status kInvalidArgument
+//               instead of undefined behavior, a min_generation from the
+//               future is rejected instead of silently unsatisfiable.
+//   freshness   Every read carries ReadOptions{consistency, ...} choosing
+//               a point on the freshness/latency lattice:
+//                 kFresh             answers reflect every update admitted
+//                                    before the read; may ride the mutable
+//                                    index (and thus briefly wait for an
+//                                    in-flight writer).
+//                 kSnapshot          answers come from the pinned published
+//                                    snapshot and NEVER block — not on
+//                                    writers, not on maintenance. May be
+//                                    stale; unservable requests (nothing
+//                                    published, snapshot too old for
+//                                    min_generation, vertex newer than the
+//                                    snapshot) return kUnavailable instead
+//                                    of waiting.
+//                 kBoundedStaleness  snapshot-served while the snapshot is
+//                                    within max_lag generations of the
+//                                    index (and >= min_generation);
+//                                    otherwise escalates to the live index,
+//                                    which always satisfies both bounds.
+//   tokens      Every write returns a WriteToken carrying the structural
+//               generation it advanced the index to. A later read passes
+//               token.generation as ReadOptions::min_generation and is
+//               guaranteed to observe that write (read-your-writes) with
+//               no global quiescing: the service simply refuses to serve a
+//               snapshot older than the token and escalates per the
+//               consistency mode. WaitForSnapshot(token) is the explicit
+//               barrier for callers that want the *snapshot* to catch up.
+//
+// Every response is generation-tagged and says where it was served from
+// (snapshot vs live index) and how stale that source was at admission —
+// the observability hooks a serving fleet aggregates.
+//
+// Thread-safety: all methods may be called from any number of threads
+// concurrently; reads never see a torn index (they serve immutable
+// snapshots or take the engine's shared lock).
+
+#ifndef DSPC_API_SPC_SERVICE_H_
+#define DSPC_API_SPC_SERVICE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dspc/common/status.h"
+#include "dspc/common/types.h"
+#include "dspc/core/dynamic_spc.h"
+#include "dspc/core/flat_spc_index.h"
+#include "dspc/core/update_stats.h"
+#include "dspc/graph/graph.h"
+#include "dspc/graph/update_stream.h"
+
+namespace dspc {
+
+/// The freshness contract of one read. See the file comment for the full
+/// lattice.
+///
+/// kSnapshot requires a published snapshot to exist: under kBackground
+/// one is published eagerly at construction, but under kSync/kManual the
+/// first publish happens only when other traffic causes it (a
+/// budget-crossing kFresh read under kSync, or an explicit refresh), so
+/// a pure-kSnapshot client should call WaitForSnapshot({Generation()})
+/// once to warm the serving path — until then kSnapshot reads return
+/// kUnavailable.
+enum class Consistency : unsigned char {
+  kFresh,             ///< reflects all updates admitted before the read
+  kSnapshot,          ///< pinned published snapshot; never blocks
+  kBoundedStaleness,  ///< snapshot while within max_lag, else live index
+};
+
+/// Per-read options. Aggregate-initializable:
+///   service.Query(s, t, {.consistency = Consistency::kSnapshot});
+struct ReadOptions {
+  Consistency consistency = Consistency::kFresh;
+
+  /// kBoundedStaleness: how many generations the served snapshot may
+  /// trail the index. 0 demands a current snapshot (escalating to the
+  /// live index whenever the snapshot is at all stale).
+  uint64_t max_lag = 0;
+
+  /// Read-your-writes floor: the answer must reflect at least this
+  /// structural generation (normally a WriteToken::generation from a
+  /// prior update on this service). 0 = no floor.
+  uint64_t min_generation = 0;
+
+  /// Worker threads for batch reads (0 = hardware concurrency). Ignored
+  /// by single queries.
+  unsigned threads = 0;
+};
+
+/// Proof of a write's position in the update sequence. Pass
+/// token.generation as ReadOptions::min_generation to read your write.
+struct WriteToken {
+  uint64_t generation = 0;
+};
+
+/// Which serving path answered a read.
+enum class ServedFrom : unsigned char {
+  kSnapshot,   ///< immutable published FlatSpcIndex snapshot
+  kLiveIndex,  ///< mutable index under the engine's shared lock
+};
+
+/// One answered query plus its serving metadata.
+struct QueryResponse {
+  SpcResult result;
+
+  /// Structural generation the answer reflects (at least; a live-served
+  /// answer may already include updates admitted after this read began).
+  uint64_t generation = 0;
+
+  /// Generations the serving source trailed the index at admission
+  /// (0 when served live or from a current snapshot).
+  uint64_t staleness = 0;
+
+  ServedFrom served_from = ServedFrom::kLiveIndex;
+};
+
+/// One answered batch; results[i] answers pairs[i]. All answers come from
+/// the same source at the same generation.
+struct BatchQueryResponse {
+  std::vector<SpcResult> results;
+  uint64_t generation = 0;
+  uint64_t staleness = 0;
+  ServedFrom served_from = ServedFrom::kLiveIndex;
+};
+
+/// One applied write (or batch of writes): the engine's per-update
+/// counters folded together, plus the token a later read can wait on.
+struct UpdateResponse {
+  UpdateStats stats;
+  WriteToken token;
+};
+
+/// AddVertex outcome: the new id and the token that covers its creation.
+struct AddVertexResponse {
+  Vertex vertex = kInvalidVertex;
+  WriteToken token;
+};
+
+class SpcService {
+ public:
+  /// Takes ownership of `graph` and builds its index (HP-SPC).
+  explicit SpcService(Graph graph, const DynamicSpcOptions& options = {});
+
+  /// Adopts a pre-built index of `graph` (e.g. loaded via SpcIndex::Load).
+  SpcService(Graph graph, SpcIndex index,
+             const DynamicSpcOptions& options = {});
+
+  // --- reads -------------------------------------------------------------
+
+  /// SPC query under the given read options. kInvalidArgument for
+  /// out-of-range vertex ids or a min_generation the index has not
+  /// reached; kUnavailable when kSnapshot cannot be served without
+  /// blocking.
+  StatusOr<QueryResponse> Query(Vertex s, Vertex t,
+                                const ReadOptions& options = {}) const;
+
+  /// Batched SPC queries, all served from one source at one generation.
+  /// Validation covers every pair before any is evaluated.
+  StatusOr<BatchQueryResponse> QueryBatch(
+      std::span<const VertexPair> pairs,
+      const ReadOptions& options = {}) const;
+
+  // --- writes ------------------------------------------------------------
+
+  /// Applies a batch of updates in order (exact inverse pairs cancel
+  /// first, as in DynamicSpcIndex::ApplyBatch). Every endpoint is
+  /// validated before any update is applied; edges referencing vertices
+  /// outside [0, NumVertices()) return kInvalidArgument. No-op updates
+  /// (inserting an existing edge, deleting a missing one) are legal and
+  /// simply do not advance the returned token beyond concurrent writes.
+  StatusOr<UpdateResponse> ApplyUpdates(std::span<const Update> updates);
+
+  /// Single-edge conveniences over ApplyUpdates.
+  StatusOr<UpdateResponse> InsertEdge(Vertex u, Vertex v);
+  StatusOr<UpdateResponse> RemoveEdge(Vertex u, Vertex v);
+
+  /// Adds an isolated vertex. Infallible (the id space simply grows).
+  AddVertexResponse AddVertex();
+
+  /// Removes all edges incident to `v` (the paper's vertex deletion);
+  /// the id stays valid but isolated.
+  StatusOr<UpdateResponse> RemoveVertex(Vertex v);
+
+  // --- freshness barriers -------------------------------------------------
+
+  /// Blocks until the published snapshot reflects the token's generation,
+  /// so subsequent kSnapshot reads observe the write. kNotSupported when
+  /// snapshots are disabled; kInvalidArgument for a token the index has
+  /// not reached (never issued by this service).
+  Status WaitForSnapshot(WriteToken token) const;
+
+  // --- observability ------------------------------------------------------
+
+  /// Current structural generation of the engine.
+  uint64_t Generation() const { return engine_.Generation(); }
+
+  /// Current vertex-id space [0, NumVertices()).
+  size_t NumVertices() const { return engine_.NumVertices(); }
+
+  /// The underlying engine, for tooling that needs the raw surface
+  /// (graph access, snapshot counters, benches). The engine's documented
+  /// concurrency contract still applies.
+  const DynamicSpcIndex& engine() const { return engine_; }
+  DynamicSpcIndex& engine() { return engine_; }
+
+ private:
+  /// Shared read-routing: resolves which source should serve a read of
+  /// `queries` queries under `options`. On OK, *pin names the snapshot to
+  /// serve (empty => the live index) and *generation holds the admission
+  /// generation. Out-params instead of a StatusOr<struct>, and forced
+  /// inlining into its two callers, keep the single-query hot path free
+  /// of wrapper construction and call overhead while the routing logic
+  /// stays written exactly once.
+  [[gnu::always_inline]] inline Status RouteRead(
+      const ReadOptions& options, size_t queries, Vertex max_vertex,
+      uint64_t* generation, SnapshotManager::Pinned* pin) const;
+
+  /// kSnapshot routing (the only mode with refusal outcomes), split out
+  /// so RouteRead's hot path stays small.
+  Status RouteSnapshotRead(const ReadOptions& options, size_t queries,
+                           Vertex max_vertex, uint64_t generation,
+                           SnapshotManager::Pinned* pin) const;
+
+  Status ValidateVertex(Vertex v, const char* what) const;
+
+  DynamicSpcIndex engine_;
+};
+
+}  // namespace dspc
+
+#endif  // DSPC_API_SPC_SERVICE_H_

@@ -18,6 +18,8 @@ const char* CodeName(Status::Code code) {
       return "IOError";
     case Status::Code::kNotSupported:
       return "NotSupported";
+    case Status::Code::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }
@@ -27,9 +29,9 @@ const char* CodeName(Status::Code code) {
 std::string Status::ToString() const {
   if (ok()) return "OK";
   std::string out = CodeName(code_);
-  if (!message_.empty()) {
+  if (message_ != nullptr && !message_->empty()) {
     out += ": ";
-    out += message_;
+    out += *message_;
   }
   return out;
 }

@@ -1,16 +1,24 @@
-// RocksDB-style Status: fallible operations (I/O, parsing, serialization)
-// return a Status instead of throwing. Hot algorithm paths never fail and
-// therefore do not use Status.
+// RocksDB-style Status: fallible operations (I/O, parsing, serialization,
+// and the serving API's request admission) return a Status instead of
+// throwing; value-returning fallible operations return StatusOr<T>. Hot
+// algorithm paths never fail and therefore do not use Status.
 
 #ifndef DSPC_COMMON_STATUS_H_
 #define DSPC_COMMON_STATUS_H_
 
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 
 namespace dspc {
 
-/// Outcome of a fallible operation. Cheap to copy when OK (empty message).
+/// Outcome of a fallible operation. An OK Status is two stores to build
+/// and a null check to destroy (the message lives behind a pointer that
+/// only error paths allocate) — it rides the serving API's hot path, so
+/// the OK case must cost nothing measurable.
 class Status {
  public:
   enum class Code : unsigned char {
@@ -20,10 +28,28 @@ class Status {
     kInvalidArgument = 3,
     kIOError = 4,
     kNotSupported = 5,
+    kUnavailable = 6,
   };
 
   /// Default-constructed Status is OK.
-  Status() : code_(Code::kOk) {}
+  Status() noexcept : code_(Code::kOk) {}
+
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+  Status(const Status& other)
+      : code_(other.code_),
+        message_(other.message_
+                     ? std::make_unique<std::string>(*other.message_)
+                     : nullptr) {}
+  Status& operator=(const Status& other) {
+    if (this != &other) {
+      code_ = other.code_;
+      message_ = other.message_
+                     ? std::make_unique<std::string>(*other.message_)
+                     : nullptr;
+    }
+    return *this;
+  }
 
   static Status OK() { return Status(); }
   static Status NotFound(std::string msg) {
@@ -41,6 +67,13 @@ class Status {
   static Status NotSupported(std::string msg) {
     return Status(Code::kNotSupported, std::move(msg));
   }
+  /// The request is valid but cannot be served right now without
+  /// violating its options (e.g. a non-blocking kSnapshot read before any
+  /// snapshot is published). Retrying, or relaxing the options, may
+  /// succeed.
+  static Status Unavailable(std::string msg) {
+    return Status(Code::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -48,18 +81,96 @@ class Status {
   bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
   bool IsIOError() const { return code_ == Code::kIOError; }
   bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
 
   Code code() const { return code_; }
-  const std::string& message() const { return message_; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return message_ ? *message_ : kEmpty;
+  }
 
   /// Human-readable "<code>: <message>" string for logs and errors.
   std::string ToString() const;
 
  private:
-  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+  Status(Code code, std::string msg)
+      : code_(code),
+        message_(msg.empty() ? nullptr
+                             : std::make_unique<std::string>(std::move(msg))) {
+  }
 
   Code code_;
-  std::string message_;
+  std::unique_ptr<const std::string> message_;
+};
+
+/// A Status or a value of type T — the return type of fallible operations
+/// that produce a result (absl::StatusOr shape, without the dependency).
+/// Exactly one of the two is present: an OK StatusOr holds a value, a
+/// non-OK one holds only the error. Accessing value() on a non-OK
+/// StatusOr aborts with the status printed — service callers are expected
+/// to branch on ok() (or use value_or) before dereferencing.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from an error Status, so `return Status::InvalidArgument(x)`
+  /// works in a StatusOr-returning function. Constructing from an OK
+  /// Status is a programming error (there would be no value) and aborts.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) Fail("StatusOr constructed from OK Status");
+  }
+
+  /// Implicit from a value, so `return result;` works.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  /// In-place value construction: `StatusOr<R> out(std::in_place);` then
+  /// fill through operator-> and return — NRVO, no value moves. The
+  /// hot-path constructor for the serving API.
+  template <typename... Args>
+  explicit StatusOr(std::in_place_t, Args&&... args)
+      : value_(std::in_place, std::forward<Args>(args)...) {}
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  /// The error (Status::OK() when a value is present).
+  const Status& status() const { return status_; }
+
+  /// The value; aborts if this holds an error.
+  const T& value() const& {
+    EnsureOk();
+    return *value_;
+  }
+  T& value() & {
+    EnsureOk();
+    return *value_;
+  }
+  T&& value() && {
+    EnsureOk();
+    return *std::move(value_);
+  }
+
+  /// The value, or `fallback` when this holds an error.
+  T value_or(T fallback) const& {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void EnsureOk() const {
+    if (!ok()) Fail(status_.ToString().c_str());
+  }
+  [[noreturn]] static void Fail(const char* what) {
+    std::fprintf(stderr, "StatusOr: %s\n", what);
+    std::abort();
+  }
+
+  Status status_;
+  std::optional<T> value_;
 };
 
 }  // namespace dspc

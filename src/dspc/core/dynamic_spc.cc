@@ -55,18 +55,19 @@ DynamicSpcIndex::DynamicSpcIndex(Graph graph, SpcIndex index,
 
 void DynamicSpcIndex::InitSnapshots() {
   entries_at_build_ = index_.SizeStats().total_entries;
-  snapshot_shards_ = options_.snapshot_shards != 0
-                         ? options_.snapshot_shards
-                         : DynamicSpcOptions::kDefaultSnapshotShards;
+  num_vertices_.store(graph_.NumVertices(), std::memory_order_release);
+  snapshot_shards_ = options_.snapshot.shards != 0
+                         ? options_.snapshot.shards
+                         : SnapshotOptions::kDefaultShards;
   ResetShardLayoutLocked();
   snapshots_ = std::make_unique<SnapshotManager>(
       [this](const FlatSpcIndex* prev) { return CopyDeltaForSnapshot(prev); },
-      options_.snapshot_refresh, options_.snapshot_rebuild_after_queries,
-      ResolveRebuildThreads(options_.snapshot_rebuild_threads));
+      options_.snapshot.refresh, options_.snapshot.rebuild_after_queries,
+      ResolveRebuildThreads(options_.snapshot.rebuild_threads));
   // Background serving reads only published snapshots, so publish one
   // before any query can arrive (also warms the serving path).
-  if (options_.enable_flat_snapshot &&
-      options_.snapshot_refresh == RefreshPolicy::kBackground) {
+  if (options_.snapshot.enabled &&
+      options_.snapshot.refresh == RefreshPolicy::kBackground) {
     snapshots_->RefreshNow(Generation());
   }
 }
@@ -155,6 +156,7 @@ Vertex DynamicSpcIndex::AddVertex() {
   const Vertex v = index_.AddVertex();
   inc_.Resize();
   dec_.Resize();
+  num_vertices_.store(graph_.NumVertices(), std::memory_order_release);
   BumpGeneration();
   // The vertex count changed, so shard boundaries (and the stale
   // snapshot's coverage) changed with it: new layout, full rebuild next.
@@ -186,7 +188,7 @@ UpdateStats DynamicSpcIndex::Apply(const Update& update) {
   return RemoveEdge(update.edge.u, update.edge.v);
 }
 
-UpdateStats DynamicSpcIndex::ApplyBatch(const std::vector<Update>& updates) {
+UpdateStats DynamicSpcIndex::ApplyBatch(std::span<const Update> updates) {
   // Cancel exact inverse pairs: an insert later undone by a delete of the
   // same edge (or vice versa) never needs to touch the index. Matching is
   // last-in-first-out per edge so interleavings like I-D-I keep one
@@ -219,44 +221,75 @@ UpdateStats DynamicSpcIndex::ApplyBatch(const std::vector<Update>& updates) {
   return total;
 }
 
-void DynamicSpcIndex::MaybeBackpressure(uint64_t current_generation,
-                                        uint64_t pinned_generation) const {
-  if (options_.snapshot_refresh != RefreshPolicy::kBackground) {
-    return;  // sync/manual readers already pace themselves on the lock
+SnapshotManager::Pinned DynamicSpcIndex::AwaitSnapshotAtLeast(
+    uint64_t generation) const {
+  return snapshots_->AwaitGeneration(generation);
+}
+
+SpcResult DynamicSpcIndex::QueryLive(Vertex s, Vertex t) const {
+  std::shared_lock<std::shared_mutex> lock(index_mu_);
+  if (!graph_.IsValidVertex(s) || !graph_.IsValidVertex(t)) {
+    return {kInfDistance, 0};  // out-of-range ids are simply disconnected
   }
-  if (options_.snapshot_writer_priority &&
-      active_writers_.load(std::memory_order_relaxed) > 0) {
-    std::this_thread::yield();
-    return;
-  }
-  // A publish can race ahead of this reader's generation read, making
-  // the pin *newer* than current_generation — that is freshness, not
-  // lag, so only subtract when the pin actually trails.
-  if (options_.snapshot_backpressure_lag != 0 &&
-      pinned_generation < current_generation &&
-      current_generation - pinned_generation >
-          options_.snapshot_backpressure_lag) {
-    std::this_thread::yield();
-  }
+  return index_.Query(s, t);
 }
 
 SpcResult DynamicSpcIndex::Query(Vertex s, Vertex t) const {
-  if (options_.enable_flat_snapshot) {
+  if (options_.snapshot.enabled) {
     const uint64_t generation = Generation();
     const auto pin = snapshots_->Acquire(generation, 1);
     if (Covers(pin, s, t)) {
-      MaybeBackpressure(generation, pin.generation);
+      YieldForMaintenance(generation, pin.generation);
       return pin->Query(s, t);
     }
   }
+  return QueryLive(s, t);
+}
+
+ThreadPool* DynamicSpcIndex::LiveQueryPool() const {
+  // Sized like the rebuild pool (hardware concurrency capped at 8): the
+  // workers park on the facade for its whole lifetime once spawned, so
+  // the cap bounds what one fallback batch costs a big machine forever.
+  std::call_once(live_pool_once_, [this] {
+    live_pool_ = std::make_unique<ThreadPool>(ResolveRebuildThreads(0));
+  });
+  return live_pool_.get();
+}
+
+std::vector<SpcResult> DynamicSpcIndex::BatchQueryLive(
+    std::span<const std::pair<Vertex, Vertex>> pairs,
+    unsigned threads) const {
+  std::vector<SpcResult> results(pairs.size());
+  // Hold the read lock across the whole batch so every answer reflects
+  // one consistent generation.
   std::shared_lock<std::shared_mutex> lock(index_mu_);
-  return index_.Query(s, t);
+  const auto query_one = [&](size_t i) {
+    const auto [s, t] = pairs[i];
+    results[i] = graph_.IsValidVertex(s) && graph_.IsValidVertex(t)
+                     ? index_.Query(s, t)
+                     : SpcResult{kInfDistance, 0};
+  };
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  if (threads <= 1 || pairs.size() < 64) {
+    for (size_t i = 0; i < pairs.size(); ++i) query_one(i);
+    return results;
+  }
+  // Strided chunks over the shared pool (one fork-join region; the pool
+  // serializes concurrent regions internally). Capping the chunk count at
+  // `threads` honors the caller's parallelism bound even though the pool
+  // itself is sized once.
+  ThreadPool* pool = LiveQueryPool();
+  const unsigned chunks = std::min(threads, pool->size());
+  pool->ParallelFor(chunks, [&](size_t w) {
+    for (size_t i = w; i < pairs.size(); i += chunks) query_one(i);
+  });
+  return results;
 }
 
 std::vector<SpcResult> DynamicSpcIndex::BatchQuery(
     const std::vector<std::pair<Vertex, Vertex>>& pairs,
     unsigned threads) const {
-  if (options_.enable_flat_snapshot) {
+  if (options_.snapshot.enabled) {
     const uint64_t generation = Generation();
     const auto pin = snapshots_->Acquire(generation, pairs.size());
     const bool covers_all =
@@ -264,33 +297,11 @@ std::vector<SpcResult> DynamicSpcIndex::BatchQuery(
           return Covers(pin, p.first, p.second);
         });
     if (covers_all) {
-      MaybeBackpressure(generation, pin.generation);
+      YieldForMaintenance(generation, pin.generation);
       return pin->QueryManyParallel(pairs, threads);
     }
   }
-  std::vector<SpcResult> results(pairs.size());
-  // Mutable-index fallback: hold the read lock across the whole batch so
-  // worker threads see one consistent generation.
-  std::shared_lock<std::shared_mutex> lock(index_mu_);
-  if (threads == 0) threads = std::thread::hardware_concurrency();
-  if (threads <= 1 || pairs.size() < 64) {
-    for (size_t i = 0; i < pairs.size(); ++i) {
-      results[i] = index_.Query(pairs[i].first, pairs[i].second);
-    }
-    return results;
-  }
-  threads = std::min<unsigned>(threads, 16);
-  std::vector<std::thread> workers;
-  workers.reserve(threads);
-  for (unsigned w = 0; w < threads; ++w) {
-    workers.emplace_back([&, w] {
-      for (size_t i = w; i < pairs.size(); i += threads) {
-        results[i] = index_.Query(pairs[i].first, pairs[i].second);
-      }
-    });
-  }
-  for (std::thread& t : workers) t.join();
-  return results;
+  return BatchQueryLive(pairs, threads);
 }
 
 std::shared_ptr<const FlatSpcIndex> DynamicSpcIndex::FlatSnapshot() const {

@@ -1,11 +1,20 @@
-// DynamicSpcIndex: the library's main entry point. Owns a graph and its
+// DynamicSpcIndex: the library's core engine. Owns a graph and its
 // SPC-Index and keeps them consistent under edge/vertex insertions and
 // deletions (DSPC, paper Section 3), answering SPC queries at any point.
 //
-// Typical use:
+// Applications should usually sit one layer up, on the typed serving API
+// (api/spc_service.h, DESIGN.md §9), which adds input validation,
+// per-call consistency options, and read-your-writes tokens:
+//   SpcService service(std::move(graph));
+//   auto r = service.Query(s, t);              // StatusOr<QueryResponse>
+//   if (r.ok()) use(r->result);
+//   auto w = service.InsertEdge(u, v);         // IncSPC, not reconstruction
+//   service.Query(s, t, {.min_generation = w->token.generation});
+//
+// Direct engine use remains supported for single-threaded tools/tests:
 //   DynamicSpcIndex dspc(std::move(graph));
 //   auto [d, c] = dspc.Query(s, t);
-//   dspc.InsertEdge(u, v);   // IncSPC, not reconstruction
+//   dspc.InsertEdge(u, v);
 //   dspc.RemoveEdge(x, y);   // DecSPC
 //
 // The vertex ordering is frozen at construction (paper Section 6); newly
@@ -26,11 +35,15 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
+#include <span>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "dspc/common/thread_pool.h"
 #include "dspc/core/dec_spc.h"
 #include "dspc/core/flat_spc_index.h"
 #include "dspc/core/inc_spc.h"
@@ -41,6 +54,70 @@
 #include "dspc/graph/ordering.h"
 
 namespace dspc {
+
+/// Snapshot maintenance and serving knobs, grouped so the service layer
+/// (api/spc_service.h) can consume and forward them as one unit.
+struct SnapshotOptions {
+  /// Serve queries from an immutable FlatSpcIndex snapshot (DESIGN.md §5).
+  /// Every applied update bumps a generation counter that invalidates the
+  /// snapshot; the refresh policy below decides who rebuilds it and when.
+  bool enabled = true;
+
+  /// How many queries may observe a stale snapshot before a rebuild is
+  /// scheduled. 1 rebuilds on the first query after any update (snappiest
+  /// serving, worst for update-heavy interleavings); larger values
+  /// amortize rebuilds across update bursts.
+  size_t rebuild_after_queries = 8;
+
+  /// When and where stale snapshots are rebuilt (DESIGN.md §7):
+  ///  - kSync (default, the historical behavior): stale queries ride the
+  ///    mutable index, then one query pays the rebuild inline. Always
+  ///    current answers; deterministic rebuild counts.
+  ///  - kBackground: queries always serve the pinned snapshot — possibly
+  ///    a few generations stale — and rebuilds happen on a worker thread,
+  ///    so the query path never blocks on maintenance or on writers. An
+  ///    initial snapshot is published eagerly at construction.
+  ///  - kManual: only FlatSnapshot()/WaitForFreshSnapshot() rebuild.
+  RefreshPolicy refresh = RefreshPolicy::kSync;
+
+  /// Vertex-range shards in the flat snapshot (DESIGN.md §8). Updates
+  /// mark the shards of every vertex whose label set changed; a refresh
+  /// repacks only those and adopts the rest from the previous snapshot,
+  /// so rebuild cost tracks update locality instead of total index size.
+  /// 1 reproduces the monolithic layout; 0 picks kDefaultShards. The
+  /// effective count is rounded to power-of-two shard widths
+  /// (FlatSpcIndex::ComputeShardLayout).
+  static constexpr size_t kDefaultShards = 16;
+  size_t shards = 0;
+
+  /// Worker threads for repacking dirty shards during one refresh
+  /// (FlatSpcIndex::Rebuild). 0 picks hardware concurrency (capped at
+  /// 8); 1 packs serially on the rebuilding thread.
+  unsigned rebuild_threads = 0;
+
+  /// Reader backpressure under kBackground: the policy's contract is
+  /// *bounded* staleness, but spinning readers on a saturated machine
+  /// can starve the rebuild worker of CPU, letting the published
+  /// snapshot fall arbitrarily far behind. When the snapshot trails the
+  /// mutable index by more than this many generations, each
+  /// snapshot-served query donates one timeslice (std::this_thread::
+  /// yield) before answering — queries never block and never wait for a
+  /// rebuild, they just stop out-competing maintenance for the CPU that
+  /// would resolve the lag. Costs a few microseconds per query while
+  /// saturated, zero when the worker keeps up. 0 disables.
+  uint64_t backpressure_lag = 8;
+
+  /// Writer-priority yield under kBackground: snapshot-served queries
+  /// never touch the writer's lock, so on a machine with more spinning
+  /// readers than cores the scheduler starves update application (the
+  /// writer computes label changes on an equal CPU share against
+  /// readers that never block). While any update is mid-application,
+  /// each snapshot-served query donates one timeslice before answering:
+  /// updates then process at near-isolated speed and queries still
+  /// answer (stale, non-blocking) in microseconds. One relaxed atomic
+  /// load per query when no writer is active.
+  bool writer_priority = true;
+};
 
 /// Options for DynamicSpcIndex.
 struct DynamicSpcOptions {
@@ -58,65 +135,8 @@ struct DynamicSpcOptions {
   size_t rebuild_after_updates = 0;
   double rebuild_growth_factor = 0.0;
 
-  /// Serve queries from an immutable FlatSpcIndex snapshot (DESIGN.md §5).
-  /// Every applied update bumps a generation counter that invalidates the
-  /// snapshot; the refresh policy below decides who rebuilds it and when.
-  bool enable_flat_snapshot = true;
-
-  /// How many queries may observe a stale snapshot before a rebuild is
-  /// scheduled. 1 rebuilds on the first query after any update (snappiest
-  /// serving, worst for update-heavy interleavings); larger values
-  /// amortize rebuilds across update bursts.
-  size_t snapshot_rebuild_after_queries = 8;
-
-  /// When and where stale snapshots are rebuilt (DESIGN.md §7):
-  ///  - kSync (default, the historical behavior): stale queries ride the
-  ///    mutable index, then one query pays the rebuild inline. Always
-  ///    current answers; deterministic rebuild counts.
-  ///  - kBackground: queries always serve the pinned snapshot — possibly
-  ///    a few generations stale — and rebuilds happen on a worker thread,
-  ///    so the query path never blocks on maintenance or on writers. An
-  ///    initial snapshot is published eagerly at construction.
-  ///  - kManual: only FlatSnapshot()/WaitForFreshSnapshot() rebuild.
-  RefreshPolicy snapshot_refresh = RefreshPolicy::kSync;
-
-  /// Vertex-range shards in the flat snapshot (DESIGN.md §8). Updates
-  /// mark the shards of every vertex whose label set changed; a refresh
-  /// repacks only those and adopts the rest from the previous snapshot,
-  /// so rebuild cost tracks update locality instead of total index size.
-  /// 1 reproduces the monolithic layout; 0 picks kDefaultSnapshotShards.
-  /// The effective count is rounded to power-of-two shard widths
-  /// (FlatSpcIndex::ComputeShardLayout).
-  static constexpr size_t kDefaultSnapshotShards = 16;
-  size_t snapshot_shards = 0;
-
-  /// Worker threads for repacking dirty shards during one refresh
-  /// (FlatSpcIndex::Rebuild). 0 picks hardware concurrency (capped at
-  /// 8); 1 packs serially on the rebuilding thread.
-  unsigned snapshot_rebuild_threads = 0;
-
-  /// Reader backpressure under kBackground: the policy's contract is
-  /// *bounded* staleness, but spinning readers on a saturated machine
-  /// can starve the rebuild worker of CPU, letting the published
-  /// snapshot fall arbitrarily far behind. When the snapshot trails the
-  /// mutable index by more than this many generations, each
-  /// snapshot-served query donates one timeslice (std::this_thread::
-  /// yield) before answering — queries never block and never wait for a
-  /// rebuild, they just stop out-competing maintenance for the CPU that
-  /// would resolve the lag. Costs a few microseconds per query while
-  /// saturated, zero when the worker keeps up. 0 disables.
-  uint64_t snapshot_backpressure_lag = 8;
-
-  /// Writer-priority yield under kBackground: snapshot-served queries
-  /// never touch the writer's lock, so on a machine with more spinning
-  /// readers than cores the scheduler starves update application (the
-  /// writer computes label changes on an equal CPU share against
-  /// readers that never block). While any update is mid-application,
-  /// each snapshot-served query donates one timeslice before answering:
-  /// updates then process at near-isolated speed and queries still
-  /// answer (stale, non-blocking) in microseconds. One relaxed atomic
-  /// load per query when no writer is active.
-  bool snapshot_writer_priority = true;
+  /// Snapshot maintenance/serving knobs (DESIGN.md §5, §7, §8).
+  SnapshotOptions snapshot;
 };
 
 /// A dynamic shortest-path-counting index over an owned graph.
@@ -139,7 +159,11 @@ class DynamicSpcIndex {
   /// block; queries that ride the mutable index take a shared lock and
   /// may briefly wait for an in-flight update. Under
   /// RefreshPolicy::kBackground answers may trail the newest updates by a
-  /// bounded number of generations (see DynamicSpcOptions).
+  /// bounded number of generations (see SnapshotOptions).
+  ///
+  /// Out-of-range vertex ids are answered as disconnected
+  /// ({kInfDistance, 0}); the service layer (api/spc_service.h) rejects
+  /// them earlier with kInvalidArgument.
   SpcResult Query(Vertex s, Vertex t) const;
 
   /// Inserts edge (a, b) and maintains the index with IncSPC.
@@ -164,17 +188,91 @@ class DynamicSpcIndex {
   /// insertion followed by the deletion of the same edge, or vice versa)
   /// are cancelled out first — the cheap batch optimization available
   /// without the BatchHL-style machinery the paper cites as related work.
-  UpdateStats ApplyBatch(const std::vector<struct Update>& updates);
+  UpdateStats ApplyBatch(std::span<const struct Update> updates);
 
   /// Evaluates many queries, using up to `threads` worker threads. With
   /// the flat snapshot enabled, a batch counts as pairs.size() stale
   /// queries against the rebuild budget and runs
   /// FlatSpcIndex::QueryManyParallel over the acquired snapshot; batches
-  /// that should ride the mutable index shard it read-locked. With
-  /// threads <= 1 the fallback is a plain loop.
+  /// that should ride the mutable index go through BatchQueryLive. Pairs
+  /// with out-of-range ids answer {kInfDistance, 0}.
   std::vector<SpcResult> BatchQuery(
       const std::vector<std::pair<Vertex, Vertex>>& pairs,
       unsigned threads = 0) const;
+
+  // --- serving primitives (the toolkit SpcService routes through;
+  // DESIGN.md §9) ---------------------------------------------------------
+
+  /// Serves one query from the mutable index under the shared lock —
+  /// always current, may briefly wait for an in-flight update.
+  /// Out-of-range ids answer {kInfDistance, 0}.
+  SpcResult QueryLive(Vertex s, Vertex t) const;
+
+  /// Serves a batch from the mutable index under one shared lock (all
+  /// answers reflect one generation), parallelized over the facade's
+  /// lazily-spawned common/ThreadPool instead of ad-hoc threads.
+  /// threads = 0 picks hardware concurrency; small batches run inline.
+  std::vector<SpcResult> BatchQueryLive(
+      std::span<const std::pair<Vertex, Vertex>> pairs,
+      unsigned threads = 0) const;
+
+  /// The query-path snapshot acquisition: pins the published snapshot and
+  /// charges `queries` observations against the staleness budget, which
+  /// is what schedules (kBackground) or performs (kSync, after the budget)
+  /// rebuilds. Empty when the caller should ride the mutable index — or
+  /// when snapshots are disabled. The two-argument form takes a
+  /// generation the caller already loaded (hot-path: skips one atomic
+  /// read); both are header-inline because they sit on every service
+  /// query.
+  SnapshotManager::Pinned AcquireSnapshot(size_t queries) const {
+    return AcquireSnapshot(Generation(), queries);
+  }
+  SnapshotManager::Pinned AcquireSnapshot(uint64_t current_generation,
+                                          size_t queries) const {
+    if (!options_.snapshot.enabled) return {};
+    return snapshots_->Acquire(current_generation, queries);
+  }
+
+  /// Bounded-staleness/writer-priority pacing for snapshot-served reads
+  /// (SnapshotOptions::backpressure_lag, writer_priority): donates one
+  /// timeslice when the pinned generation trails too far or a writer is
+  /// mid-update. Never blocks. Callers serving a pin they obtained
+  /// themselves (SpcService) apply this before answering. Header-inline
+  /// (one relaxed load in the common case) because it runs per
+  /// snapshot-served query.
+  void YieldForMaintenance(uint64_t current_generation,
+                           uint64_t pinned_generation) const {
+    if (options_.snapshot.refresh != RefreshPolicy::kBackground) {
+      return;  // sync/manual readers already pace themselves on the lock
+    }
+    if (options_.snapshot.writer_priority &&
+        active_writers_.load(std::memory_order_relaxed) > 0) {
+      std::this_thread::yield();
+      return;
+    }
+    // A publish can race ahead of this reader's generation read, making
+    // the pin *newer* than current_generation — that is freshness, not
+    // lag, so only subtract when the pin actually trails.
+    if (options_.snapshot.backpressure_lag != 0 &&
+        pinned_generation < current_generation &&
+        current_generation - pinned_generation >
+            options_.snapshot.backpressure_lag) {
+      std::this_thread::yield();
+    }
+  }
+
+  /// Blocks until a snapshot of generation >= `generation` is published
+  /// and returns it pinned (the token-wait primitive behind
+  /// SpcService::WaitForSnapshot). The caller must guarantee the mutable
+  /// index has reached `generation`.
+  SnapshotManager::Pinned AwaitSnapshotAtLeast(uint64_t generation) const;
+
+  /// Current vertex-id space [0, NumVertices()), readable lock-free (the
+  /// admission check of the service layer). Grows under AddVertex; never
+  /// shrinks.
+  size_t NumVertices() const {
+    return num_vertices_.load(std::memory_order_acquire);
+  }
 
   /// The current flat snapshot, rebuilding it first if stale (under
   /// kBackground this waits for the worker to publish). The returned
@@ -213,7 +311,7 @@ class DynamicSpcIndex {
 
   /// The snapshot manager's counters (background rebuilds, retired
   /// snapshots, published generation). Always present — with
-  /// enable_flat_snapshot off the query paths simply never consult it.
+  /// snapshot.enabled off the query paths simply never consult it.
   const SnapshotManager* snapshots() const { return snapshots_.get(); }
 
   /// Rebuilds the index from scratch with HP-SPC under a fresh ordering —
@@ -232,6 +330,9 @@ class DynamicSpcIndex {
   /// (single-threaded tests and benches use them freely).
   const Graph& graph() const { return graph_; }
   const SpcIndex& index() const { return index_; }
+
+  /// The options this engine was constructed with (immutable).
+  const DynamicSpcOptions& options() const { return options_; }
 
  private:
   /// Shared tail of both constructors: resolves the shard layout and
@@ -276,11 +377,11 @@ class DynamicSpcIndex {
     return pin && s < pin->NumVertices() && t < pin->NumVertices();
   }
 
-  /// Bounded-staleness enforcement (snapshot_backpressure_lag): donates
-  /// one timeslice when the snapshot being served trails the mutable
-  /// index too far, so spinning readers cannot starve maintenance.
-  void MaybeBackpressure(uint64_t current_generation,
-                         uint64_t pinned_generation) const;
+  /// The lazily-spawned pool behind BatchQueryLive (ROADMAP: reuse
+  /// common/ThreadPool instead of per-batch thread spawns). Created on the
+  /// first parallel live batch so purely snapshot-served facades never
+  /// park worker threads.
+  ThreadPool* LiveQueryPool() const;
 
   Graph graph_;
   SpcIndex index_;
@@ -309,6 +410,15 @@ class DynamicSpcIndex {
   /// Structural generation, read lock-free by query paths. Written only
   /// under exclusive index_mu_.
   std::atomic<uint64_t> generation_{1};
+
+  /// Lock-free mirror of graph_.NumVertices() for request admission.
+  /// Written only under exclusive index_mu_ (constructor, AddVertex).
+  std::atomic<size_t> num_vertices_{0};
+
+  /// BatchQueryLive's worker pool, spawned on first use (see
+  /// LiveQueryPool).
+  mutable std::once_flag live_pool_once_;
+  mutable std::unique_ptr<ThreadPool> live_pool_;
 
   /// Updates currently being applied (including time spent waiting for
   /// the exclusive lock) — the writer-priority signal read lock-free by

@@ -38,6 +38,45 @@ TEST(StatusTest, CodesAndMessages) {
   EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
   EXPECT_TRUE(Status::IOError("x").IsIOError());
   EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
+  EXPECT_EQ(Status::Unavailable("busy").ToString(), "Unavailable: busy");
+}
+
+// --- StatusOr ---------------------------------------------------------------
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v.status().ok());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.value_or(-1), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> e = Status::InvalidArgument("bad vertex");
+  EXPECT_FALSE(e.ok());
+  EXPECT_FALSE(static_cast<bool>(e));
+  EXPECT_TRUE(e.status().IsInvalidArgument());
+  EXPECT_EQ(e.status().message(), "bad vertex");
+  EXPECT_EQ(e.value_or(-1), -1);
+}
+
+TEST(StatusOrTest, MovesValueOut) {
+  StatusOr<std::vector<int>> v = std::vector<int>{1, 2, 3};
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->size(), 3u);
+  const std::vector<int> moved = *std::move(v);
+  EXPECT_EQ(moved, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(StatusOrTest, WorksAsReturnType) {
+  const auto divide = [](int a, int b) -> StatusOr<int> {
+    if (b == 0) return Status::InvalidArgument("division by zero");
+    return a / b;
+  };
+  EXPECT_EQ(divide(10, 2).value(), 5);
+  EXPECT_TRUE(divide(1, 0).status().IsInvalidArgument());
 }
 
 // --- Rng --------------------------------------------------------------------

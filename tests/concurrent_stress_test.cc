@@ -220,24 +220,24 @@ void RunConcurrentScript(const Script& script, const DynamicSpcOptions& options,
 TEST(ConcurrentStressTest, BackgroundReadersSeeOnlyPublishedGenerations) {
   const Script script = MakeScript(80, 41, 24, 12, 20);
   DynamicSpcOptions options;
-  options.snapshot_refresh = RefreshPolicy::kBackground;
-  options.snapshot_rebuild_after_queries = 1;  // churn rebuilds hard
+  options.snapshot.refresh = RefreshPolicy::kBackground;
+  options.snapshot.rebuild_after_queries = 1;  // churn rebuilds hard
   RunConcurrentScript(script, options, 3);
 }
 
 TEST(ConcurrentStressTest, SyncInlineRebuildsStayConsistentUnderReaders) {
   const Script script = MakeScript(64, 57, 18, 9, 16);
   DynamicSpcOptions options;
-  options.snapshot_refresh = RefreshPolicy::kSync;
-  options.snapshot_rebuild_after_queries = 4;
+  options.snapshot.refresh = RefreshPolicy::kSync;
+  options.snapshot.rebuild_after_queries = 4;
   RunConcurrentScript(script, options, 2);
 }
 
 TEST(ConcurrentStressTest, RetirementCounterAdvancesUnderChurn) {
   const Script script = MakeScript(48, 73, 12, 6, 8);
   DynamicSpcOptions options;
-  options.snapshot_refresh = RefreshPolicy::kBackground;
-  options.snapshot_rebuild_after_queries = 1;
+  options.snapshot.refresh = RefreshPolicy::kBackground;
+  options.snapshot.rebuild_after_queries = 1;
   DynamicSpcIndex dyn(script.start, options);
   for (const Update& u : script.updates) {
     ASSERT_TRUE(dyn.Apply(u).applied);

@@ -14,10 +14,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "dspc/api/spc_service.h"
 #include "dspc/baseline/bibfs_counting.h"
 #include "dspc/common/rng.h"
 #include "dspc/core/dynamic_spc.h"
@@ -37,9 +39,9 @@ class DifferentialStream {
                      size_t snapshot_shards = 0)
       : policy_(policy), rng_(seed) {
     DynamicSpcOptions options;
-    options.snapshot_refresh = policy;
-    options.snapshot_rebuild_after_queries = kStaleBudget;
-    options.snapshot_shards = snapshot_shards;
+    options.snapshot.refresh = policy;
+    options.snapshot.rebuild_after_queries = kStaleBudget;
+    options.snapshot.shards = snapshot_shards;
     dyn_ = std::make_unique<DynamicSpcIndex>(start, options);
     history_.emplace(dyn_->Generation(), dyn_->graph());
   }
@@ -250,7 +252,7 @@ INSTANTIATE_TEST_SUITE_P(
 // schedules (background), and manual never rebuilds on its own.
 TEST(SnapshotBoundaryTest, SyncRebuildLandsExactlyOnBudget) {
   DynamicSpcOptions options;
-  options.snapshot_rebuild_after_queries = kStaleBudget;
+  options.snapshot.rebuild_after_queries = kStaleBudget;
   DynamicSpcIndex dyn(GenerateBarabasiAlbert(40, 2, 7), options);
   // Warm a fresh snapshot, then invalidate it.
   ASSERT_NE(dyn.FlatSnapshot(), nullptr);
@@ -270,8 +272,8 @@ TEST(SnapshotBoundaryTest, SyncRebuildLandsExactlyOnBudget) {
 
 TEST(SnapshotBoundaryTest, ManualNeverRebuildsOnQueries) {
   DynamicSpcOptions options;
-  options.snapshot_refresh = RefreshPolicy::kManual;
-  options.snapshot_rebuild_after_queries = 1;
+  options.snapshot.refresh = RefreshPolicy::kManual;
+  options.snapshot.rebuild_after_queries = 1;
   DynamicSpcIndex dyn(GenerateBarabasiAlbert(30, 2, 9), options);
   for (int i = 0; i < 10; ++i) dyn.Query(0, static_cast<Vertex>(i));
   EXPECT_EQ(dyn.SnapshotRebuilds(), 0u);
@@ -285,8 +287,8 @@ TEST(SnapshotBoundaryTest, ManualNeverRebuildsOnQueries) {
 
 TEST(SnapshotBoundaryTest, BackgroundPublishesWithoutBlockingQueries) {
   DynamicSpcOptions options;
-  options.snapshot_refresh = RefreshPolicy::kBackground;
-  options.snapshot_rebuild_after_queries = 1;
+  options.snapshot.refresh = RefreshPolicy::kBackground;
+  options.snapshot.rebuild_after_queries = 1;
   DynamicSpcIndex dyn(GenerateBarabasiAlbert(40, 2, 11), options);
   // Eager initial publish.
   EXPECT_GE(dyn.SnapshotRebuilds(), 1u);
@@ -306,6 +308,239 @@ TEST(SnapshotBoundaryTest, BackgroundPublishesWithoutBlockingQueries) {
   // The old pin still answers for its own (pre-insert) generation.
   EXPECT_NE(pin0->Query(e.u, e.v), (SpcResult{1, 1}));
 }
+
+// --- service-layer token fuzz (DESIGN.md §9) --------------------------------
+//
+// Randomized interleaving of ApplyUpdates (WriteTokens) and reads across
+// the whole consistency lattice under RefreshPolicy::kBackground, where
+// the background worker publishes snapshots at arbitrary moments. Every
+// response is generation-tagged, so the check is exact, not membership:
+// the answer must equal BiBFS on precisely the graph recorded for
+// response.generation, and the response generation must honor the read's
+// min_generation / max_lag / freshness constraints.
+class ServiceTokenFuzz {
+ public:
+  ServiceTokenFuzz(Graph start, uint64_t seed, size_t shards)
+      : rng_(seed) {
+    DynamicSpcOptions options;
+    options.snapshot.refresh = RefreshPolicy::kBackground;
+    options.snapshot.rebuild_after_queries = 2;
+    options.snapshot.shards = shards;
+    service_ = std::make_unique<SpcService>(std::move(start), options);
+    history_.emplace(service_->Generation(), service_->engine().graph());
+    tokens_.push_back({service_->Generation()});
+  }
+
+  void Run(int steps) {
+    for (int step = 0; step < steps && !::testing::Test::HasFatalFailure();
+         ++step) {
+      const double dice = rng_.NextDouble();
+      if (dice < 0.30) {
+        ApplySingle(Kind::kInsert);
+      } else if (dice < 0.50) {
+        ApplySingle(Kind::kDelete);
+      } else if (dice < 0.65) {
+        ApplyInsertBatch(step);
+      } else if (dice < 0.70) {
+        AddVertex();
+      } else {
+        ReadProbes("step " + std::to_string(step));
+      }
+    }
+    // Final barrier: the newest token must be waitable, and a kSnapshot
+    // read with it must then serve exactly the final graph.
+    const WriteToken last = tokens_.back();
+    ASSERT_TRUE(service_->WaitForSnapshot(last).ok());
+    ReadOptions snap;
+    snap.consistency = Consistency::kSnapshot;
+    snap.min_generation = last.generation;
+    for (int i = 0; i < 10; ++i) {
+      const Vertex s = RandomVertex();
+      const Vertex t = RandomVertex();
+      const auto resp = service_->Query(s, t, snap);
+      ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+      CheckExact(*resp, s, t, "final barrier");
+    }
+  }
+
+ private:
+  using Kind = Update::Kind;
+
+  size_t NumVertices() const { return service_->NumVertices(); }
+
+  Vertex RandomVertex() {
+    return static_cast<Vertex>(rng_.NextBounded(NumVertices()));
+  }
+
+  void Record(WriteToken token) {
+    history_.emplace(token.generation, service_->engine().graph());
+    tokens_.push_back(token);
+  }
+
+  void ApplySingle(Kind kind) {
+    Update update;
+    if (kind == Kind::kInsert) {
+      const Vertex u = RandomVertex();
+      const Vertex v = RandomVertex();
+      if (u == v || service_->engine().graph().HasEdge(u, v)) return;
+      update = Update::Insert(u, v);
+    } else {
+      const std::vector<Edge> edges = service_->engine().graph().Edges();
+      if (edges.empty()) return;
+      const Edge e = edges[rng_.NextBounded(edges.size())];
+      update = Update::Delete(e.u, e.v);
+    }
+    const auto resp = service_->ApplyUpdates({&update, 1});
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+    ASSERT_TRUE(resp->stats.applied);
+    Record(resp->token);
+    ReadProbes(update.kind == Kind::kInsert ? "after insert" : "after delete");
+  }
+
+  /// A no-op-free multi-update batch: each update bumps the generation by
+  /// exactly one, so every intermediate state can be recorded by local
+  /// replay (a stale pin may land on any of them).
+  void ApplyInsertBatch(int step) {
+    const std::vector<Edge> fresh = SampleNonEdges(
+        service_->engine().graph(), 1 + rng_.NextBounded(3), 1000 + step);
+    if (fresh.empty()) return;
+    std::vector<Update> batch;
+    for (const Edge& e : fresh) batch.push_back(Update::Insert(e.u, e.v));
+
+    const uint64_t before = service_->Generation();
+    Graph replay = service_->engine().graph();
+    const auto resp = service_->ApplyUpdates(batch);
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+    ASSERT_EQ(resp->token.generation, before + batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      ASSERT_TRUE(replay.AddEdge(batch[i].edge.u, batch[i].edge.v));
+      history_.emplace(before + i + 1, replay);
+    }
+    tokens_.push_back(resp->token);
+    ReadProbes("after batch");
+  }
+
+  void AddVertex() {
+    const AddVertexResponse added = service_->AddVertex();
+    Record(added.token);
+    // Read-your-writes on the brand-new id: a kFresh read with the token
+    // must serve (live, since no snapshot covers the vertex yet).
+    ReadOptions read;
+    read.min_generation = added.token.generation;
+    const auto resp = service_->Query(added.vertex, 0, read);
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+    ASSERT_EQ(resp->result.count, 0u) << "fresh vertex not isolated";
+  }
+
+  WriteToken RandomToken() {
+    return tokens_[rng_.NextBounded(tokens_.size())];
+  }
+
+  /// The exactness check: response.generation names the graph the answer
+  /// must match, bit for bit.
+  void CheckExact(const QueryResponse& resp, Vertex s, Vertex t,
+                  const std::string& ctx) {
+    const auto it = history_.find(resp.generation);
+    ASSERT_NE(it, history_.end())
+        << ctx << " response claims unrecorded generation "
+        << resp.generation;
+    if (s >= it->second.NumVertices() || t >= it->second.NumVertices()) {
+      // Only live serving can answer ids newer than the claimed graph,
+      // and live responses are tagged with the admission generation while
+      // the index may already be newer; just require disconnected-or-real.
+      return;
+    }
+    const SpcResult want = BiBfsCountPair(it->second, s, t);
+    ASSERT_EQ(resp.result, want)
+        << ctx << " gen=" << resp.generation << " s=" << s << " t=" << t
+        << " served_from="
+        << (resp.served_from == ServedFrom::kSnapshot ? "snapshot" : "live");
+  }
+
+  void ReadProbes(const std::string& ctx) {
+    const uint64_t gen = service_->Generation();
+    const Vertex s = RandomVertex();
+    const Vertex t = RandomVertex();
+
+    // kFresh with the newest token: must reflect the current graph.
+    {
+      ReadOptions read;
+      read.min_generation = tokens_.back().generation;
+      const auto resp = service_->Query(s, t, read);
+      ASSERT_TRUE(resp.ok()) << ctx << ": " << resp.status().ToString();
+      ASSERT_GE(resp->generation, read.min_generation) << ctx;
+      ASSERT_EQ(resp->generation, gen) << ctx << " kFresh served stale";
+      CheckExact(*resp, s, t, ctx + " kFresh+token");
+    }
+
+    // kBoundedStaleness with a random older token and random lag.
+    {
+      const WriteToken token = RandomToken();
+      ReadOptions read;
+      read.consistency = Consistency::kBoundedStaleness;
+      read.min_generation = token.generation;
+      read.max_lag = rng_.NextBounded(6);
+      const auto resp = service_->Query(s, t, read);
+      ASSERT_TRUE(resp.ok()) << ctx << ": " << resp.status().ToString();
+      ASSERT_GE(resp->generation, token.generation)
+          << ctx << " bounded read ignored min_generation";
+      ASSERT_LE(gen - std::min(resp->generation, gen), read.max_lag)
+          << ctx << " bounded read exceeded max_lag";
+      CheckExact(*resp, s, t, ctx + " kBounded+token");
+    }
+
+    // kSnapshot with a random token: either refuses (Unavailable — the
+    // snapshot trails the token) or serves a generation >= the token.
+    {
+      const WriteToken token = RandomToken();
+      ReadOptions read;
+      read.consistency = Consistency::kSnapshot;
+      read.min_generation = token.generation;
+      const auto resp = service_->Query(s, t, read);
+      if (resp.ok()) {
+        ASSERT_GE(resp->generation, token.generation) << ctx;
+        ASSERT_EQ(resp->served_from, ServedFrom::kSnapshot) << ctx;
+        CheckExact(*resp, s, t, ctx + " kSnapshot+token");
+      } else {
+        ASSERT_TRUE(resp.status().IsUnavailable())
+            << ctx << ": " << resp.status().ToString();
+      }
+    }
+  }
+
+  Rng rng_;
+  std::unique_ptr<SpcService> service_;
+  /// Graph state at every generation the engine has passed through.
+  std::unordered_map<uint64_t, Graph> history_;
+  /// Every token issued so far (generation 1 = the initial build).
+  std::vector<WriteToken> tokens_;
+};
+
+using ServiceFuzzParam = std::tuple<uint64_t, size_t>;
+
+class ServiceTokenFuzzTest
+    : public ::testing::TestWithParam<ServiceFuzzParam> {};
+
+TEST_P(ServiceTokenFuzzTest, BaStream) {
+  const auto [seed, shards] = GetParam();
+  ServiceTokenFuzz fuzz(GenerateBarabasiAlbert(48, 2, seed), seed, shards);
+  fuzz.Run(80);
+}
+
+TEST_P(ServiceTokenFuzzTest, RmatStream) {
+  const auto [seed, shards] = GetParam();
+  ServiceTokenFuzz fuzz(GenerateRmat(6, 150, seed), seed, shards);
+  fuzz.Run(80);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ServiceTokenFuzzTest,
+    ::testing::Combine(::testing::Values(31u, 47u),
+                       ::testing::Values(1u, 7u)),
+    [](const ::testing::TestParamInfo<ServiceFuzzParam>& info) {
+      return "Seed" + std::to_string(std::get<0>(info.param)) + "Shards" +
+             std::to_string(std::get<1>(info.param));
+    });
 
 }  // namespace
 }  // namespace dspc

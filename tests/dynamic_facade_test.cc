@@ -87,6 +87,68 @@ TEST(BatchQueryTest, ParallelMatchesSerial) {
   }
 }
 
+// Regression: out-of-range vertex ids used to index past the label and
+// shard arrays (UB). The core layer answers them as disconnected; the
+// service layer (spc_service_test.cc) rejects them as kInvalidArgument.
+TEST(BatchQueryTest, OutOfRangeVertexIdsAnswerDisconnected) {
+  const Graph g = GenerateBarabasiAlbert(40, 2, 8);
+  const size_t n = g.NumVertices();
+  DynamicSpcIndex dyn(g);
+  const auto oob = static_cast<Vertex>(n + 3);
+  const SpcResult disconnected{kInfDistance, 0};
+
+  EXPECT_EQ(dyn.Query(oob, 0), disconnected);
+  EXPECT_EQ(dyn.Query(0, oob), disconnected);
+  EXPECT_EQ(dyn.Query(oob, kInvalidVertex), disconnected);
+  EXPECT_EQ(dyn.QueryLive(oob, 0), disconnected);
+
+  // Mixed batches answer valid pairs exactly and invalid ones as
+  // disconnected, on both the serial and the pool-parallel fallback.
+  std::vector<std::pair<Vertex, Vertex>> pairs(200, {oob, 1});
+  for (size_t i = 0; i < pairs.size(); i += 3) {
+    pairs[i] = {static_cast<Vertex>(i % n), static_cast<Vertex>((i * 7) % n)};
+  }
+  for (const unsigned threads : {1u, 4u}) {
+    const auto results = dyn.BatchQuery(pairs, threads);
+    ASSERT_EQ(results.size(), pairs.size());
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      const auto [s, t] = pairs[i];
+      const SpcResult want = (s < n && t < n)
+                                 ? dyn.Query(s, t)
+                                 : disconnected;
+      EXPECT_EQ(results[i], want) << "threads=" << threads << " i=" << i;
+    }
+  }
+
+  // Updates never invalidate the guarantee.
+  const Edge e = SampleNonEdges(dyn.graph(), 1, 4).at(0);
+  ASSERT_TRUE(dyn.InsertEdge(e.u, e.v).applied);
+  EXPECT_EQ(dyn.Query(oob, oob), disconnected);
+}
+
+TEST(BatchQueryTest, LiveFallbackUsesSharedPool) {
+  // With snapshots disabled every batch takes the live path; exercising
+  // it twice ensures the lazily-spawned ThreadPool is reused rather than
+  // respawned, and answers stay exact.
+  DynamicSpcOptions options;
+  options.snapshot.enabled = false;
+  const Graph g = GenerateBarabasiAlbert(200, 2, 12);
+  DynamicSpcIndex dyn(g, options);
+  Rng rng(13);
+  std::vector<std::pair<Vertex, Vertex>> pairs(400);
+  for (auto& p : pairs) {
+    p.first = static_cast<Vertex>(rng.NextBounded(200));
+    p.second = static_cast<Vertex>(rng.NextBounded(200));
+  }
+  const auto first = dyn.BatchQuery(pairs, 4);
+  const auto second = dyn.BatchQuery(pairs, 4);
+  ASSERT_EQ(first.size(), pairs.size());
+  EXPECT_EQ(first, second);
+  for (size_t i = 0; i < pairs.size(); i += 29) {
+    EXPECT_EQ(first[i], dyn.Query(pairs[i].first, pairs[i].second));
+  }
+}
+
 TEST(LazyRebuildTest, UpdateCountTriggerFires) {
   Graph g = RandomGraph(20, 40, 7);
   DynamicSpcOptions options;
@@ -154,7 +216,7 @@ TEST(AdoptIndexTest, LoadedIndexServesUpdates) {
 TEST(FlatSnapshotTest, GenerationInvalidationAndLazyRebuild) {
   Graph g = RandomGraph(24, 50, 14);
   DynamicSpcOptions options;
-  options.snapshot_rebuild_after_queries = 1;  // rebuild on first query
+  options.snapshot.rebuild_after_queries = 1;  // rebuild on first query
   DynamicSpcIndex dyn(g, options);
 
   // No snapshot yet; the first query builds it.
@@ -190,7 +252,7 @@ TEST(FlatSnapshotTest, GenerationInvalidationAndLazyRebuild) {
 TEST(FlatSnapshotTest, StaleQueryThresholdAmortizesRebuilds) {
   Graph g = RandomGraph(20, 40, 15);
   DynamicSpcOptions options;
-  options.snapshot_rebuild_after_queries = 3;
+  options.snapshot.rebuild_after_queries = 3;
   DynamicSpcIndex dyn(g, options);
   // Two stale queries stay on the mutable index (and answer correctly);
   // the third pays the refresh.
@@ -246,7 +308,7 @@ TEST(FlatSnapshotTest, FlatSnapshotAccessorServesConcurrently) {
 TEST(FlatSnapshotTest, DisabledSnapshotStaysOnMutableIndex) {
   Graph g = RandomGraph(20, 40, 18);
   DynamicSpcOptions options;
-  options.enable_flat_snapshot = false;
+  options.snapshot.enabled = false;
   DynamicSpcIndex dyn(g, options);
   const SsspCounts truth = BfsCount(dyn.graph(), 0);
   for (Vertex t = 0; t < 20; ++t) {

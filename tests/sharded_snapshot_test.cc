@@ -144,8 +144,8 @@ TEST(ShardedFlatIndexTest, ShardedSaveLoadRoundTrip) {
 
 TEST(DeltaRebuildTest, CleanShardsAreAdoptedAcrossRefreshes) {
   DynamicSpcOptions options;
-  options.snapshot_refresh = RefreshPolicy::kManual;
-  options.snapshot_shards = 8;
+  options.snapshot.refresh = RefreshPolicy::kManual;
+  options.snapshot.shards = 8;
   DynamicSpcIndex dyn(GenerateBarabasiAlbert(256, 2, 31), options);
   const auto pin1 = dyn.WaitForFreshSnapshot();
   ASSERT_TRUE(static_cast<bool>(pin1));
@@ -243,8 +243,8 @@ TEST(DeltaRebuildTest, ZeroDirtyRefreshShortCircuitsToAdoption) {
 
 TEST(DeltaRebuildTest, VertexAdditionForcesFullLayoutRebuild) {
   DynamicSpcOptions options;
-  options.snapshot_refresh = RefreshPolicy::kManual;
-  options.snapshot_shards = 4;
+  options.snapshot.refresh = RefreshPolicy::kManual;
+  options.snapshot.shards = 4;
   DynamicSpcIndex dyn(GenerateBarabasiAlbert(63, 2, 47), options);
   const auto pin1 = dyn.WaitForFreshSnapshot();
   ASSERT_TRUE(static_cast<bool>(pin1));
@@ -266,8 +266,8 @@ TEST(DeltaRebuildTest, VertexAdditionForcesFullLayoutRebuild) {
 
 TEST(DeltaRebuildTest, PublishedGenerationIsMonotone) {
   DynamicSpcOptions options;
-  options.snapshot_refresh = RefreshPolicy::kManual;
-  options.snapshot_shards = 8;
+  options.snapshot.refresh = RefreshPolicy::kManual;
+  options.snapshot.shards = 8;
   DynamicSpcIndex dyn(GenerateBarabasiAlbert(96, 2, 53), options);
   uint64_t last = 0;
   for (int step = 0; step < 12; ++step) {
@@ -303,10 +303,10 @@ TEST(ShardedServingTest, FacadeServesExactlyUnderShardedBackground) {
   // updates; after quiescing, the snapshot must agree with the mutable
   // index everywhere.
   DynamicSpcOptions options;
-  options.snapshot_refresh = RefreshPolicy::kBackground;
-  options.snapshot_rebuild_after_queries = 2;
-  options.snapshot_shards = 7;
-  options.snapshot_rebuild_threads = 2;
+  options.snapshot.refresh = RefreshPolicy::kBackground;
+  options.snapshot.rebuild_after_queries = 2;
+  options.snapshot.shards = 7;
+  options.snapshot.rebuild_threads = 2;
   DynamicSpcIndex dyn(GenerateBarabasiAlbert(80, 2, 61), options);
   Rng rng(61);
   for (int step = 0; step < 25; ++step) {

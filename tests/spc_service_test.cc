@@ -1,0 +1,296 @@
+// SpcService: admission validation, the consistency-mode lattice,
+// generation tokens (read-your-writes), and serving metadata
+// (DESIGN.md §9).
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "dspc/api/spc_service.h"
+#include "dspc/baseline/bibfs_counting.h"
+#include "dspc/common/rng.h"
+#include "dspc/graph/generators.h"
+#include "dspc/graph/update_stream.h"
+
+namespace dspc {
+namespace {
+
+DynamicSpcOptions BackgroundOptions(size_t budget = 1) {
+  DynamicSpcOptions options;
+  options.snapshot.refresh = RefreshPolicy::kBackground;
+  options.snapshot.rebuild_after_queries = budget;
+  return options;
+}
+
+// --- admission ---------------------------------------------------------------
+
+TEST(SpcServiceTest, RejectsOutOfRangeVertices) {
+  SpcService service(GenerateBarabasiAlbert(30, 2, 5));
+  const auto n = static_cast<Vertex>(service.NumVertices());
+
+  EXPECT_TRUE(service.Query(n, 0).status().IsInvalidArgument());
+  EXPECT_TRUE(service.Query(0, n + 7).status().IsInvalidArgument());
+  EXPECT_TRUE(service.Query(kInvalidVertex, 0).status().IsInvalidArgument());
+  EXPECT_TRUE(service.Query(0, 1).ok());
+
+  const std::vector<VertexPair> bad = {{0, 1}, {2, n}, {3, 4}};
+  const auto batch = service.QueryBatch(bad);
+  EXPECT_TRUE(batch.status().IsInvalidArgument());
+  // The message names the offending pair.
+  EXPECT_NE(batch.status().message().find("pair 1"), std::string::npos);
+
+  const Edge good = SampleNonEdges(service.engine().graph(), 1, 3).at(0);
+  const std::vector<Update> updates = {Update::Insert(good.u, good.v),
+                                       Update::Insert(n, 1)};
+  EXPECT_TRUE(service.ApplyUpdates(updates).status().IsInvalidArgument());
+  // Nothing was applied: validation covers the whole batch up front.
+  EXPECT_FALSE(service.engine().graph().HasEdge(good.u, good.v));
+
+  EXPECT_TRUE(service.InsertEdge(0, n).status().IsInvalidArgument());
+  EXPECT_TRUE(service.RemoveEdge(n, 0).status().IsInvalidArgument());
+  EXPECT_TRUE(service.RemoveVertex(n).status().IsInvalidArgument());
+}
+
+TEST(SpcServiceTest, RejectsFutureMinGeneration) {
+  SpcService service(GenerateBarabasiAlbert(20, 2, 6));
+  ReadOptions read;
+  read.min_generation = service.Generation() + 100;
+  EXPECT_TRUE(service.Query(0, 1, read).status().IsInvalidArgument());
+
+  WriteToken forged{service.Generation() + 100};
+  EXPECT_TRUE(service.WaitForSnapshot(forged).IsInvalidArgument());
+}
+
+// --- reads, writes, and answers ---------------------------------------------
+
+TEST(SpcServiceTest, AnswersMatchBaselineAcrossConsistencyModes) {
+  const Graph g = GenerateBarabasiAlbert(60, 2, 7);
+  SpcService service(g, BackgroundOptions());
+  ASSERT_TRUE(service.WaitForSnapshot({service.Generation()}).ok());
+
+  Rng rng(17);
+  for (const Consistency mode :
+       {Consistency::kFresh, Consistency::kSnapshot,
+        Consistency::kBoundedStaleness}) {
+    for (int i = 0; i < 20; ++i) {
+      const auto s = static_cast<Vertex>(rng.NextBounded(60));
+      const auto t = static_cast<Vertex>(rng.NextBounded(60));
+      ReadOptions read;
+      read.consistency = mode;
+      read.max_lag = 4;
+      const auto resp = service.Query(s, t, read);
+      ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+      // No updates have happened, so every mode answers exactly.
+      EXPECT_EQ(resp->result, BiBfsCountPair(g, s, t));
+      EXPECT_EQ(resp->staleness, 0u);
+      EXPECT_EQ(resp->generation, service.Generation());
+    }
+  }
+}
+
+TEST(SpcServiceTest, WritesReturnMonotoneTokens) {
+  SpcService service(GenerateBarabasiAlbert(40, 2, 9));
+  const std::vector<Edge> candidates =
+      SampleNonEdges(service.engine().graph(), 4, 3);
+  ASSERT_GE(candidates.size(), 4u);
+
+  uint64_t last = 0;
+  for (const Edge& e : candidates) {
+    const auto resp = service.InsertEdge(e.u, e.v);
+    ASSERT_TRUE(resp.ok());
+    EXPECT_TRUE(resp->stats.applied);
+    EXPECT_GT(resp->token.generation, last);
+    last = resp->token.generation;
+  }
+
+  const auto removed = service.RemoveEdge(candidates[0].u, candidates[0].v);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_GT(removed->token.generation, last);
+}
+
+TEST(SpcServiceTest, ReadYourWritesViaToken) {
+  SpcService service(GenerateBarabasiAlbert(50, 2, 11), BackgroundOptions(8));
+  const Edge e = SampleNonEdges(service.engine().graph(), 1, 5).at(0);
+  const SpcResult before = service.Query(e.u, e.v).value().result;
+
+  const auto write = service.InsertEdge(e.u, e.v);
+  ASSERT_TRUE(write.ok());
+  ASSERT_TRUE(write->stats.applied);
+
+  // A fresh read with the token observes the write immediately, without
+  // any explicit quiesce.
+  ReadOptions read;
+  read.min_generation = write->token.generation;
+  const auto after = service.Query(e.u, e.v, read);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->result, (SpcResult{1, 1}));
+  EXPECT_NE(after->result, before);
+  EXPECT_GE(after->generation, write->token.generation);
+
+  // Bounded staleness with the token also observes it (escalating to the
+  // live index when the snapshot still trails).
+  read.consistency = Consistency::kBoundedStaleness;
+  read.max_lag = 1000;
+  const auto bounded = service.Query(e.u, e.v, read);
+  ASSERT_TRUE(bounded.ok());
+  EXPECT_EQ(bounded->result, (SpcResult{1, 1}));
+  EXPECT_GE(bounded->generation, write->token.generation);
+}
+
+TEST(SpcServiceTest, SnapshotModeNeverBlocksAndReportsUnavailable) {
+  // kManual with no published snapshot: kSnapshot reads cannot be served
+  // without blocking, so they fail fast with kUnavailable.
+  DynamicSpcOptions manual;
+  manual.snapshot.refresh = RefreshPolicy::kManual;
+  SpcService service(GenerateBarabasiAlbert(30, 2, 13), manual);
+  ReadOptions snap;
+  snap.consistency = Consistency::kSnapshot;
+  EXPECT_TRUE(service.Query(0, 1, snap).status().IsUnavailable());
+
+  // Publish explicitly; the same read now serves.
+  ASSERT_NE(service.engine().FlatSnapshot(), nullptr);
+  const auto resp = service.Query(0, 1, snap);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->served_from, ServedFrom::kSnapshot);
+
+  // After an update the snapshot trails: a token-carrying kSnapshot read
+  // refuses (Unavailable) rather than blocking or serving stale.
+  const Edge e = SampleNonEdges(service.engine().graph(), 1, 6).at(0);
+  const auto write = service.InsertEdge(e.u, e.v);
+  ASSERT_TRUE(write.ok());
+  snap.min_generation = write->token.generation;
+  EXPECT_TRUE(service.Query(e.u, e.v, snap).status().IsUnavailable());
+
+  // Tokenless kSnapshot still serves the old snapshot, tagged stale.
+  snap.min_generation = 0;
+  const auto stale = service.Query(e.u, e.v, snap);
+  ASSERT_TRUE(stale.ok());
+  EXPECT_GT(stale->staleness, 0u);
+  EXPECT_LT(stale->generation, service.Generation());
+}
+
+TEST(SpcServiceTest, SnapshotModeRejectsVertexNewerThanSnapshot) {
+  SpcService service(GenerateBarabasiAlbert(30, 2, 15), BackgroundOptions());
+  ASSERT_TRUE(service.WaitForSnapshot({service.Generation()}).ok());
+
+  const AddVertexResponse added = service.AddVertex();
+  ReadOptions snap;
+  snap.consistency = Consistency::kSnapshot;
+  // The published snapshot predates the vertex; refusing beats blocking.
+  const auto resp = service.Query(added.vertex, 0, snap);
+  if (!resp.ok()) {
+    EXPECT_TRUE(resp.status().IsUnavailable());
+  }
+  // kFresh serves it from the live index.
+  const auto fresh = service.Query(added.vertex, 0);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh->result.count, 0u);  // isolated
+
+  // After the snapshot catches up, kSnapshot serves it too.
+  ASSERT_TRUE(service.WaitForSnapshot(added.token).ok());
+  EXPECT_TRUE(service.Query(added.vertex, 0, snap).ok());
+}
+
+TEST(SpcServiceTest, BoundedStalenessHonorsLagBound) {
+  SpcService service(GenerateBarabasiAlbert(40, 2, 19),
+                     BackgroundOptions(1000000));  // worker never nudged
+  ASSERT_TRUE(service.WaitForSnapshot({service.Generation()}).ok());
+
+  // Three updates leave the snapshot 3 generations behind.
+  std::vector<Update> updates;
+  for (const Edge& e : SampleNonEdges(service.engine().graph(), 3, 7)) {
+    updates.push_back(Update::Insert(e.u, e.v));
+  }
+  const auto write = service.ApplyUpdates(updates);
+  ASSERT_TRUE(write.ok());
+
+  ReadOptions loose;
+  loose.consistency = Consistency::kBoundedStaleness;
+  loose.max_lag = 10;
+  const auto stale_ok = service.Query(0, 1, loose);
+  ASSERT_TRUE(stale_ok.ok());
+  EXPECT_EQ(stale_ok->served_from, ServedFrom::kSnapshot);
+  EXPECT_GT(stale_ok->staleness, 0u);
+  EXPECT_LE(stale_ok->staleness, 10u);
+
+  ReadOptions tight;
+  tight.consistency = Consistency::kBoundedStaleness;
+  tight.max_lag = 0;  // demand current: must escalate to the live index
+  const auto live = service.Query(0, 1, tight);
+  ASSERT_TRUE(live.ok());
+  EXPECT_EQ(live->served_from, ServedFrom::kLiveIndex);
+  EXPECT_EQ(live->staleness, 0u);
+}
+
+TEST(SpcServiceTest, QueryBatchMatchesSingles) {
+  SpcService service(GenerateRmat(7, 300, 21), BackgroundOptions(4));
+  const size_t n = service.NumVertices();
+  Rng rng(23);
+  std::vector<VertexPair> pairs(300);
+  for (auto& p : pairs) {
+    p.first = static_cast<Vertex>(rng.NextBounded(n));
+    p.second = static_cast<Vertex>(rng.NextBounded(n));
+  }
+  ReadOptions read;
+  read.threads = 4;
+  const auto batch = service.QueryBatch(pairs, read);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->results.size(), pairs.size());
+  for (size_t i = 0; i < pairs.size(); i += 17) {
+    const auto single = service.Query(pairs[i].first, pairs[i].second);
+    ASSERT_TRUE(single.ok());
+    EXPECT_EQ(batch->results[i], single->result) << "i=" << i;
+  }
+}
+
+TEST(SpcServiceTest, WaitForSnapshotIsTheTokenBarrier) {
+  SpcService service(GenerateBarabasiAlbert(40, 2, 25), BackgroundOptions());
+  const Edge e = SampleNonEdges(service.engine().graph(), 1, 9).at(0);
+  const auto write = service.InsertEdge(e.u, e.v);
+  ASSERT_TRUE(write.ok());
+
+  ASSERT_TRUE(service.WaitForSnapshot(write->token).ok());
+  // The snapshot now reflects the write, so even kSnapshot + token serves.
+  ReadOptions snap;
+  snap.consistency = Consistency::kSnapshot;
+  snap.min_generation = write->token.generation;
+  const auto resp = service.Query(e.u, e.v, snap);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->result, (SpcResult{1, 1}));
+  EXPECT_EQ(resp->served_from, ServedFrom::kSnapshot);
+}
+
+TEST(SpcServiceTest, WaitForSnapshotNotSupportedWhenDisabled) {
+  DynamicSpcOptions options;
+  options.snapshot.enabled = false;
+  SpcService service(GenerateBarabasiAlbert(20, 2, 27), options);
+  EXPECT_TRUE(service.WaitForSnapshot({1}).IsNotSupported());
+  // kSnapshot reads can never be served on this configuration:
+  // kNotSupported (permanent), not kUnavailable (retryable).
+  ReadOptions snap;
+  snap.consistency = Consistency::kSnapshot;
+  EXPECT_TRUE(service.Query(0, 1, snap).status().IsNotSupported());
+  EXPECT_TRUE(service.QueryBatch(std::vector<VertexPair>{{0, 1}}, snap)
+                  .status()
+                  .IsNotSupported());
+  // Other modes still work (all live).
+  const auto resp = service.Query(0, 1);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->served_from, ServedFrom::kLiveIndex);
+}
+
+TEST(SpcServiceTest, RemoveVertexIsolatesAndTokens) {
+  SpcService service(GenerateBarabasiAlbert(30, 2, 29));
+  const auto resp = service.RemoveVertex(3);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(service.engine().graph().Neighbors(3).size(), 0u);
+  ReadOptions read;
+  read.min_generation = resp->token.generation;
+  const auto q = service.Query(3, 4, read);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->result.count, 0u);
+}
+
+}  // namespace
+}  // namespace dspc
