@@ -246,6 +246,7 @@ int main(int argc, char** argv) {
   // consistency routing). The serving-path budget is <= 2%.
   double facade_qps = 0.0;
   double service_qps = 0.0;
+  std::string overhead_metrics_dump;  // §10 counter dump of the probe run
   {
     DynamicSpcOptions options;
     options.snapshot.refresh = RefreshPolicy::kBackground;
@@ -285,6 +286,7 @@ int main(int argc, char** argv) {
     }
     facade_qps = facade_reps.Median();
     service_qps = service_reps.Median();
+    overhead_metrics_dump = service.Metrics().ToString();
     if (sink == 0xDEADBEEF) std::printf("impossible\n");
   }
   const double service_overhead_pct =
@@ -294,6 +296,7 @@ int main(int argc, char** argv) {
       "service overhead: facade %.0f q/s vs SpcService %.0f q/s "
       "(%.2f%% overhead)\n",
       facade_qps, service_qps, service_overhead_pct);
+  std::printf("\n%s", overhead_metrics_dump.c_str());
 
   std::FILE* json = std::fopen(json_path.c_str(), "w");
   if (json == nullptr) {

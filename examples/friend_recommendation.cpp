@@ -93,6 +93,10 @@ int main() {
   }
   ShowRecommendations(service, user);
 
+  // The service counted every write outcome above (the duplicate inserts
+  // the churn loop retried show up as no-ops, not applied updates).
+  std::printf("\n%s", service.Metrics().ToString().c_str());
+
   std::printf(
       "\nEvery ranking above was computed from the live index — %zu\n"
       "friendship changes were absorbed by IncSPC/DecSPC, not rebuilds.\n",

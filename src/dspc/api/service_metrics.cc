@@ -1,0 +1,182 @@
+#include "dspc/api/service_metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "dspc/api/spc_service.h"
+
+namespace dspc {
+
+namespace {
+
+const char* kStalenessLabels[MetricsSnapshot::kStalenessBuckets] = {
+    "0", "1", "2", "3-4", "5-8", "9-16", "17-64", ">64"};
+const char* kBatchLabels[MetricsSnapshot::kBatchBuckets] = {
+    "1", "2-4", "5-16", "17-64", "65-256", "257-1K", "1K-4K", ">4K"};
+
+void AppendHist(std::string* out, const char* const* labels,
+                const uint64_t* buckets, size_t n) {
+  char buf[64];
+  for (size_t i = 0; i < n; ++i) {
+    if (buckets[i] == 0) continue;  // dense dumps drown the signal
+    std::snprintf(buf, sizeof(buf), " %s:%" PRIu64, labels[i], buckets[i]);
+    *out += buf;
+  }
+}
+
+}  // namespace
+
+uint64_t MetricsSnapshot::StalenessSamples() const {
+  uint64_t total = 0;
+  for (const uint64_t b : staleness_hist) total += b;
+  return total;
+}
+
+std::string MetricsSnapshot::ToString() const {
+  const uint64_t total = TotalQueries();
+  const uint64_t served = served_from_snapshot + served_from_live;
+  char buf[256];
+  std::string out = "SpcService metrics\n";
+
+  std::snprintf(buf, sizeof(buf),
+                "  queries: total=%" PRIu64 " fresh=%" PRIu64
+                " snapshot=%" PRIu64 " bounded=%" PRIu64 "\n",
+                total, queries_by_mode[0], queries_by_mode[1],
+                queries_by_mode[2]);
+  out += buf;
+
+  std::snprintf(
+      buf, sizeof(buf),
+      "  served_from: snapshot=%" PRIu64 " (%.1f%%) live=%" PRIu64
+      " (%.1f%%)\n",
+      served_from_snapshot,
+      served > 0 ? 100.0 * static_cast<double>(served_from_snapshot) /
+                       static_cast<double>(served)
+                 : 0.0,
+      served_from_live,
+      served > 0 ? 100.0 * static_cast<double>(served_from_live) /
+                       static_cast<double>(served)
+                 : 0.0);
+  out += buf;
+
+  out += "  staleness (generations behind, per served query):";
+  AppendHist(&out, kStalenessLabels, staleness_hist.data(),
+             kStalenessBuckets);
+  if (StalenessSamples() == 0) out += " (none)";
+  out += "\n";
+
+  std::snprintf(buf, sizeof(buf),
+                "  deadline_misses: reads=%" PRIu64
+                " wait_for_snapshot=%" PRIu64 "\n",
+                deadline_misses_read, deadline_misses_wait);
+  out += buf;
+
+  std::snprintf(buf, sizeof(buf),
+                "  rejected: invalid_argument=%" PRIu64
+                " unavailable=%" PRIu64 " not_supported=%" PRIu64 "\n",
+                rejected_invalid_argument, rejected_unavailable,
+                rejected_not_supported);
+  out += buf;
+
+  std::snprintf(buf, sizeof(buf),
+                "  read_batches: calls=%" PRIu64 " queries=%" PRIu64
+                " sizes:",
+                read_batches, read_batch_queries);
+  out += buf;
+  AppendHist(&out, kBatchLabels, read_batch_size_hist.data(), kBatchBuckets);
+  out += "\n";
+
+  std::snprintf(buf, sizeof(buf),
+                "  writes: batches=%" PRIu64 " applied=%" PRIu64
+                " noop=%" PRIu64 " rejected=%" PRIu64 " sizes:",
+                write_batches, updates_applied, updates_noop,
+                updates_rejected);
+  out += buf;
+  AppendHist(&out, kBatchLabels, write_batch_size_hist.data(),
+             kBatchBuckets);
+  out += "\n";
+  return out;
+}
+
+void ServiceMetrics::RecordBatchTail(size_t queries) {
+  if (queries == 0) return;  // an empty batch served nothing — no sample
+  Add(kReadBatches, 1);
+  Add(kReadBatchQueries, queries);
+  Add(kReadBatchHist + MetricsSnapshot::BatchBucket(queries), 1);
+}
+
+void ServiceMetrics::RecordReadDeadlineMiss() { Add(kDeadlineRead, 1); }
+
+void ServiceMetrics::RecordWaitDeadlineMiss() { Add(kDeadlineWait, 1); }
+
+void ServiceMetrics::RecordRejected(Status::Code code) {
+  switch (code) {
+    case Status::Code::kInvalidArgument:
+      Add(kRejInvalidArgument, 1);
+      break;
+    case Status::Code::kUnavailable:
+      Add(kRejUnavailable, 1);
+      break;
+    case Status::Code::kNotSupported:
+      Add(kRejNotSupported, 1);
+      break;
+    default:
+      break;  // not an admission outcome; nothing to count
+  }
+}
+
+void ServiceMetrics::RecordWrite(size_t batch_size, size_t applied,
+                                 size_t noops, size_t rejected) {
+  if (batch_size == 0) return;  // nothing admitted — not a write batch
+  Shard& shard = Local();
+  const auto add = [&shard](size_t counter, uint64_t delta) {
+    shard.counters[counter].fetch_add(delta, std::memory_order_relaxed);
+  };
+  add(kWriteBatches, 1);
+  add(kWriteBatchHist + MetricsSnapshot::BatchBucket(batch_size), 1);
+  if (applied > 0) add(kUpdatesApplied, applied);
+  if (noops > 0) add(kUpdatesNoop, noops);
+  if (rejected > 0) add(kUpdatesRejected, rejected);
+}
+
+MetricsSnapshot ServiceMetrics::Snapshot() const {
+  std::array<uint64_t, kNumCounters> sum{};
+  for (const Shard& shard : shards_) {
+    for (size_t c = 0; c < kNumCounters; ++c) {
+      sum[c] += shard.counters[c].load(std::memory_order_relaxed);
+    }
+  }
+  MetricsSnapshot snap;
+  // Unfold the (mode × served_from × staleness bucket) cube into the
+  // three separate read aggregates.
+  for (size_t m = 0; m < MetricsSnapshot::kModes; ++m) {
+    for (size_t f = 0; f < 2; ++f) {
+      for (size_t b = 0; b < MetricsSnapshot::kStalenessBuckets; ++b) {
+        const uint64_t v =
+            sum[kReadCube +
+                (m * 2 + f) * MetricsSnapshot::kStalenessBuckets + b];
+        snap.queries_by_mode[m] += v;
+        (f == 0 ? snap.served_from_snapshot : snap.served_from_live) += v;
+        snap.staleness_hist[b] += v;
+      }
+    }
+  }
+  snap.deadline_misses_read = sum[kDeadlineRead];
+  snap.deadline_misses_wait = sum[kDeadlineWait];
+  snap.rejected_invalid_argument = sum[kRejInvalidArgument];
+  snap.rejected_unavailable = sum[kRejUnavailable];
+  snap.rejected_not_supported = sum[kRejNotSupported];
+  snap.read_batches = sum[kReadBatches];
+  snap.read_batch_queries = sum[kReadBatchQueries];
+  for (size_t b = 0; b < MetricsSnapshot::kBatchBuckets; ++b) {
+    snap.read_batch_size_hist[b] = sum[kReadBatchHist + b];
+    snap.write_batch_size_hist[b] = sum[kWriteBatchHist + b];
+  }
+  snap.write_batches = sum[kWriteBatches];
+  snap.updates_applied = sum[kUpdatesApplied];
+  snap.updates_noop = sum[kUpdatesNoop];
+  snap.updates_rejected = sum[kUpdatesRejected];
+  return snap;
+}
+
+}  // namespace dspc

@@ -1,0 +1,240 @@
+// ServiceMetrics: lock-light aggregate counters for SpcService — the
+// freshness-SLO surface (DESIGN.md §10).
+//
+// Per-response metadata (generation / served_from / staleness) tells one
+// caller about one answer; an operator needs the distribution: how many
+// reads ran at each consistency mode, what fraction was served from
+// snapshots vs the live index, how stale those snapshots were, how often
+// deadlines were missed and requests rejected, and how big the batches
+// are. ServiceMetrics records exactly that, cheaply enough to sit on the
+// serving hot path:
+//
+//   record     Relaxed fetch-adds on a per-thread counter shard. Threads
+//              are striped over kShards cache-line-aligned shards by a
+//              thread_local slot, so concurrent recorders almost never
+//              touch the same cache line — no lock, no CAS loop, no
+//              histogram mutex. The single-query hot path pays exactly
+//              ONE increment: mode, serving source, and staleness bucket
+//              are folded into one (mode × served_from × bucket) counter
+//              cube that Snapshot() unfolds into the separate aggregates
+//              — this keeps recording inside the service layer's ~2%
+//              overhead budget (three separate increments measurably did
+//              not).
+//   snapshot   Snapshot() sums every shard into a plain MetricsSnapshot
+//              struct — O(kShards * kNumCounters) relaxed loads, so
+//              scraping is cheap enough for a tight monitoring loop.
+//              Counters are monotone; two snapshots subtract to a rate.
+//
+// Totals are exact: every increment lands in exactly one shard and sums
+// are over all shards. What is *not* guaranteed is cross-counter
+// atomicity — a snapshot taken mid-record may see the mode counter of a
+// read whose staleness bucket lands a nanosecond later. SLO aggregation
+// tolerates that by construction.
+
+#ifndef DSPC_API_SERVICE_METRICS_H_
+#define DSPC_API_SERVICE_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "dspc/common/status.h"
+
+namespace dspc {
+
+// Defined in api/spc_service.h; opaque declarations keep this header
+// free-standing (the fixed underlying types make them complete here).
+enum class Consistency : unsigned char;
+enum class ServedFrom : unsigned char;
+
+/// One aggregated, point-in-time view of a service's counters (the value
+/// type ServiceMetrics::Snapshot() returns). Plain data: copy it, diff
+/// two of them for a rate window, or ToString() it for logs.
+struct MetricsSnapshot {
+  static constexpr size_t kModes = 3;  ///< kFresh / kSnapshot / kBounded
+
+  /// Staleness histogram buckets: generations the serving source trailed
+  /// the index at admission, one count per served read call.
+  ///   0 | 1 | 2 | 3-4 | 5-8 | 9-16 | 17-64 | >64
+  static constexpr size_t kStalenessBuckets = 8;
+
+  /// Batch-size histogram buckets (queries per read batch, updates per
+  /// write batch): 1 | 2-4 | 5-16 | 17-64 | 65-256 | 257-1K | 1K-4K | >4K
+  static constexpr size_t kBatchBuckets = 8;
+
+  // --- reads (served) ----------------------------------------------------
+  /// Served queries per consistency mode (a batch adds its size), indexed
+  /// by static_cast<size_t>(Consistency).
+  std::array<uint64_t, kModes> queries_by_mode{};
+  uint64_t served_from_snapshot = 0;  ///< queries answered from a pin
+  uint64_t served_from_live = 0;      ///< queries answered live
+  /// Per served *query* (a batch adds its size): generation-lag bucket
+  /// of the serving source at admission. Sums to TotalQueries().
+  std::array<uint64_t, kStalenessBuckets> staleness_hist{};
+
+  // --- misses and rejections ---------------------------------------------
+  uint64_t deadline_misses_read = 0;  ///< reads that hit their deadline
+  uint64_t deadline_misses_wait = 0;  ///< WaitForSnapshot timeouts
+  uint64_t rejected_invalid_argument = 0;  ///< failed admission
+  uint64_t rejected_unavailable = 0;       ///< unservable under options
+  uint64_t rejected_not_supported = 0;     ///< configuration refusals
+
+  // --- read batches ------------------------------------------------------
+  uint64_t read_batches = 0;        ///< QueryBatch calls served
+  uint64_t read_batch_queries = 0;  ///< queries across those batches
+  std::array<uint64_t, kBatchBuckets> read_batch_size_hist{};
+
+  // --- writes ------------------------------------------------------------
+  uint64_t write_batches = 0;  ///< admitted write calls (incl. singles)
+  std::array<uint64_t, kBatchBuckets> write_batch_size_hist{};
+  uint64_t updates_applied = 0;   ///< WriteReport kApplied outcomes
+  uint64_t updates_noop = 0;      ///< WriteReport kNoOp outcomes
+  uint64_t updates_rejected = 0;  ///< WriteReport kRejected outcomes
+
+  /// Served queries across all modes (equals the staleness histogram's
+  /// total population).
+  uint64_t TotalQueries() const {
+    return queries_by_mode[0] + queries_by_mode[1] + queries_by_mode[2];
+  }
+
+  /// Sum over the staleness histogram (== TotalQueries(); separate for
+  /// tests asserting no sample is lost).
+  uint64_t StalenessSamples() const;
+
+  /// Human-readable multi-line dump for logs, examples, and benches.
+  std::string ToString() const;
+
+  /// Bucket index helpers (shared by recording and by tests asserting on
+  /// specific buckets). Header-inline: StalenessBucket runs per served
+  /// query.
+  static size_t StalenessBucket(uint64_t lag) {
+    if (lag <= 2) return static_cast<size_t>(lag);
+    if (lag <= 4) return 3;
+    if (lag <= 8) return 4;
+    if (lag <= 16) return 5;
+    if (lag <= 64) return 6;
+    return 7;
+  }
+  static size_t BatchBucket(size_t size) {
+    if (size <= 1) return 0;
+    if (size <= 4) return 1;
+    if (size <= 16) return 2;
+    if (size <= 64) return 3;
+    if (size <= 256) return 4;
+    if (size <= 1024) return 5;
+    if (size <= 4096) return 6;
+    return 7;
+  }
+};
+
+/// The recording side. All Record* methods are safe to call from any
+/// number of threads concurrently; Snapshot() may race with recorders
+/// (see the file comment for the exact guarantees).
+class ServiceMetrics {
+ public:
+  ServiceMetrics() = default;
+  ServiceMetrics(const ServiceMetrics&) = delete;
+  ServiceMetrics& operator=(const ServiceMetrics&) = delete;
+
+  /// One served read call: `queries` answers (1 for Query, pairs.size()
+  /// for QueryBatch) under `mode`, answered by `from` with the source
+  /// trailing the index by `staleness` generations at admission.
+  /// `batch` marks QueryBatch calls (feeds the batch-size histogram).
+  /// Header-inline: this is the serving hot path, and out-of-line the
+  /// call alone measurably dents the service's ~2% overhead budget.
+  void RecordRead(Consistency mode, ServedFrom from, uint64_t staleness,
+                  size_t queries, bool batch);
+
+  /// A read that returned kDeadlineExceeded instead of blocking.
+  void RecordReadDeadlineMiss();
+
+  /// A WaitForSnapshot that timed out before the snapshot caught up.
+  void RecordWaitDeadlineMiss();
+
+  /// A call refused at admission/routing with `code` (kInvalidArgument,
+  /// kUnavailable, or kNotSupported; other codes are not counted).
+  void RecordRejected(Status::Code code);
+
+  /// One admitted write call of `batch_size` input updates with the given
+  /// per-update outcome tallies (from the WriteReports).
+  void RecordWrite(size_t batch_size, size_t applied, size_t noops,
+                   size_t rejected);
+
+  /// Sums all shards into one consistent-enough view (monotone counters;
+  /// see the file comment).
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  // Flat counter layout inside one shard; offsets into Shard::counters.
+  // The read cube folds (mode, served_from, staleness bucket) into one
+  // counter so a served single query records with ONE fetch-add:
+  //   index = (mode * 2 + served_from) * kStalenessBuckets + bucket
+  enum CounterIndex : size_t {
+    kReadCube = 0,  // kModes * 2 * kStalenessBuckets entries
+    kDeadlineRead = kReadCube + MetricsSnapshot::kModes * 2 *
+                                    MetricsSnapshot::kStalenessBuckets,
+    kDeadlineWait,
+    kRejInvalidArgument,
+    kRejUnavailable,
+    kRejNotSupported,
+    kReadBatches,
+    kReadBatchQueries,
+    kReadBatchHist,                                  // kBatchBuckets
+    kWriteBatches = kReadBatchHist + MetricsSnapshot::kBatchBuckets,
+    kWriteBatchHist,                                 // kBatchBuckets
+    kUpdatesApplied = kWriteBatchHist + MetricsSnapshot::kBatchBuckets,
+    kUpdatesNoop,
+    kUpdatesRejected,
+    kNumCounters,
+  };
+
+  /// Concurrency stripe count. Threads are assigned round-robin by a
+  /// thread_local slot; 16 stripes keep even a saturated reader fleet
+  /// mostly contention-free while Snapshot() stays trivially cheap.
+  static constexpr size_t kShards = 16;
+
+  struct alignas(64) Shard {
+    std::array<std::atomic<uint64_t>, kNumCounters> counters{};
+  };
+
+  /// This thread's shard (stable per thread, assigned on first use; the
+  /// slot is shared across instances — it is an index, not state).
+  Shard& Local() {
+    static std::atomic<size_t> next{0};
+    thread_local const size_t slot =
+        next.fetch_add(1, std::memory_order_relaxed) % kShards;
+    return shards_[slot];
+  }
+
+  void Add(size_t counter, uint64_t delta) {
+    Local().counters[counter].fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  /// Out-of-line tail of RecordRead for batch calls (not hot per query).
+  void RecordBatchTail(size_t queries);
+
+  std::array<Shard, kShards> shards_;
+};
+
+inline void ServiceMetrics::RecordRead(Consistency mode, ServedFrom from,
+                                       uint64_t staleness, size_t queries,
+                                       bool batch) {
+  // The whole single-query hot path is this one relaxed increment. The
+  // enums are opaque here, so the cube folds their raw values; the
+  // static_asserts in spc_service.cc pin the coupling
+  // (ServedFrom::kSnapshot == 0, kModes consistency values).
+  const size_t cube =
+      (static_cast<size_t>(mode) * 2 + static_cast<size_t>(from)) *
+          MetricsSnapshot::kStalenessBuckets +
+      MetricsSnapshot::StalenessBucket(staleness);
+  Add(kReadCube + cube, queries);
+  if (batch) [[unlikely]] {
+    RecordBatchTail(queries);
+  }
+}
+
+}  // namespace dspc
+
+#endif  // DSPC_API_SERVICE_METRICS_H_

@@ -1,10 +1,21 @@
 #include "dspc/api/spc_service.h"
 
 #include <algorithm>
+#include <chrono>
 #include <string>
 #include <utility>
 
 namespace dspc {
+
+// ServiceMetrics' read cube (service_metrics.h) folds the raw values of
+// these enums, which it only sees as opaque declarations — pin them.
+static_assert(static_cast<size_t>(ServedFrom::kSnapshot) == 0 &&
+                  static_cast<size_t>(ServedFrom::kLiveIndex) == 1,
+              "read cube encodes ServedFrom as {snapshot=0, live=1}");
+static_assert(static_cast<size_t>(Consistency::kFresh) == 0 &&
+                  static_cast<size_t>(Consistency::kSnapshot) == 1 &&
+                  static_cast<size_t>(Consistency::kBoundedStaleness) == 2,
+              "read cube indexes queries_by_mode by Consistency's value");
 
 namespace {
 
@@ -25,6 +36,26 @@ namespace {
       " — not a token issued by this service");
 }
 
+[[gnu::cold, gnu::noinline]] Status LiveReadDeadlineExceeded() {
+  return Status::DeadlineExceeded(
+      "live-index read could not acquire the lock before the deadline "
+      "(a writer holds it); retry, extend the timeout, or relax to "
+      "kSnapshot/kBoundedStaleness");
+}
+
+/// Absolute deadline of a timed call; callers guard on timeout >= 0
+/// (kNoTimeout never reaches this). Saturates instead of overflowing so
+/// timeout = nanoseconds::max() means "wait practically forever", not a
+/// wrapped-into-the-past instant refusal.
+std::chrono::steady_clock::time_point DeadlineFor(
+    std::chrono::nanoseconds timeout) {
+  const auto now = std::chrono::steady_clock::now();
+  if (timeout >= std::chrono::steady_clock::time_point::max() - now) {
+    return std::chrono::steady_clock::time_point::max();
+  }
+  return now + timeout;
+}
+
 }  // namespace
 
 SpcService::SpcService(Graph graph, const DynamicSpcOptions& options)
@@ -37,6 +68,7 @@ SpcService::SpcService(Graph graph, SpcIndex index,
 Status SpcService::ValidateVertex(Vertex v, const char* what) const {
   const size_t n = engine_.NumVertices();
   if (static_cast<size_t>(v) < n) return Status::OK();
+  metrics_.RecordRejected(Status::Code::kInvalidArgument);
   return BadVertex(what, v, n);
 }
 
@@ -96,11 +128,16 @@ Status SpcService::RouteRead(const ReadOptions& options, size_t queries,
   const uint64_t gen = engine_.Generation();
   *generation = gen;
   if (options.min_generation > gen) [[unlikely]] {
+    metrics_.RecordRejected(Status::Code::kInvalidArgument);
     return FutureMinGeneration(options.min_generation, gen);
   }
 
   if (options.consistency == Consistency::kSnapshot) {
-    return RouteSnapshotRead(options, queries, max_vertex, gen, pin);
+    Status st = RouteSnapshotRead(options, queries, max_vertex, gen, pin);
+    if (!st.ok()) [[unlikely]] {
+      metrics_.RecordRejected(st.code());
+    }
+    return st;
   }
 
   // kFresh / kBoundedStaleness: acquire (budget-charging, so rebuilds
@@ -108,7 +145,24 @@ Status SpcService::RouteRead(const ReadOptions& options, size_t queries,
   // bound, ride the live index otherwise — which is current by
   // definition and therefore satisfies any valid min_generation and any
   // lag bound.
-  auto acquired = engine_.AcquireSnapshot(gen, queries);
+  SnapshotManager::Pinned acquired;
+  if (options.timeout >= std::chrono::nanoseconds::zero() &&
+      engine_.options().snapshot.enabled &&
+      engine_.snapshots()->policy() == RefreshPolicy::kSync) [[unlikely]] {
+    // Under kSync a budget-crossing Acquire rebuilds inline — an
+    // unbounded wait on the writer lock inside the snapshot source. A
+    // deadline-bounded read must never perform maintenance: take the
+    // free pin (serving it only if it satisfies the mode below) and
+    // leave the inline rebuild to the next untimed read — but still
+    // charge the staleness budget, so an all-timed workload keeps the
+    // rebuild due instead of pinning staleness forever.
+    acquired = engine_.PinSnapshot();
+    if (!acquired || acquired.generation < gen) {
+      engine_.ChargeSnapshotBudget(queries);
+    }
+  } else {
+    acquired = engine_.AcquireSnapshot(gen, queries);
+  }
   if (acquired && max_vertex < acquired->NumVertices()) {
     if (acquired.generation >= gen ||
         (options.consistency == Consistency::kBoundedStaleness &&
@@ -131,6 +185,7 @@ StatusOr<QueryResponse> SpcService::Query(Vertex s, Vertex t,
   const size_t n = engine_.NumVertices();
   if (static_cast<size_t>(s) >= n || static_cast<size_t>(t) >= n)
       [[unlikely]] {
+    metrics_.RecordRejected(Status::Code::kInvalidArgument);
     return BadVertex(static_cast<size_t>(s) >= n ? "source" : "target",
                      static_cast<size_t>(s) >= n ? s : t, n);
   }
@@ -145,14 +200,35 @@ StatusOr<QueryResponse> SpcService::Query(Vertex s, Vertex t,
   // Responses are built fully formed in the return slot (no default
   // construction + field-by-field overwrite): this path runs per query.
   if (pin) {
-    return StatusOr<QueryResponse>(
-        std::in_place, pin->Query(s, t), pin.generation,
-        generation > pin.generation ? generation - pin.generation : 0,
-        ServedFrom::kSnapshot);
+    const uint64_t staleness =
+        generation > pin.generation ? generation - pin.generation : 0;
+    metrics_.RecordRead(options.consistency, ServedFrom::kSnapshot,
+                        staleness, 1, false);
+    return StatusOr<QueryResponse>(std::in_place, pin->Query(s, t),
+                                   pin.generation, staleness,
+                                   ServedFrom::kSnapshot);
   }
-  return StatusOr<QueryResponse>(std::in_place, engine_.QueryLive(s, t),
-                                 generation, uint64_t{0},
-                                 ServedFrom::kLiveIndex);
+  // Live serving — the one read path that can wait on a writer, so the
+  // one place the per-call deadline binds. The response generation is
+  // re-read under the lock: a write that finished while we waited is in
+  // the answer, so the admission-time value would understate it.
+  if (options.timeout >= std::chrono::nanoseconds::zero()) [[unlikely]] {
+    SpcResult result;
+    if (!engine_.QueryLiveBefore(s, t, DeadlineFor(options.timeout),
+                                 &result, &generation)) {
+      metrics_.RecordReadDeadlineMiss();
+      return LiveReadDeadlineExceeded();
+    }
+    metrics_.RecordRead(options.consistency, ServedFrom::kLiveIndex, 0, 1,
+                        false);
+    return StatusOr<QueryResponse>(std::in_place, result, generation,
+                                   uint64_t{0}, ServedFrom::kLiveIndex);
+  }
+  const SpcResult live = engine_.QueryLive(s, t, &generation);
+  metrics_.RecordRead(options.consistency, ServedFrom::kLiveIndex, 0, 1,
+                      false);
+  return StatusOr<QueryResponse>(std::in_place, live, generation,
+                                 uint64_t{0}, ServedFrom::kLiveIndex);
 }
 
 StatusOr<BatchQueryResponse> SpcService::QueryBatch(
@@ -162,6 +238,7 @@ StatusOr<BatchQueryResponse> SpcService::QueryBatch(
   for (size_t i = 0; i < pairs.size(); ++i) {
     const auto [s, t] = pairs[i];
     if (static_cast<size_t>(s) >= n || static_cast<size_t>(t) >= n) {
+      metrics_.RecordRejected(Status::Code::kInvalidArgument);
       const Status bad =
           BadVertex(static_cast<size_t>(s) >= n ? "source" : "target",
                     static_cast<size_t>(s) >= n ? s : t, n);
@@ -179,45 +256,115 @@ StatusOr<BatchQueryResponse> SpcService::QueryBatch(
     return st;
   }
 
+  const bool timed = options.timeout >= std::chrono::nanoseconds::zero();
   StatusOr<BatchQueryResponse> out(std::in_place);
   if (pin) {
-    out->results = pin->QueryManyParallel(pairs, options.threads);
+    // Snapshot-served batches hold no lock, so queueing on the shared
+    // pool's serialized regions can only delay them, never stall a
+    // writer or void the deadline contract (which bounds the
+    // writer-lock wait only) — timed and untimed batches alike use the
+    // shared pool: no per-batch thread spawns on the serving path.
+    out->results = pin->QueryManyParallel(
+        pairs, options.threads,
+        engine_.PoolForBatch(pairs.size(), options.threads));
     out->generation = pin.generation;
     out->staleness =
         generation > pin.generation ? generation - pin.generation : 0;
     out->served_from = ServedFrom::kSnapshot;
   } else {
-    out->results = engine_.BatchQueryLive(pairs, options.threads);
+    if (timed) [[unlikely]] {
+      if (!engine_.BatchQueryLiveBefore(pairs, options.threads,
+                                        DeadlineFor(options.timeout),
+                                        &out->results, &generation)) {
+        metrics_.RecordReadDeadlineMiss();
+        return LiveReadDeadlineExceeded();
+      }
+    } else {
+      out->results =
+          engine_.BatchQueryLive(pairs, options.threads, &generation);
+    }
     out->generation = generation;
     out->served_from = ServedFrom::kLiveIndex;
   }
+  metrics_.RecordRead(options.consistency, out->served_from, out->staleness,
+                      pairs.size(), true);
   return out;
 }
 
 StatusOr<UpdateResponse> SpcService::ApplyUpdates(
     std::span<const Update> updates) {
+  // Admission is per update: out-of-range endpoints are rejected
+  // individually (kRejected report) while the valid remainder applies.
   const size_t n = engine_.NumVertices();
-  for (size_t i = 0; i < updates.size(); ++i) {
-    const Edge& e = updates[i].edge;
-    if (static_cast<size_t>(e.u) >= n || static_cast<size_t>(e.v) >= n) {
-      const Status bad =
-          BadVertex("edge", static_cast<size_t>(e.u) >= n ? e.u : e.v, n);
-      return Status::InvalidArgument("update " + std::to_string(i) + ": " +
-                                     bad.message());
+  size_t invalid = 0;
+  for (const Update& u : updates) {
+    if (static_cast<size_t>(u.edge.u) >= n ||
+        static_cast<size_t>(u.edge.v) >= n) {
+      ++invalid;
     }
   }
-  UpdateResponse resp;
-  resp.stats = engine_.ApplyBatch(updates);
+
+  StatusOr<UpdateResponse> out(std::in_place);
+  UpdateResponse& resp = *out;
+  if (invalid == 0) {
+    resp.stats = engine_.ApplyBatch(updates, &resp.reports);
+  } else {
+    // Scatter/gather: apply the admitted subset, then place its reports
+    // back at the original input positions.
+    resp.reports.resize(updates.size());
+    std::vector<Update> admitted;
+    std::vector<size_t> position;
+    admitted.reserve(updates.size() - invalid);
+    position.reserve(updates.size() - invalid);
+    for (size_t i = 0; i < updates.size(); ++i) {
+      const Edge& e = updates[i].edge;
+      if (static_cast<size_t>(e.u) >= n || static_cast<size_t>(e.v) >= n) {
+        resp.reports[i].outcome = WriteReport::Outcome::kRejected;
+        resp.reports[i].reason =
+            "endpoint vertex id outside [0, NumVertices())";
+        continue;
+      }
+      admitted.push_back(updates[i]);
+      position.push_back(i);
+    }
+    std::vector<WriteReport> sub;
+    resp.stats = engine_.ApplyBatch(admitted, &sub);
+    for (size_t j = 0; j < sub.size(); ++j) {
+      resp.reports[position[j]] = sub[j];
+    }
+  }
+
+  for (const WriteReport& report : resp.reports) {
+    switch (report.outcome) {
+      case WriteReport::Outcome::kApplied:
+        ++resp.applied;
+        break;
+      case WriteReport::Outcome::kNoOp:
+        ++resp.noops;
+        break;
+      case WriteReport::Outcome::kRejected:
+        ++resp.rejected;
+        break;
+    }
+  }
   resp.token.generation = engine_.Generation();
-  return resp;
+  metrics_.RecordWrite(updates.size(), resp.applied, resp.noops,
+                       resp.rejected);
+  return out;
 }
 
 StatusOr<UpdateResponse> SpcService::InsertEdge(Vertex u, Vertex v) {
+  // Single-edge calls keep the strict contract: a bad endpoint fails the
+  // call (there is no partial batch a caller could still want).
+  if (Status st = ValidateVertex(u, "edge"); !st.ok()) return st;
+  if (Status st = ValidateVertex(v, "edge"); !st.ok()) return st;
   const Update update = Update::Insert(u, v);
   return ApplyUpdates({&update, 1});
 }
 
 StatusOr<UpdateResponse> SpcService::RemoveEdge(Vertex u, Vertex v) {
+  if (Status st = ValidateVertex(u, "edge"); !st.ok()) return st;
+  if (Status st = ValidateVertex(v, "edge"); !st.ok()) return st;
   const Update update = Update::Delete(u, v);
   return ApplyUpdates({&update, 1});
 }
@@ -226,34 +373,77 @@ AddVertexResponse SpcService::AddVertex() {
   AddVertexResponse resp;
   resp.vertex = engine_.AddVertex();
   resp.token.generation = engine_.Generation();
+  metrics_.RecordWrite(1, 1, 0, 0);
   return resp;
 }
 
 StatusOr<UpdateResponse> SpcService::RemoveVertex(Vertex v) {
   if (Status st = ValidateVertex(v, "vertex"); !st.ok()) return st;
-  UpdateResponse resp;
+  StatusOr<UpdateResponse> out(std::in_place);
+  UpdateResponse& resp = *out;
   resp.stats = engine_.RemoveVertex(v);
   resp.token.generation = engine_.Generation();
-  return resp;
+  // Vertex deletion folds one decremental update per incident edge; the
+  // report covers the whole deletion as one logical update.
+  resp.reports.resize(1);
+  WriteReport& report = resp.reports[0];
+  if (resp.stats.applied) {
+    report.outcome = WriteReport::Outcome::kApplied;
+    report.reason = "applied";
+    report.stats = resp.stats;
+    report.generation = resp.token.generation;
+    resp.applied = 1;
+  } else {
+    report.outcome = WriteReport::Outcome::kNoOp;
+    report.reason = "vertex already isolated";
+    resp.noops = 1;
+  }
+  metrics_.RecordWrite(1, resp.applied, resp.noops, 0);
+  return out;
 }
 
-Status SpcService::WaitForSnapshot(WriteToken token) const {
+Status SpcService::WaitForSnapshotUntil(
+    WriteToken token, bool timed,
+    std::chrono::steady_clock::time_point deadline) const {
   if (!engine_.options().snapshot.enabled) {
+    metrics_.RecordRejected(Status::Code::kNotSupported);
     return Status::NotSupported(
         "snapshots are disabled on this service (SnapshotOptions::enabled)");
   }
   if (token.generation > engine_.Generation()) {
+    metrics_.RecordRejected(Status::Code::kInvalidArgument);
     return Status::InvalidArgument(
         "token generation " + std::to_string(token.generation) +
         " exceeds the current generation — not issued by this service");
   }
-  const auto pin = engine_.AwaitSnapshotAtLeast(token.generation);
+  const auto pin = timed
+                       ? engine_.AwaitSnapshotAtLeast(token.generation,
+                                                      deadline)
+                       : engine_.AwaitSnapshotAtLeast(token.generation);
   if (!pin || pin.generation < token.generation) {
+    if (timed) {
+      metrics_.RecordWaitDeadlineMiss();
+      return Status::DeadlineExceeded(
+          "published snapshot did not reach generation " +
+          std::to_string(token.generation) + " before the deadline");
+    }
     return Status::Unavailable(
         "snapshot manager stopped before reaching generation " +
         std::to_string(token.generation));
   }
   return Status::OK();
+}
+
+Status SpcService::WaitForSnapshot(WriteToken token) const {
+  return WaitForSnapshotUntil(token, /*timed=*/false, {});
+}
+
+Status SpcService::WaitForSnapshot(WriteToken token,
+                                   std::chrono::nanoseconds timeout) const {
+  if (timeout < std::chrono::nanoseconds::zero()) {
+    return WaitForSnapshotUntil(token, /*timed=*/false, {});
+  }
+  return WaitForSnapshotUntil(token, /*timed=*/true, DeadlineFor(timeout));
 }
 
 }  // namespace dspc

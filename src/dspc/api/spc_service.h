@@ -36,10 +36,25 @@
 //               snapshot older than the token and escalates per the
 //               consistency mode. WaitForSnapshot(token) is the explicit
 //               barrier for callers that want the *snapshot* to catch up.
+//   deadlines   Every read (and WaitForSnapshot) takes an optional
+//               timeout. The only edges of the serving surface that can
+//               block — a live-index read waiting out a writer, and the
+//               snapshot barrier — honor it with timed acquisition and
+//               return kDeadlineExceeded instead of blocking past it
+//               (DESIGN.md §10). Snapshot-served reads never block and
+//               never miss a deadline.
+//   reports     Batch writes return one WriteReport per input update —
+//               applied (with that update's own stats and generation),
+//               no-op, or rejected with a reason — so a caller can tell
+//               exactly which updates changed the index instead of
+//               receiving one folded stats blob.
 //
 // Every response is generation-tagged and says where it was served from
 // (snapshot vs live index) and how stale that source was at admission —
-// the observability hooks a serving fleet aggregates.
+// and the service aggregates the same signals fleet-wide in a
+// ServiceMetrics instance (Metrics(): per-mode query counts, served-from
+// distribution, staleness histogram, deadline misses, batch sizes) so an
+// operator can check a freshness SLO without sampling responses.
 //
 // Thread-safety: all methods may be called from any number of threads
 // concurrently; reads never see a torn index (they serve immutable
@@ -48,10 +63,12 @@
 #ifndef DSPC_API_SPC_SERVICE_H_
 #define DSPC_API_SPC_SERVICE_H_
 
+#include <chrono>
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "dspc/api/service_metrics.h"
 #include "dspc/common/status.h"
 #include "dspc/common/types.h"
 #include "dspc/core/dynamic_spc.h"
@@ -78,6 +95,10 @@ enum class Consistency : unsigned char {
   kBoundedStaleness,  ///< snapshot while within max_lag, else live index
 };
 
+/// Sentinel for ReadOptions::timeout and WaitForSnapshot: no deadline —
+/// block as long as it takes (any negative duration means the same).
+inline constexpr std::chrono::nanoseconds kNoTimeout{-1};
+
 /// Per-read options. Aggregate-initializable:
 ///   service.Query(s, t, {.consistency = Consistency::kSnapshot});
 struct ReadOptions {
@@ -96,6 +117,20 @@ struct ReadOptions {
   /// Worker threads for batch reads (0 = hardware concurrency). Ignored
   /// by single queries.
   unsigned threads = 0;
+
+  /// Per-call deadline, as a timeout relative to admission. Bounds the
+  /// only blocking edge a read has: waiting for the live-index lock
+  /// behind an in-flight writer (kFresh always; kBoundedStaleness when
+  /// it escalates). A read that cannot acquire the lock by the deadline
+  /// returns kDeadlineExceeded instead of blocking; 0 degrades to a pure
+  /// try-lock (still serves when no writer holds the lock).
+  /// Snapshot-served reads never block, so the timeout never fails them.
+  /// A timed read also never performs snapshot maintenance: under
+  /// RefreshPolicy::kSync it takes the free pin instead of the
+  /// budget-charging acquire (whose inline rebuild waits unbounded on
+  /// the writer lock), leaving the rebuild to the next untimed read.
+  /// kNoTimeout (the default, or any negative value) = no deadline.
+  std::chrono::nanoseconds timeout = kNoTimeout;
 };
 
 /// Proof of a write's position in the update sequence. Pass
@@ -114,8 +149,11 @@ enum class ServedFrom : unsigned char {
 struct QueryResponse {
   SpcResult result;
 
-  /// Structural generation the answer reflects (at least; a live-served
-  /// answer may already include updates admitted after this read began).
+  /// Structural generation the answer reflects. Exact for both serving
+  /// paths: snapshot-served answers carry the pin's generation, and
+  /// live-served answers re-read the generation under the engine's
+  /// shared lock (so a write that completed while the read waited for
+  /// the lock is reflected in both the answer and this field).
   uint64_t generation = 0;
 
   /// Generations the serving source trailed the index at admission
@@ -134,10 +172,25 @@ struct BatchQueryResponse {
   ServedFrom served_from = ServedFrom::kLiveIndex;
 };
 
-/// One applied write (or batch of writes): the engine's per-update
-/// counters folded together, plus the token a later read can wait on.
+/// One admitted write call: per-update outcomes, the folded counters of
+/// everything that applied, and the token a later read can wait on.
 struct UpdateResponse {
+  /// Folded engine counters across the updates that applied.
   UpdateStats stats;
+
+  /// One report per input update, in input order: kApplied (with that
+  /// update's own stats and post-update generation), kNoOp, or kRejected
+  /// with a static reason. The admission contract: the number of
+  /// kApplied reports equals exactly the generation distance this call
+  /// advanced the index (absent concurrent writers).
+  std::vector<WriteReport> reports;
+
+  /// Outcome tallies over `reports` (applied + noops + rejected ==
+  /// reports.size()).
+  size_t applied = 0;
+  size_t noops = 0;
+  size_t rejected = 0;
+
   WriteToken token;
 };
 
@@ -158,15 +211,26 @@ class SpcService {
 
   // --- reads -------------------------------------------------------------
 
-  /// SPC query under the given read options. kInvalidArgument for
-  /// out-of-range vertex ids or a min_generation the index has not
-  /// reached; kUnavailable when kSnapshot cannot be served without
-  /// blocking.
+  /// SPC query under the given read options.
+  ///
+  /// Blocking: never blocks when snapshot-served; a live-served read may
+  /// wait for an in-flight writer, bounded by options.timeout when set.
+  /// Thread-safe against every other method. Error codes:
+  /// kInvalidArgument (out-of-range vertex id, or a min_generation the
+  /// index has not reached), kUnavailable (kSnapshot unservable without
+  /// blocking), kNotSupported (kSnapshot with snapshots disabled),
+  /// kDeadlineExceeded (live read missed options.timeout).
   StatusOr<QueryResponse> Query(Vertex s, Vertex t,
                                 const ReadOptions& options = {}) const;
 
   /// Batched SPC queries, all served from one source at one generation.
-  /// Validation covers every pair before any is evaluated.
+  /// Validation covers every pair before any is evaluated. Same
+  /// blocking/thread-safety/error contract as Query; parallel batches
+  /// fan out over the engine's shared QueryPool (options.threads caps
+  /// the parallelism; no per-batch thread spawns). A deadline-bounded
+  /// batch that falls back to the live index runs serially — it must
+  /// not queue behind another batch's pool region while holding the
+  /// engine's shared lock.
   StatusOr<BatchQueryResponse> QueryBatch(
       std::span<const VertexPair> pairs,
       const ReadOptions& options = {}) const;
@@ -174,22 +238,35 @@ class SpcService {
   // --- writes ------------------------------------------------------------
 
   /// Applies a batch of updates in order (exact inverse pairs cancel
-  /// first, as in DynamicSpcIndex::ApplyBatch). Every endpoint is
-  /// validated before any update is applied; edges referencing vertices
-  /// outside [0, NumVertices()) return kInvalidArgument. No-op updates
-  /// (inserting an existing edge, deleting a missing one) are legal and
-  /// simply do not advance the returned token beyond concurrent writes.
+  /// first, as in DynamicSpcIndex::ApplyBatch) and reports every
+  /// update's individual outcome: the response carries one WriteReport
+  /// per input update. Admission is per update, not per batch — an edge
+  /// referencing a vertex outside [0, NumVertices()) gets a kRejected
+  /// report while the valid remainder still applies; no-op updates
+  /// (inserting an existing edge, deleting a missing one) get kNoOp and
+  /// do not advance the generation. The call itself only fails on
+  /// engine-level misuse, so check per-update outcomes, not just ok().
+  ///
+  /// Blocking: takes the writer lock per applied update; the batch is
+  /// not one atomic unit (readers may observe intermediate generations).
+  /// Thread-safe against every other method.
   StatusOr<UpdateResponse> ApplyUpdates(std::span<const Update> updates);
 
-  /// Single-edge conveniences over ApplyUpdates.
+  /// Single-edge conveniences over ApplyUpdates. Unlike the batch call,
+  /// an out-of-range endpoint fails the whole call with
+  /// kInvalidArgument (there is no partial batch to salvage). A legal
+  /// no-op returns OK with reports[0].outcome == kNoOp.
   StatusOr<UpdateResponse> InsertEdge(Vertex u, Vertex v);
   StatusOr<UpdateResponse> RemoveEdge(Vertex u, Vertex v);
 
   /// Adds an isolated vertex. Infallible (the id space simply grows).
+  /// Takes the writer lock; forces a full snapshot rebuild next refresh.
   AddVertexResponse AddVertex();
 
   /// Removes all edges incident to `v` (the paper's vertex deletion);
-  /// the id stays valid but isolated.
+  /// the id stays valid but isolated. kInvalidArgument for an
+  /// out-of-range id. Runs one writer-locked update per incident edge;
+  /// readers may observe intermediate generations.
   StatusOr<UpdateResponse> RemoveVertex(Vertex v);
 
   // --- freshness barriers -------------------------------------------------
@@ -200,13 +277,30 @@ class SpcService {
   /// not reached (never issued by this service).
   Status WaitForSnapshot(WriteToken token) const;
 
+  /// Deadline-bounded barrier: as above, but gives up after `timeout`
+  /// and returns kDeadlineExceeded if the snapshot has not caught up by
+  /// then (timeout 0 = instant freshness probe; negative = kNoTimeout =
+  /// block indefinitely). Under kSync/kManual an unexpired deadline
+  /// admits the caller to the inline rebuild it requested — the deadline
+  /// bounds waiting on others, not the caller's own build.
+  Status WaitForSnapshot(WriteToken token,
+                         std::chrono::nanoseconds timeout) const;
+
   // --- observability ------------------------------------------------------
 
-  /// Current structural generation of the engine.
+  /// Current structural generation of the engine. Lock-free.
   uint64_t Generation() const { return engine_.Generation(); }
 
-  /// Current vertex-id space [0, NumVertices()).
+  /// Current vertex-id space [0, NumVertices()). Lock-free.
   size_t NumVertices() const { return engine_.NumVertices(); }
+
+  /// Aggregated service counters since construction: per-mode query
+  /// counts, served-from distribution, staleness histogram, deadline
+  /// misses, rejections, batch sizes, per-update write outcomes — the
+  /// freshness-SLO surface (DESIGN.md §10). Monotone; diff two snapshots
+  /// for a rate window, ToString() for a text dump. Thread-safe and
+  /// cheap enough to scrape in a tight monitoring loop.
+  MetricsSnapshot Metrics() const { return metrics_.Snapshot(); }
 
   /// The underlying engine, for tooling that needs the raw surface
   /// (graph access, snapshot counters, benches). The engine's documented
@@ -234,7 +328,17 @@ class SpcService {
 
   Status ValidateVertex(Vertex v, const char* what) const;
 
+  /// Shared barrier body behind both WaitForSnapshot overloads
+  /// (`timed` = honor `deadline`).
+  Status WaitForSnapshotUntil(WriteToken token, bool timed,
+                              std::chrono::steady_clock::time_point deadline)
+      const;
+
   DynamicSpcIndex engine_;
+
+  /// Aggregate counters (Metrics()); mutable because recording a read is
+  /// not a logical mutation of the service.
+  mutable ServiceMetrics metrics_;
 };
 
 }  // namespace dspc

@@ -20,6 +20,8 @@ const char* CodeName(Status::Code code) {
       return "NotSupported";
     case Status::Code::kUnavailable:
       return "Unavailable";
+    case Status::Code::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

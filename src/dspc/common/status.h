@@ -29,6 +29,7 @@ class Status {
     kIOError = 4,
     kNotSupported = 5,
     kUnavailable = 6,
+    kDeadlineExceeded = 7,
   };
 
   /// Default-constructed Status is OK.
@@ -74,6 +75,13 @@ class Status {
   static Status Unavailable(std::string msg) {
     return Status(Code::kUnavailable, std::move(msg));
   }
+  /// The caller's deadline expired before the request could be served
+  /// without blocking past it (e.g. a kFresh read that could not take the
+  /// live-index lock in time, or a WaitForSnapshot whose snapshot did not
+  /// catch up). The request may well succeed with a larger timeout.
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -82,6 +90,9 @@ class Status {
   bool IsIOError() const { return code_ == Code::kIOError; }
   bool IsNotSupported() const { return code_ == Code::kNotSupported; }
   bool IsUnavailable() const { return code_ == Code::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code_ == Code::kDeadlineExceeded;
+  }
 
   Code code() const { return code_; }
   const std::string& message() const {

@@ -96,7 +96,7 @@ FlatSpcIndex::IndexDelta DynamicSpcIndex::CopyDeltaForSnapshot(
   // Delta copy-on-read: the shared lock excludes writers only for the
   // O(entries in dirty shards) label copies; the expensive packing runs
   // on the caller's thread with no lock held.
-  std::shared_lock<std::shared_mutex> lock(index_mu_);
+  std::shared_lock<std::shared_timed_mutex> lock(index_mu_);
   FlatSpcIndex::IndexDelta delta;
   delta.generation = Generation();
   delta.layout_stamp = layout_stamp_;
@@ -121,7 +121,7 @@ FlatSpcIndex::IndexDelta DynamicSpcIndex::CopyDeltaForSnapshot(
 
 UpdateStats DynamicSpcIndex::InsertEdge(Vertex a, Vertex b) {
   WriterScope writer(&active_writers_);
-  std::unique_lock<std::shared_mutex> lock(index_mu_);
+  std::unique_lock<std::shared_timed_mutex> lock(index_mu_);
   const UpdateStats stats = inc_.InsertEdge(a, b);
   if (stats.applied) {
     ++updates_since_build_;
@@ -136,7 +136,7 @@ UpdateStats DynamicSpcIndex::InsertEdge(Vertex a, Vertex b) {
 
 UpdateStats DynamicSpcIndex::RemoveEdge(Vertex a, Vertex b) {
   WriterScope writer(&active_writers_);
-  std::unique_lock<std::shared_mutex> lock(index_mu_);
+  std::unique_lock<std::shared_timed_mutex> lock(index_mu_);
   const UpdateStats stats = dec_.RemoveEdge(a, b);
   if (stats.applied) {
     ++updates_since_build_;
@@ -151,7 +151,7 @@ UpdateStats DynamicSpcIndex::RemoveEdge(Vertex a, Vertex b) {
 
 Vertex DynamicSpcIndex::AddVertex() {
   WriterScope writer(&active_writers_);
-  std::unique_lock<std::shared_mutex> lock(index_mu_);
+  std::unique_lock<std::shared_timed_mutex> lock(index_mu_);
   graph_.AddVertex();
   const Vertex v = index_.AddVertex();
   inc_.Resize();
@@ -171,7 +171,7 @@ UpdateStats DynamicSpcIndex::RemoveVertex(Vertex v) {
   // mutates it (and takes the write lock itself, so don't hold it here).
   std::vector<Vertex> nbrs;
   {
-    std::shared_lock<std::shared_mutex> lock(index_mu_);
+    std::shared_lock<std::shared_timed_mutex> lock(index_mu_);
     if (!graph_.IsValidVertex(v)) return total;
     nbrs = graph_.Neighbors(v);
   }
@@ -188,7 +188,8 @@ UpdateStats DynamicSpcIndex::Apply(const Update& update) {
   return RemoveEdge(update.edge.u, update.edge.v);
 }
 
-UpdateStats DynamicSpcIndex::ApplyBatch(std::span<const Update> updates) {
+UpdateStats DynamicSpcIndex::ApplyBatch(std::span<const Update> updates,
+                                        std::vector<WriteReport>* reports) {
   // Cancel exact inverse pairs: an insert later undone by a delete of the
   // same edge (or vice versa) never needs to touch the index. Matching is
   // last-in-first-out per edge so interleavings like I-D-I keep one
@@ -213,10 +214,37 @@ UpdateStats DynamicSpcIndex::ApplyBatch(std::span<const Update> updates) {
     }
   }
 
+  if (reports != nullptr) {
+    reports->clear();
+    reports->resize(updates.size());
+  }
   UpdateStats total;
   for (size_t i = 0; i < updates.size(); ++i) {
-    if (cancelled[i]) continue;
-    total.Accumulate(Apply(updates[i]));
+    if (cancelled[i]) {
+      if (reports != nullptr) {
+        (*reports)[i].outcome = WriteReport::Outcome::kNoOp;
+        (*reports)[i].reason = "cancelled against an exact inverse in the batch";
+      }
+      continue;
+    }
+    const UpdateStats stats = Apply(updates[i]);
+    total.Accumulate(stats);
+    if (reports != nullptr) {
+      WriteReport& report = (*reports)[i];
+      if (stats.applied) {
+        report.outcome = WriteReport::Outcome::kApplied;
+        report.reason = "applied";
+        report.stats = stats;
+        // Post-update generation: the read-your-writes floor for exactly
+        // this update (a policy rebuild it triggered is folded in).
+        report.generation = Generation();
+      } else {
+        report.outcome = WriteReport::Outcome::kNoOp;
+        report.reason = updates[i].kind == Update::Kind::kInsert
+                            ? "edge already present"
+                            : "edge not present";
+      }
+    }
   }
   return total;
 }
@@ -226,12 +254,33 @@ SnapshotManager::Pinned DynamicSpcIndex::AwaitSnapshotAtLeast(
   return snapshots_->AwaitGeneration(generation);
 }
 
-SpcResult DynamicSpcIndex::QueryLive(Vertex s, Vertex t) const {
-  std::shared_lock<std::shared_mutex> lock(index_mu_);
+SnapshotManager::Pinned DynamicSpcIndex::AwaitSnapshotAtLeast(
+    uint64_t generation, std::chrono::steady_clock::time_point deadline) const {
+  return snapshots_->AwaitGeneration(generation, deadline);
+}
+
+SpcResult DynamicSpcIndex::QueryLive(Vertex s, Vertex t,
+                                     uint64_t* generation) const {
+  std::shared_lock<std::shared_timed_mutex> lock(index_mu_);
+  if (generation != nullptr) *generation = Generation();
   if (!graph_.IsValidVertex(s) || !graph_.IsValidVertex(t)) {
     return {kInfDistance, 0};  // out-of-range ids are simply disconnected
   }
   return index_.Query(s, t);
+}
+
+bool DynamicSpcIndex::QueryLiveBefore(
+    Vertex s, Vertex t, std::chrono::steady_clock::time_point deadline,
+    SpcResult* out, uint64_t* generation) const {
+  // try_lock_until with a past deadline degrades to a plain try-lock, so
+  // an expired deadline still serves when no writer holds the lock.
+  std::shared_lock<std::shared_timed_mutex> lock(index_mu_, std::defer_lock);
+  if (!lock.try_lock_until(deadline)) return false;
+  if (generation != nullptr) *generation = Generation();
+  *out = graph_.IsValidVertex(s) && graph_.IsValidVertex(t)
+             ? index_.Query(s, t)
+             : SpcResult{kInfDistance, 0};
+  return true;
 }
 
 SpcResult DynamicSpcIndex::Query(Vertex s, Vertex t) const {
@@ -246,44 +295,73 @@ SpcResult DynamicSpcIndex::Query(Vertex s, Vertex t) const {
   return QueryLive(s, t);
 }
 
-ThreadPool* DynamicSpcIndex::LiveQueryPool() const {
+ThreadPool* DynamicSpcIndex::QueryPool() const {
   // Sized like the rebuild pool (hardware concurrency capped at 8): the
   // workers park on the facade for its whole lifetime once spawned, so
-  // the cap bounds what one fallback batch costs a big machine forever.
+  // the cap bounds what one parallel batch costs a big machine forever.
   std::call_once(live_pool_once_, [this] {
     live_pool_ = std::make_unique<ThreadPool>(ResolveRebuildThreads(0));
   });
   return live_pool_.get();
 }
 
-std::vector<SpcResult> DynamicSpcIndex::BatchQueryLive(
-    std::span<const std::pair<Vertex, Vertex>> pairs,
-    unsigned threads) const {
-  std::vector<SpcResult> results(pairs.size());
-  // Hold the read lock across the whole batch so every answer reflects
-  // one consistent generation.
-  std::shared_lock<std::shared_mutex> lock(index_mu_);
+ThreadPool* DynamicSpcIndex::PoolForBatch(size_t pairs,
+                                          unsigned threads) const {
+  // The go-parallel decision is QueryManyParallel's own predicate, asked
+  // directly — duplicating it here would let the two drift and silently
+  // reintroduce per-batch pool spawns.
+  if (FlatSpcIndex::PlannedParallelism(pairs, threads) <= 1) return nullptr;
+  return QueryPool();
+}
+
+/// Locked body of the live batch drivers; the caller holds the shared
+/// lock so every answer reflects one consistent generation.
+void DynamicSpcIndex::BatchQueryLiveLocked(
+    std::span<const std::pair<Vertex, Vertex>> pairs, unsigned threads,
+    std::vector<SpcResult>* results) const {
+  results->resize(pairs.size());
   const auto query_one = [&](size_t i) {
     const auto [s, t] = pairs[i];
-    results[i] = graph_.IsValidVertex(s) && graph_.IsValidVertex(t)
-                     ? index_.Query(s, t)
-                     : SpcResult{kInfDistance, 0};
+    (*results)[i] = graph_.IsValidVertex(s) && graph_.IsValidVertex(t)
+                        ? index_.Query(s, t)
+                        : SpcResult{kInfDistance, 0};
   };
   if (threads == 0) threads = std::thread::hardware_concurrency();
   if (threads <= 1 || pairs.size() < 64) {
     for (size_t i = 0; i < pairs.size(); ++i) query_one(i);
-    return results;
+    return;
   }
   // Strided chunks over the shared pool (one fork-join region; the pool
   // serializes concurrent regions internally). Capping the chunk count at
   // `threads` honors the caller's parallelism bound even though the pool
   // itself is sized once.
-  ThreadPool* pool = LiveQueryPool();
+  ThreadPool* pool = QueryPool();
   const unsigned chunks = std::min(threads, pool->size());
   pool->ParallelFor(chunks, [&](size_t w) {
     for (size_t i = w; i < pairs.size(); i += chunks) query_one(i);
   });
+}
+
+std::vector<SpcResult> DynamicSpcIndex::BatchQueryLive(
+    std::span<const std::pair<Vertex, Vertex>> pairs, unsigned threads,
+    uint64_t* generation) const {
+  std::vector<SpcResult> results;
+  std::shared_lock<std::shared_timed_mutex> lock(index_mu_);
+  if (generation != nullptr) *generation = Generation();
+  BatchQueryLiveLocked(pairs, threads, &results);
   return results;
+}
+
+bool DynamicSpcIndex::BatchQueryLiveBefore(
+    std::span<const std::pair<Vertex, Vertex>> pairs, unsigned threads,
+    std::chrono::steady_clock::time_point deadline,
+    std::vector<SpcResult>* out, uint64_t* generation) const {
+  (void)threads;  // see header: timed batches deliberately run serially
+  std::shared_lock<std::shared_timed_mutex> lock(index_mu_, std::defer_lock);
+  if (!lock.try_lock_until(deadline)) return false;
+  if (generation != nullptr) *generation = Generation();
+  BatchQueryLiveLocked(pairs, /*threads=*/1, out);
+  return true;
 }
 
 std::vector<SpcResult> DynamicSpcIndex::BatchQuery(
@@ -298,7 +376,8 @@ std::vector<SpcResult> DynamicSpcIndex::BatchQuery(
         });
     if (covers_all) {
       YieldForMaintenance(generation, pin.generation);
-      return pin->QueryManyParallel(pairs, threads);
+      return pin->QueryManyParallel(pairs, threads,
+                                    PoolForBatch(pairs.size(), threads));
     }
   }
   return BatchQueryLive(pairs, threads);
@@ -318,7 +397,7 @@ SnapshotManager::Pinned DynamicSpcIndex::WaitForFreshSnapshot() const {
 
 void DynamicSpcIndex::Rebuild() {
   WriterScope writer(&active_writers_);
-  std::unique_lock<std::shared_mutex> lock(index_mu_);
+  std::unique_lock<std::shared_timed_mutex> lock(index_mu_);
   RebuildLocked();
 }
 

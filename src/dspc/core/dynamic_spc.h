@@ -34,6 +34,7 @@
 #define DSPC_CORE_DYNAMIC_SPC_H_
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
@@ -167,20 +168,30 @@ class DynamicSpcIndex {
   SpcResult Query(Vertex s, Vertex t) const;
 
   /// Inserts edge (a, b) and maintains the index with IncSPC.
+  ///
+  /// Blocking: takes the writer (exclusive) lock — waits for in-flight
+  /// updates and live-served reads. Thread-safe against all other
+  /// methods. Inserting an existing edge is a no-op (stats.applied is
+  /// false, generation unchanged). Endpoints must be in range; the
+  /// service layer enforces this, raw callers own it.
   UpdateStats InsertEdge(Vertex a, Vertex b);
 
   /// Deletes edge (a, b) and maintains the index with DecSPC.
+  /// Same blocking/thread-safety/no-op contract as InsertEdge.
   UpdateStats RemoveEdge(Vertex a, Vertex b);
 
   /// Adds an isolated vertex (lowest rank, self label only); returns its
-  /// id.
+  /// id. Takes the writer lock; forces a full snapshot rebuild next
+  /// refresh (the shard layout derives from the vertex count).
   Vertex AddVertex();
 
   /// Deletes vertex v by removing all incident edges through DecSPC
-  /// (paper Section 3); the id remains valid but isolated.
+  /// (paper Section 3); the id remains valid but isolated. Runs one
+  /// writer-locked decremental update per incident edge — readers may
+  /// observe intermediate generations. No-op for out-of-range v.
   UpdateStats RemoveVertex(Vertex v);
 
-  /// Applies one Update (insert or delete).
+  /// Applies one Update (insert or delete); see InsertEdge/RemoveEdge.
   UpdateStats Apply(const struct Update& update);
 
   /// Applies a batch of updates in order, folding the per-update counters
@@ -188,12 +199,23 @@ class DynamicSpcIndex {
   /// insertion followed by the deletion of the same edge, or vice versa)
   /// are cancelled out first — the cheap batch optimization available
   /// without the BatchHL-style machinery the paper cites as related work.
-  UpdateStats ApplyBatch(std::span<const struct Update> updates);
+  ///
+  /// When `reports` is non-null it is resized to updates.size() and
+  /// reports[i] records update i's individual outcome: kApplied with its
+  /// own UpdateStats and the structural generation that update advanced
+  /// the index to, or kNoOp with a static reason (already-present /
+  /// missing edge, or cancelled against an exact inverse in the batch).
+  /// The engine never emits kRejected — admission rejection is the
+  /// service layer's job (SpcService::ApplyUpdates). Each update takes
+  /// the writer lock individually; the batch is not one atomic unit.
+  UpdateStats ApplyBatch(std::span<const struct Update> updates,
+                         std::vector<WriteReport>* reports = nullptr);
 
   /// Evaluates many queries, using up to `threads` worker threads. With
   /// the flat snapshot enabled, a batch counts as pairs.size() stale
   /// queries against the rebuild budget and runs
-  /// FlatSpcIndex::QueryManyParallel over the acquired snapshot; batches
+  /// FlatSpcIndex::QueryManyParallel over the acquired snapshot (fanned
+  /// out on the shared QueryPool — no per-batch thread spawns); batches
   /// that should ride the mutable index go through BatchQueryLive. Pairs
   /// with out-of-range ids answer {kInfDistance, 0}.
   std::vector<SpcResult> BatchQuery(
@@ -205,16 +227,47 @@ class DynamicSpcIndex {
 
   /// Serves one query from the mutable index under the shared lock —
   /// always current, may briefly wait for an in-flight update.
-  /// Out-of-range ids answer {kInfDistance, 0}.
-  SpcResult QueryLive(Vertex s, Vertex t) const;
+  /// Out-of-range ids answer {kInfDistance, 0}. When `generation` is
+  /// non-null it receives the structural generation read UNDER the lock
+  /// — the exact state the answer reflects (writers bump the generation
+  /// while holding the lock exclusively, so an admission-time read can
+  /// understate what a lock wait later served).
+  SpcResult QueryLive(Vertex s, Vertex t,
+                      uint64_t* generation = nullptr) const;
+
+  /// Deadline-bounded QueryLive: tries to take the shared lock until
+  /// `deadline` and gives up instead of blocking past it. Returns true
+  /// with *out filled on success, false when the lock could not be
+  /// acquired in time (an already-expired deadline degrades to a pure
+  /// try-lock: it still serves when the lock is free). The primitive
+  /// behind ReadOptions::timeout on kFresh reads (DESIGN.md §10).
+  /// `generation` as in QueryLive.
+  bool QueryLiveBefore(Vertex s, Vertex t,
+                       std::chrono::steady_clock::time_point deadline,
+                       SpcResult* out, uint64_t* generation = nullptr) const;
 
   /// Serves a batch from the mutable index under one shared lock (all
-  /// answers reflect one generation), parallelized over the facade's
+  /// answers reflect one generation — written to `generation` when
+  /// non-null, as in QueryLive), parallelized over the facade's
   /// lazily-spawned common/ThreadPool instead of ad-hoc threads.
   /// threads = 0 picks hardware concurrency; small batches run inline.
   std::vector<SpcResult> BatchQueryLive(
-      std::span<const std::pair<Vertex, Vertex>> pairs,
-      unsigned threads = 0) const;
+      std::span<const std::pair<Vertex, Vertex>> pairs, unsigned threads = 0,
+      uint64_t* generation = nullptr) const;
+
+  /// Deadline-bounded BatchQueryLive: acquires the shared lock with a
+  /// timed try-lock like QueryLiveBefore; false on timeout (*out is left
+  /// untouched). The deadline bounds the lock wait only — an admitted
+  /// batch runs to completion, and it runs SERIALLY on the calling
+  /// thread: the shared QueryPool serializes fork-join regions, so a
+  /// timed batch must not queue behind another batch's region for an
+  /// unbounded stretch while holding the shared lock (which would both
+  /// void the deadline and stall writers).
+  bool BatchQueryLiveBefore(std::span<const std::pair<Vertex, Vertex>> pairs,
+                            unsigned threads,
+                            std::chrono::steady_clock::time_point deadline,
+                            std::vector<SpcResult>* out,
+                            uint64_t* generation = nullptr) const;
 
   /// The query-path snapshot acquisition: pins the published snapshot and
   /// charges `queries` observations against the staleness budget, which
@@ -231,6 +284,14 @@ class DynamicSpcIndex {
                                           size_t queries) const {
     if (!options_.snapshot.enabled) return {};
     return snapshots_->Acquire(current_generation, queries);
+  }
+
+  /// Charges the staleness budget without any rebuild risk (see
+  /// SnapshotManager::ChargeOnly) — the deadline-bounded read path under
+  /// kSync, which must not pay for maintenance but must keep rebuilds
+  /// due. No-op with snapshots disabled.
+  void ChargeSnapshotBudget(size_t queries) const {
+    if (options_.snapshot.enabled) snapshots_->ChargeOnly(queries);
   }
 
   /// Bounded-staleness/writer-priority pacing for snapshot-served reads
@@ -266,6 +327,15 @@ class DynamicSpcIndex {
   /// SpcService::WaitForSnapshot). The caller must guarantee the mutable
   /// index has reached `generation`.
   SnapshotManager::Pinned AwaitSnapshotAtLeast(uint64_t generation) const;
+
+  /// Deadline-bounded AwaitSnapshotAtLeast: stops waiting at `deadline`
+  /// and returns whatever is published then — the caller detects a
+  /// timeout by pin.generation < generation (or an empty pin). See
+  /// SnapshotManager::AwaitGeneration(deadline) for the per-policy
+  /// semantics of the bound.
+  SnapshotManager::Pinned AwaitSnapshotAtLeast(
+      uint64_t generation,
+      std::chrono::steady_clock::time_point deadline) const;
 
   /// Current vertex-id space [0, NumVertices()), readable lock-free (the
   /// admission check of the service layer). Grows under AddVertex; never
@@ -316,7 +386,9 @@ class DynamicSpcIndex {
 
   /// Rebuilds the index from scratch with HP-SPC under a fresh ordering —
   /// the paper's reconstruction baseline, also used by the lazy rebuild
-  /// policy.
+  /// policy. Takes the writer lock for the whole build (live reads wait;
+  /// snapshot reads keep serving the old snapshot) and forces a full
+  /// snapshot rebuild next refresh.
   void Rebuild();
 
   /// Number of updates applied since the last (re)build.
@@ -325,9 +397,34 @@ class DynamicSpcIndex {
   /// Number of times the lazy rebuild policy fired.
   size_t PolicyRebuilds() const { return policy_rebuilds_; }
 
+  /// Freezes the mutable state by taking (and holding, for the guard's
+  /// lifetime) the writer lock: all writes and live-served reads block
+  /// until the guard is released; snapshot-served reads keep answering —
+  /// they never touch this lock. For tooling that needs the mutable
+  /// graph/index pair quiescent (consistent external backups, tests
+  /// proving the non-blocking read paths really don't block). Blocks
+  /// until in-flight writers and live reads drain.
+  std::unique_lock<std::shared_timed_mutex> FreezeWrites() const {
+    return std::unique_lock<std::shared_timed_mutex>(index_mu_);
+  }
+
+  /// The facade's lazily-spawned query worker pool, shared by
+  /// BatchQueryLive and the snapshot batch drivers (no serving batch ever
+  /// spawns ad-hoc threads). Created on first call, so purely serial
+  /// workloads never park worker threads; sized like the rebuild pool
+  /// (hardware concurrency capped at 8). Never null.
+  ThreadPool* QueryPool() const;
+
+  /// Resolves the pool a snapshot batch of `pairs` queries should fan
+  /// out over: QueryPool() when the batch is big enough to actually go
+  /// parallel under `threads`, nullptr (serial — no pool spawn)
+  /// otherwise. Pass the result to FlatSpcIndex::QueryManyParallel.
+  ThreadPool* PoolForBatch(size_t pairs, unsigned threads) const;
+
   /// The owned graph / mutable index. Not synchronized: callers reading
   /// these concurrently with updates must provide their own exclusion
-  /// (single-threaded tests and benches use them freely).
+  /// (single-threaded tests and benches use them freely, or hold
+  /// FreezeWrites()).
   const Graph& graph() const { return graph_; }
   const SpcIndex& index() const { return index_; }
 
@@ -377,11 +474,11 @@ class DynamicSpcIndex {
     return pin && s < pin->NumVertices() && t < pin->NumVertices();
   }
 
-  /// The lazily-spawned pool behind BatchQueryLive (ROADMAP: reuse
-  /// common/ThreadPool instead of per-batch thread spawns). Created on the
-  /// first parallel live batch so purely snapshot-served facades never
-  /// park worker threads.
-  ThreadPool* LiveQueryPool() const;
+  /// Shared body of BatchQueryLive/BatchQueryLiveBefore; the caller holds
+  /// index_mu_ shared.
+  void BatchQueryLiveLocked(std::span<const std::pair<Vertex, Vertex>> pairs,
+                            unsigned threads,
+                            std::vector<SpcResult>* results) const;
 
   Graph graph_;
   SpcIndex index_;
@@ -404,8 +501,10 @@ class DynamicSpcIndex {
   std::vector<uint64_t> shard_dirty_gen_;
 
   /// Guards graph_/index_ (and the counters above): updates exclusive,
-  /// snapshot copies and mutable-index queries shared.
-  mutable std::shared_mutex index_mu_;
+  /// snapshot copies and mutable-index queries shared. Timed so the
+  /// deadline-bounded live reads (QueryLiveBefore) can give up instead
+  /// of blocking behind a writer.
+  mutable std::shared_timed_mutex index_mu_;
 
   /// Structural generation, read lock-free by query paths. Written only
   /// under exclusive index_mu_.
@@ -415,8 +514,7 @@ class DynamicSpcIndex {
   /// Written only under exclusive index_mu_ (constructor, AddVertex).
   std::atomic<size_t> num_vertices_{0};
 
-  /// BatchQueryLive's worker pool, spawned on first use (see
-  /// LiveQueryPool).
+  /// The query worker pool, spawned on first use (see QueryPool).
   mutable std::once_flag live_pool_once_;
   mutable std::unique_ptr<ThreadPool> live_pool_;
 

@@ -467,42 +467,54 @@ std::vector<SpcResult> FlatSpcIndex::QueryMany(
   return results;
 }
 
-void FlatSpcIndex::QueryManyParallel(std::span<const VertexPair> pairs,
-                                     SpcResult* out, unsigned threads) const {
+unsigned FlatSpcIndex::PlannedParallelism(size_t pairs, unsigned threads) {
   if (threads == 0) threads = std::thread::hardware_concurrency();
   threads = std::min(threads, kMaxQueryThreads);
   // Coarse contiguous chunks — pairs/threads each, never smaller than
-  // kMinPairsPerThread — so per-thread spawn cost amortizes and each
+  // kMinPairsPerThread — so parallelism overhead amortizes and each
   // worker's arena touches stay local; finer granularity loses to the
   // single-thread batched loop.
-  const size_t max_useful = pairs.size() / kMinPairsPerThread;
-  threads = static_cast<unsigned>(
+  const size_t max_useful = pairs / kMinPairsPerThread;
+  return static_cast<unsigned>(
       std::max<size_t>(1, std::min<size_t>(threads, max_useful)));
+}
+
+void FlatSpcIndex::QueryManyParallel(std::span<const VertexPair> pairs,
+                                     SpcResult* out, unsigned threads,
+                                     ThreadPool* pool) const {
+  threads = PlannedParallelism(pairs.size(), threads);
+  // A caller-provided pool caps the parallelism it can actually deliver;
+  // honoring the smaller bound keeps chunk sizes matched to real workers.
+  if (pool != nullptr) threads = std::min(threads, pool->size());
   if (threads <= 1) {
     QueryMany(pairs, out);
     return;
   }
   const size_t chunk = (pairs.size() + threads - 1) / threads;
-  std::vector<std::thread> workers;
-  workers.reserve(threads - 1);
-  for (unsigned w = 1; w < threads; ++w) {
+  const auto run_chunk = [this, pairs, chunk, out](size_t w) {
     const size_t begin = std::min(pairs.size(), w * chunk);
     const size_t end = std::min(pairs.size(), begin + chunk);
-    if (begin == end) break;
-    workers.emplace_back([this, pairs, begin, end, out] {
-      QueryMany(pairs.subspan(begin, end - begin), out + begin);
-    });
+    if (begin == end) return;
+    QueryMany(pairs.subspan(begin, end - begin), out + begin);
+  };
+  if (pool != nullptr) {
+    // The serving path: the facade's lazily-spawned pool is parked between
+    // batches, so a batch costs two notifications instead of thread
+    // creation. The pool serializes concurrent regions internally.
+    pool->ParallelFor(threads, run_chunk);
+    return;
   }
-  // The caller owns chunk 0: one fewer spawn, and the calling thread is
-  // never idle while workers run.
-  QueryMany(pairs.subspan(0, std::min(chunk, pairs.size())), out);
-  for (std::thread& t : workers) t.join();
+  // Standalone snapshots (tools, benches) pay a one-call pool; the caller
+  // participates in the region, so `threads` is the total parallelism.
+  ThreadPool local(threads);
+  local.ParallelFor(threads, run_chunk);
 }
 
 std::vector<SpcResult> FlatSpcIndex::QueryManyParallel(
-    std::span<const VertexPair> pairs, unsigned threads) const {
+    std::span<const VertexPair> pairs, unsigned threads,
+    ThreadPool* pool) const {
   std::vector<SpcResult> results(pairs.size());
-  QueryManyParallel(pairs, results.data(), threads);
+  QueryManyParallel(pairs, results.data(), threads, pool);
   return results;
 }
 

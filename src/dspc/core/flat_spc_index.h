@@ -208,15 +208,20 @@ class FlatSpcIndex {
   std::vector<SpcResult> QueryMany(std::span<const VertexPair> pairs) const;
 
   /// Thread-parallel batch driver: splits `pairs` into contiguous chunks
-  /// of size pairs/threads (at least kMinPairsPerThread each, so spawn
-  /// cost amortizes), runs chunk 0 on the calling thread and the rest on
-  /// up to threads-1 std::thread workers (threads = 0 picks hardware
-  /// concurrency, capped). Safe because the snapshot is immutable. The
+  /// of size pairs/threads (at least kMinPairsPerThread each, so
+  /// parallelism overhead amortizes) and fans them out over a
+  /// common/ThreadPool — the caller's persistent `pool` when one is
+  /// passed (the serving path: DynamicSpcIndex/SpcService reuse their
+  /// lazily-spawned query pool so no serving batch ever spawns threads),
+  /// or a pool built for this one call when `pool` is null (standalone
+  /// snapshot use in tools and benches). threads = 0 picks hardware
+  /// concurrency, capped. Safe because the snapshot is immutable. The
   /// out-buffer overload performs no allocation on the query path.
   void QueryManyParallel(std::span<const VertexPair> pairs, SpcResult* out,
-                         unsigned threads = 0) const;
+                         unsigned threads = 0, ThreadPool* pool = nullptr) const;
   std::vector<SpcResult> QueryManyParallel(std::span<const VertexPair> pairs,
-                                           unsigned threads = 0) const;
+                                           unsigned threads = 0,
+                                           ThreadPool* pool = nullptr) const;
 
   /// Rebuilds a mutable SpcIndex equivalent to this snapshot.
   SpcIndex Unpack() const;
@@ -236,6 +241,15 @@ class FlatSpcIndex {
 
   /// Minimum pairs per worker before QueryManyParallel adds a thread.
   static constexpr size_t kMinPairsPerThread = 2048;
+
+  /// The parallelism QueryManyParallel will actually use for a batch of
+  /// `pairs` under a `threads` request, before any pool-size clamp:
+  /// resolves threads = 0 to hardware concurrency, applies the
+  /// kMaxQueryThreads cap and the kMinPairsPerThread floor. <= 1 means
+  /// the batch runs serially. DynamicSpcIndex::PoolForBatch asks this
+  /// same predicate, so the "should we spawn/fetch a pool" decision can
+  /// never drift from the driver's actual behavior.
+  static unsigned PlannedParallelism(size_t pairs, unsigned threads);
 
  private:
   /// One vertex-range arena, immutable once built and shared across

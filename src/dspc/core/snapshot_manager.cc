@@ -78,6 +78,11 @@ SnapshotManager::Pinned SnapshotManager::Acquire(uint64_t current_generation,
   return {};
 }
 
+void SnapshotManager::ChargeOnly(size_t queries) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  stale_queries_ += queries;
+}
+
 SnapshotManager::Pinned SnapshotManager::RefreshNow(
     uint64_t current_generation) {
   std::lock_guard<std::mutex> rebuild_lock(rebuild_mu_);
@@ -100,6 +105,28 @@ SnapshotManager::Pinned SnapshotManager::AwaitGeneration(uint64_t generation) {
     return stop_ ||
            published_generation_.load(std::memory_order_acquire) >= generation;
   });
+  return Pin();
+}
+
+SnapshotManager::Pinned SnapshotManager::AwaitGeneration(
+    uint64_t generation, std::chrono::steady_clock::time_point deadline) {
+  if (policy_ != RefreshPolicy::kBackground) {
+    // An expired deadline refuses up front; otherwise the caller pays the
+    // inline rebuild it asked for (see the header contract).
+    if (std::chrono::steady_clock::now() >= deadline &&
+        published_generation_.load(std::memory_order_acquire) < generation) {
+      return Pin();
+    }
+    return RefreshNow(generation);
+  }
+  RequestRebuild(generation);
+  std::unique_lock<std::mutex> lock(state_mu_);
+  publish_cv_.wait_until(lock, deadline, [&] {
+    return stop_ ||
+           published_generation_.load(std::memory_order_acquire) >= generation;
+  });
+  // Timed out, stopped, or satisfied: in every case the published pin is
+  // the answer; the caller reads its generation to tell which.
   return Pin();
 }
 

@@ -58,6 +58,7 @@
 #define DSPC_CORE_SNAPSHOT_MANAGER_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -132,6 +133,13 @@ class SnapshotManager {
   /// returns the current (possibly stale) snapshot immediately.
   Pinned Acquire(uint64_t current_generation, size_t queries);
 
+  /// Charges `queries` stale observations against the budget WITHOUT any
+  /// rebuild risk — never blocks, never builds. For callers that must
+  /// not perform maintenance (deadline-bounded reads under kSync) but
+  /// must keep the budget honest so the next Acquire that may rebuild
+  /// does so promptly.
+  void ChargeOnly(size_t queries);
+
   /// Synchronously builds and publishes a snapshot at least as fresh as
   /// `current_generation` (no-op if one is already published). Returns the
   /// published snapshot. Safe to race: concurrent refreshes build once.
@@ -144,6 +152,18 @@ class SnapshotManager {
   /// the mutable index has reached `generation` (the facade's
   /// WaitForFreshSnapshot passes its own current generation).
   Pinned AwaitGeneration(uint64_t generation);
+
+  /// Deadline-bounded AwaitGeneration: gives up waiting at `deadline` and
+  /// returns whatever is published then (possibly stale or empty — the
+  /// caller distinguishes a timeout by pin.generation < generation).
+  /// Under kBackground the wait is a timed cv wait on the worker's
+  /// publishes. Under kSync/kManual an already-expired deadline returns
+  /// the current pin without building; an unexpired one admits the caller
+  /// to the inline rebuild, which is the caller's own work and is not
+  /// interrupted mid-build (the deadline bounds waiting on others, not
+  /// the work the caller signed up to do).
+  Pinned AwaitGeneration(uint64_t generation,
+                         std::chrono::steady_clock::time_point deadline);
 
   /// Asks the background worker to publish a snapshot of generation >=
   /// `target_generation`. No-op if one is already published or requested.

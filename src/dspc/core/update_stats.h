@@ -1,11 +1,13 @@
 // Per-update instrumentation shared by IncSPC and DecSPC. The counters
 // feed Figures 8/9 (label-change accounting) and Table 5 (affected-set
-// sizes) directly.
+// sizes) directly. WriteReport is the per-update outcome record that
+// batch admission threads back to callers (DESIGN.md §10).
 
 #ifndef DSPC_CORE_UPDATE_STATS_H_
 #define DSPC_CORE_UPDATE_STATS_H_
 
 #include <cstddef>
+#include <cstdint>
 
 namespace dspc {
 
@@ -56,6 +58,36 @@ struct UpdateStats {
     used_isolated_vertex_opt |= other.used_isolated_vertex_opt;
     applied |= other.applied;
   }
+};
+
+/// The outcome of one update inside a batch — one entry per input update,
+/// in input order, so a caller of a 1000-update batch can tell which
+/// updates changed the index, which were legal no-ops, and which failed
+/// admission, instead of receiving one folded UpdateStats blob.
+struct WriteReport {
+  enum class Outcome : unsigned char {
+    kApplied,   ///< changed the graph/index; stats and generation are set
+    kNoOp,      ///< legal but changed nothing (e.g. inserting an existing
+                ///< edge); the index and generation are untouched
+    kRejected,  ///< failed admission (service layer: out-of-range vertex
+                ///< id); never reached the index
+  };
+
+  Outcome outcome = Outcome::kNoOp;
+
+  /// Static human-readable explanation; never null. "applied" for
+  /// kApplied, otherwise why the update did not change the index.
+  const char* reason = "";
+
+  /// Structural generation the index reached by applying this update
+  /// (read-your-writes floor for exactly this update). 0 unless
+  /// outcome == kApplied.
+  uint64_t generation = 0;
+
+  /// The engine's per-update counters. Zero unless outcome == kApplied.
+  UpdateStats stats;
+
+  bool applied() const { return outcome == Outcome::kApplied; }
 };
 
 }  // namespace dspc

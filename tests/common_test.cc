@@ -40,6 +40,10 @@ TEST(StatusTest, CodesAndMessages) {
   EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
   EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
   EXPECT_EQ(Status::Unavailable("busy").ToString(), "Unavailable: busy");
+  EXPECT_TRUE(Status::DeadlineExceeded("x").IsDeadlineExceeded());
+  EXPECT_FALSE(Status::DeadlineExceeded("x").ok());
+  EXPECT_EQ(Status::DeadlineExceeded("too slow").ToString(),
+            "DeadlineExceeded: too slow");
 }
 
 // --- StatusOr ---------------------------------------------------------------

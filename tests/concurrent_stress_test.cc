@@ -17,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "dspc/api/spc_service.h"
 #include "dspc/baseline/bfs_counting.h"
 #include "dspc/common/rng.h"
 #include "dspc/core/dynamic_spc.h"
@@ -231,6 +232,107 @@ TEST(ConcurrentStressTest, SyncInlineRebuildsStayConsistentUnderReaders) {
   options.snapshot.refresh = RefreshPolicy::kSync;
   options.snapshot.rebuild_after_queries = 4;
   RunConcurrentScript(script, options, 2);
+}
+
+// ServiceMetrics under concurrency: the per-thread counter shards must
+// not lose increments — after a multi-threaded serving run, Metrics()
+// totals must equal the sums of what every thread locally tallied.
+TEST(ConcurrentStressTest, MetricsCountEveryServedReadUnderChurn) {
+  const Script script = MakeScript(64, 97, 18, 9, 12);
+  DynamicSpcOptions options;
+  options.snapshot.refresh = RefreshPolicy::kBackground;
+  options.snapshot.rebuild_after_queries = 1;
+  SpcService service(script.start, options);
+
+  constexpr unsigned kReaders = 4;
+  constexpr int kItersPerReader = 60;
+  struct LocalTally {
+    uint64_t queries_by_mode[3] = {};
+    uint64_t served_calls = 0;
+    uint64_t batch_calls = 0;
+    uint64_t batch_queries = 0;
+    uint64_t unavailable = 0;
+  };
+  std::vector<LocalTally> tallies(kReaders);
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (unsigned r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      Rng rng(5000 + r);
+      LocalTally& tally = tallies[r];
+      const size_t n = script.start.NumVertices();
+      for (int i = 0; i < kItersPerReader; ++i) {
+        const auto s = static_cast<Vertex>(rng.NextBounded(n));
+        const auto t = static_cast<Vertex>(rng.NextBounded(n));
+        ReadOptions read;
+        const size_t mode = rng.NextBounded(3);
+        read.consistency = static_cast<Consistency>(mode);
+        read.max_lag = 1 + rng.NextBounded(8);
+        if (rng.NextBounded(4) == 0) {
+          // One batch call of 6 queries.
+          const std::vector<VertexPair> pairs(6, {s, t});
+          const auto resp = service.QueryBatch(pairs, read);
+          if (resp.ok()) {
+            tally.queries_by_mode[mode] += pairs.size();
+            tally.served_calls += 1;
+            tally.batch_calls += 1;
+            tally.batch_queries += pairs.size();
+          } else {
+            ASSERT_TRUE(resp.status().IsUnavailable());
+            tally.unavailable += 1;
+          }
+        } else {
+          const auto resp = service.Query(s, t, read);
+          if (resp.ok()) {
+            tally.queries_by_mode[mode] += 1;
+            tally.served_calls += 1;
+          } else {
+            // Only kSnapshot can refuse here (pre-publish or trailing).
+            ASSERT_TRUE(resp.status().IsUnavailable());
+            tally.unavailable += 1;
+          }
+        }
+      }
+    });
+  }
+
+  // Writer: scripted updates through the service, tallying outcomes.
+  uint64_t applied = 0;
+  for (const Update& u : script.updates) {
+    const auto resp = service.ApplyUpdates({&u, 1});
+    ASSERT_TRUE(resp.ok());
+    applied += resp->applied;
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  for (std::thread& t : readers) t.join();
+
+  LocalTally total;
+  for (const LocalTally& tally : tallies) {
+    for (int m = 0; m < 3; ++m) {
+      total.queries_by_mode[m] += tally.queries_by_mode[m];
+    }
+    total.served_calls += tally.served_calls;
+    total.batch_calls += tally.batch_calls;
+    total.batch_queries += tally.batch_queries;
+    total.unavailable += tally.unavailable;
+  }
+
+  const MetricsSnapshot m = service.Metrics();
+  for (size_t mode = 0; mode < 3; ++mode) {
+    EXPECT_EQ(m.queries_by_mode[mode], total.queries_by_mode[mode])
+        << "mode " << mode;
+  }
+  EXPECT_EQ(m.served_from_snapshot + m.served_from_live, m.TotalQueries());
+  EXPECT_EQ(m.StalenessSamples(), m.TotalQueries());
+  EXPECT_EQ(m.read_batches, total.batch_calls);
+  EXPECT_EQ(m.read_batch_queries, total.batch_queries);
+  EXPECT_EQ(m.rejected_unavailable, total.unavailable);
+  EXPECT_EQ(m.rejected_invalid_argument, 0u);
+  EXPECT_EQ(m.deadline_misses_read, 0u);
+  EXPECT_EQ(m.write_batches, script.updates.size());
+  EXPECT_EQ(m.updates_applied, applied);
+  EXPECT_EQ(m.updates_applied, script.updates.size());  // script all-applies
+  EXPECT_EQ(m.updates_rejected, 0u);
 }
 
 TEST(ConcurrentStressTest, RetirementCounterAdvancesUnderChurn) {

@@ -382,7 +382,20 @@ class ServiceTokenFuzz {
     if (kind == Kind::kInsert) {
       const Vertex u = RandomVertex();
       const Vertex v = RandomVertex();
-      if (u == v || service_->engine().graph().HasEdge(u, v)) return;
+      if (u == v) return;
+      if (service_->engine().graph().HasEdge(u, v)) {
+        // Duplicate insert: the WriteReport must say no-op and the
+        // generation (and therefore the token) must not advance.
+        const uint64_t before = service_->Generation();
+        const Update dup = Update::Insert(u, v);
+        const auto resp = service_->ApplyUpdates({&dup, 1});
+        ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+        ASSERT_EQ(resp->reports.size(), 1u);
+        ASSERT_EQ(resp->reports[0].outcome, WriteReport::Outcome::kNoOp);
+        ASSERT_EQ(resp->applied, 0u);
+        ASSERT_EQ(service_->Generation(), before);
+        return;
+      }
       update = Update::Insert(u, v);
     } else {
       const std::vector<Edge> edges = service_->engine().graph().Edges();
@@ -390,9 +403,16 @@ class ServiceTokenFuzz {
       const Edge e = edges[rng_.NextBounded(edges.size())];
       update = Update::Delete(e.u, e.v);
     }
+    const uint64_t before = service_->Generation();
     const auto resp = service_->ApplyUpdates({&update, 1});
     ASSERT_TRUE(resp.ok()) << resp.status().ToString();
     ASSERT_TRUE(resp->stats.applied);
+    // Report cross-check: exactly the applied count advanced the
+    // generation, and the report's own generation is the token's.
+    ASSERT_EQ(resp->applied, 1u);
+    ASSERT_EQ(resp->reports.size(), 1u);
+    ASSERT_EQ(resp->reports[0].generation, before + 1);
+    ASSERT_EQ(service_->Generation() - before, resp->applied);
     Record(resp->token);
     ReadProbes(update.kind == Kind::kInsert ? "after insert" : "after delete");
   }
@@ -412,6 +432,16 @@ class ServiceTokenFuzz {
     const auto resp = service_->ApplyUpdates(batch);
     ASSERT_TRUE(resp.ok()) << resp.status().ToString();
     ASSERT_EQ(resp->token.generation, before + batch.size());
+    // One report per input update; the applied count must equal the
+    // generation distance this batch moved the index.
+    ASSERT_EQ(resp->reports.size(), batch.size());
+    ASSERT_EQ(resp->applied, batch.size());
+    ASSERT_EQ(resp->rejected, 0u);
+    ASSERT_EQ(resp->token.generation - before, resp->applied);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      ASSERT_EQ(resp->reports[i].outcome, WriteReport::Outcome::kApplied);
+      ASSERT_EQ(resp->reports[i].generation, before + i + 1);
+    }
     for (size_t i = 0; i < batch.size(); ++i) {
       ASSERT_TRUE(replay.AddEdge(batch[i].edge.u, batch[i].edge.v));
       history_.emplace(before + i + 1, replay);

@@ -1,9 +1,12 @@
 // SpcService: admission validation, the consistency-mode lattice,
-// generation tokens (read-your-writes), and serving metadata
-// (DESIGN.md §9).
+// generation tokens (read-your-writes), serving metadata (DESIGN.md §9),
+// and the §10 operability surface — per-call deadlines, per-update
+// WriteReports, and ServiceMetrics.
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -40,13 +43,24 @@ TEST(SpcServiceTest, RejectsOutOfRangeVertices) {
   // The message names the offending pair.
   EXPECT_NE(batch.status().message().find("pair 1"), std::string::npos);
 
+  // Batch write admission is per update (DESIGN.md §10): the bad update
+  // is rejected individually, the valid one still applies.
   const Edge good = SampleNonEdges(service.engine().graph(), 1, 3).at(0);
   const std::vector<Update> updates = {Update::Insert(good.u, good.v),
                                        Update::Insert(n, 1)};
-  EXPECT_TRUE(service.ApplyUpdates(updates).status().IsInvalidArgument());
-  // Nothing was applied: validation covers the whole batch up front.
-  EXPECT_FALSE(service.engine().graph().HasEdge(good.u, good.v));
+  const auto write = service.ApplyUpdates(updates);
+  ASSERT_TRUE(write.ok());
+  ASSERT_EQ(write->reports.size(), 2u);
+  EXPECT_EQ(write->reports[0].outcome, WriteReport::Outcome::kApplied);
+  EXPECT_EQ(write->reports[1].outcome, WriteReport::Outcome::kRejected);
+  EXPECT_NE(std::string(write->reports[1].reason).find("outside"),
+            std::string::npos);
+  EXPECT_EQ(write->applied, 1u);
+  EXPECT_EQ(write->rejected, 1u);
+  EXPECT_TRUE(service.engine().graph().HasEdge(good.u, good.v));
 
+  // Single-edge conveniences keep the strict contract: a bad endpoint
+  // fails the whole call.
   EXPECT_TRUE(service.InsertEdge(0, n).status().IsInvalidArgument());
   EXPECT_TRUE(service.RemoveEdge(n, 0).status().IsInvalidArgument());
   EXPECT_TRUE(service.RemoveVertex(n).status().IsInvalidArgument());
@@ -278,6 +292,297 @@ TEST(SpcServiceTest, WaitForSnapshotNotSupportedWhenDisabled) {
   const auto resp = service.Query(0, 1);
   ASSERT_TRUE(resp.ok());
   EXPECT_EQ(resp->served_from, ServedFrom::kLiveIndex);
+}
+
+// --- deadlines (DESIGN.md §10) -----------------------------------------------
+
+TEST(SpcServiceTest, FreshReadDeadlineExceededUnderHeldWriterLock) {
+  // Snapshots off: every read must ride the live index, the one path
+  // that can block behind a writer.
+  DynamicSpcOptions options;
+  options.snapshot.enabled = false;
+  SpcService service(GenerateBarabasiAlbert(40, 2, 31), options);
+
+  ReadOptions timed;
+  timed.timeout = std::chrono::milliseconds(5);
+
+  // Lock free: the timed read serves normally.
+  ASSERT_TRUE(service.Query(0, 1, timed).ok());
+
+  {
+    // A held writer lock blocks every live read; the deadline must turn
+    // that into a prompt kDeadlineExceeded, not an indefinite wait.
+    const auto freeze = service.engine().FreezeWrites();
+    const auto start = std::chrono::steady_clock::now();
+    const auto resp = service.Query(0, 1, timed);
+    const auto waited = std::chrono::steady_clock::now() - start;
+    ASSERT_FALSE(resp.ok());
+    EXPECT_TRUE(resp.status().IsDeadlineExceeded())
+        << resp.status().ToString();
+    EXPECT_LT(waited, std::chrono::seconds(5)) << "read blocked past deadline";
+
+    // An already-expired deadline degrades to a pure try-lock: refused
+    // instantly while the writer holds the lock.
+    ReadOptions expired;
+    expired.timeout = std::chrono::nanoseconds(0);
+    EXPECT_TRUE(service.Query(0, 1, expired).status().IsDeadlineExceeded());
+
+    // Batch reads honor the same bound.
+    const std::vector<VertexPair> pairs = {{0, 1}, {2, 3}};
+    EXPECT_TRUE(
+        service.QueryBatch(pairs, timed).status().IsDeadlineExceeded());
+  }
+
+  // Lock released: the same reads serve again, including timeout 0 (the
+  // try-lock now succeeds).
+  ReadOptions expired;
+  expired.timeout = std::chrono::nanoseconds(0);
+  EXPECT_TRUE(service.Query(0, 1, expired).ok());
+  EXPECT_TRUE(service.Query(0, 1, timed).ok());
+
+  const MetricsSnapshot metrics = service.Metrics();
+  EXPECT_EQ(metrics.deadline_misses_read, 3u);
+}
+
+TEST(SpcServiceTest, TimedReadUnderSyncPolicySkipsInlineRebuild) {
+  // Regression: under kSync a budget-crossing read rebuilds the snapshot
+  // inline, and the snapshot copy waits *untimed* on the writer lock — a
+  // timed read must route around that edge (free pin + timed live read)
+  // or the deadline is silently void.
+  DynamicSpcOptions sync;
+  sync.snapshot.refresh = RefreshPolicy::kSync;
+  sync.snapshot.rebuild_after_queries = 1;  // every stale read crosses
+  SpcService service(GenerateBarabasiAlbert(40, 2, 59), sync);
+
+  const auto freeze = service.engine().FreezeWrites();
+  ReadOptions timed;
+  timed.timeout = std::chrono::milliseconds(5);
+  const auto start = std::chrono::steady_clock::now();
+  const auto resp = service.Query(0, 1, timed);  // nothing published yet
+  const auto waited = std::chrono::steady_clock::now() - start;
+  ASSERT_FALSE(resp.ok());
+  EXPECT_TRUE(resp.status().IsDeadlineExceeded()) << resp.status().ToString();
+  EXPECT_LT(waited, std::chrono::seconds(5)) << "blocked in inline rebuild";
+  // An untimed read still performs the inline rebuild (after release).
+}
+
+TEST(SpcServiceTest, SnapshotReadsIgnoreDeadlinesAndWriters) {
+  SpcService service(GenerateBarabasiAlbert(30, 2, 37), BackgroundOptions());
+  ASSERT_TRUE(service.WaitForSnapshot({service.Generation()}).ok());
+
+  // Even with the writer lock held and an expired deadline, snapshot
+  // serving never blocks and never misses.
+  const auto freeze = service.engine().FreezeWrites();
+  ReadOptions snap;
+  snap.consistency = Consistency::kSnapshot;
+  snap.timeout = std::chrono::nanoseconds(0);
+  const auto resp = service.Query(0, 1, snap);
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_EQ(resp->served_from, ServedFrom::kSnapshot);
+
+  // kFresh served from a *current* snapshot also never touches the lock.
+  ReadOptions fresh;
+  fresh.timeout = std::chrono::nanoseconds(0);
+  const auto fresh_resp = service.Query(0, 1, fresh);
+  ASSERT_TRUE(fresh_resp.ok()) << fresh_resp.status().ToString();
+  EXPECT_EQ(fresh_resp->served_from, ServedFrom::kSnapshot);
+  EXPECT_EQ(service.Metrics().deadline_misses_read, 0u);
+}
+
+TEST(SpcServiceTest, WaitForSnapshotHonorsTimeout) {
+  // kManual: nothing publishes on its own, so a zero-timeout barrier on
+  // a stale snapshot must refuse instead of building inline.
+  DynamicSpcOptions manual;
+  manual.snapshot.refresh = RefreshPolicy::kManual;
+  SpcService service(GenerateBarabasiAlbert(30, 2, 41), manual);
+  const Edge e = SampleNonEdges(service.engine().graph(), 1, 4).at(0);
+  const auto write = service.InsertEdge(e.u, e.v);
+  ASSERT_TRUE(write.ok());
+
+  EXPECT_TRUE(service
+                  .WaitForSnapshot(write->token, std::chrono::nanoseconds(0))
+                  .IsDeadlineExceeded());
+  // Untimed (and negative = kNoTimeout) barriers still build and succeed.
+  ASSERT_TRUE(service.WaitForSnapshot(write->token, kNoTimeout).ok());
+  // Now published: the instant probe succeeds too.
+  EXPECT_TRUE(service
+                  .WaitForSnapshot(write->token, std::chrono::nanoseconds(0))
+                  .ok());
+  EXPECT_EQ(service.Metrics().deadline_misses_wait, 1u);
+
+  // A huge finite timeout must saturate, not overflow into the past
+  // (which would refuse a barrier the caller wanted to wait out).
+  const Edge e2 = SampleNonEdges(service.engine().graph(), 1, 5).at(0);
+  const auto write2 = service.InsertEdge(e2.u, e2.v);
+  ASSERT_TRUE(write2.ok());
+  EXPECT_TRUE(service
+                  .WaitForSnapshot(write2->token,
+                                   std::chrono::nanoseconds::max())
+                  .ok());
+}
+
+TEST(SpcServiceTest, WaitForSnapshotTimesOutWhileWorkerIsStarved) {
+  SpcService service(GenerateBarabasiAlbert(30, 2, 43), BackgroundOptions(
+                                                            1000000));
+  ASSERT_TRUE(service.WaitForSnapshot({service.Generation()}).ok());
+  const Edge e = SampleNonEdges(service.engine().graph(), 1, 5).at(0);
+  const auto write = service.InsertEdge(e.u, e.v);
+  ASSERT_TRUE(write.ok());
+
+  {
+    // Freeze the mutable index: the background worker cannot copy a
+    // delta, so the snapshot deterministically cannot catch up to the
+    // token before the deadline.
+    const auto freeze = service.engine().FreezeWrites();
+    EXPECT_TRUE(service
+                    .WaitForSnapshot(write->token,
+                                     std::chrono::milliseconds(30))
+                    .IsDeadlineExceeded());
+  }
+  // Unfrozen, the same barrier completes.
+  EXPECT_TRUE(service.WaitForSnapshot(write->token).ok());
+}
+
+// --- per-update WriteReports (DESIGN.md §10) --------------------------------
+
+TEST(SpcServiceTest, ApplyUpdatesReportsEveryUpdate) {
+  SpcService service(GenerateBarabasiAlbert(40, 2, 47));
+  const Graph& g = service.engine().graph();
+  const std::vector<Edge> fresh = SampleNonEdges(g, 2, 6);
+  ASSERT_GE(fresh.size(), 2u);
+  const Edge existing = SampleEdges(g, 1, 7).at(0);
+  const auto n = static_cast<Vertex>(service.NumVertices());
+
+  const uint64_t before = service.Generation();
+  const std::vector<Update> batch = {
+      Update::Insert(fresh[0].u, fresh[0].v),  // applies
+      Update::Insert(existing.u, existing.v),  // no-op: already present
+      Update::Delete(fresh[1].u, fresh[1].v),  // cancelled by the insert
+      Update::Insert(fresh[1].u, fresh[1].v),  // cancels the delete (LIFO)
+      Update::Delete(fresh[1].u, fresh[1].v),  // no-op: not present
+      Update::Insert(n, 0),                    // rejected: out of range
+  };
+  const auto resp = service.ApplyUpdates(batch);
+  ASSERT_TRUE(resp.ok());
+  ASSERT_EQ(resp->reports.size(), batch.size());
+
+  using Outcome = WriteReport::Outcome;
+  EXPECT_EQ(resp->reports[0].outcome, Outcome::kApplied);
+  EXPECT_STREQ(resp->reports[0].reason, "applied");
+  EXPECT_TRUE(resp->reports[0].stats.applied);
+  EXPECT_EQ(resp->reports[0].generation, before + 1);
+
+  EXPECT_EQ(resp->reports[1].outcome, Outcome::kNoOp);
+  EXPECT_STREQ(resp->reports[1].reason, "edge already present");
+
+  EXPECT_EQ(resp->reports[2].outcome, Outcome::kNoOp);
+  EXPECT_EQ(resp->reports[3].outcome, Outcome::kNoOp);
+  EXPECT_STREQ(resp->reports[2].reason,
+               "cancelled against an exact inverse in the batch");
+
+  EXPECT_EQ(resp->reports[4].outcome, Outcome::kNoOp);
+  EXPECT_STREQ(resp->reports[4].reason, "edge not present");
+
+  EXPECT_EQ(resp->reports[5].outcome, Outcome::kRejected);
+
+  EXPECT_EQ(resp->applied, 1u);
+  EXPECT_EQ(resp->noops, 4u);
+  EXPECT_EQ(resp->rejected, 1u);
+
+  // The admission contract: applied reports == generation delta, and the
+  // token covers the last applied update.
+  EXPECT_EQ(service.Generation() - before, resp->applied);
+  EXPECT_EQ(resp->token.generation, service.Generation());
+  EXPECT_TRUE(service.engine().graph().HasEdge(fresh[0].u, fresh[0].v));
+  EXPECT_FALSE(service.engine().graph().HasEdge(fresh[1].u, fresh[1].v));
+
+  // Single-edge no-op: OK status, kNoOp report.
+  const auto dup = service.InsertEdge(existing.u, existing.v);
+  ASSERT_TRUE(dup.ok());
+  ASSERT_EQ(dup->reports.size(), 1u);
+  EXPECT_EQ(dup->reports[0].outcome, Outcome::kNoOp);
+  EXPECT_FALSE(dup->stats.applied);
+}
+
+// --- ServiceMetrics (DESIGN.md §10) -----------------------------------------
+
+TEST(SpcServiceTest, MetricsBucketHelpers) {
+  EXPECT_EQ(MetricsSnapshot::StalenessBucket(0), 0u);
+  EXPECT_EQ(MetricsSnapshot::StalenessBucket(1), 1u);
+  EXPECT_EQ(MetricsSnapshot::StalenessBucket(2), 2u);
+  EXPECT_EQ(MetricsSnapshot::StalenessBucket(4), 3u);
+  EXPECT_EQ(MetricsSnapshot::StalenessBucket(8), 4u);
+  EXPECT_EQ(MetricsSnapshot::StalenessBucket(16), 5u);
+  EXPECT_EQ(MetricsSnapshot::StalenessBucket(64), 6u);
+  EXPECT_EQ(MetricsSnapshot::StalenessBucket(65), 7u);
+  EXPECT_EQ(MetricsSnapshot::BatchBucket(1), 0u);
+  EXPECT_EQ(MetricsSnapshot::BatchBucket(4), 1u);
+  EXPECT_EQ(MetricsSnapshot::BatchBucket(16), 2u);
+  EXPECT_EQ(MetricsSnapshot::BatchBucket(5000), 7u);
+}
+
+TEST(SpcServiceTest, MetricsCountServingOutcomes) {
+  SpcService service(GenerateBarabasiAlbert(50, 2, 53), BackgroundOptions(8));
+  ASSERT_TRUE(service.WaitForSnapshot({service.Generation()}).ok());
+  const auto n = static_cast<Vertex>(service.NumVertices());
+
+  // 3 kFresh singles + one kFresh batch of 5.
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(service.Query(0, 1).ok());
+  const std::vector<VertexPair> pairs = {{0, 1}, {1, 2}, {2, 3}, {3, 4},
+                                         {4, 5}};
+  ASSERT_TRUE(service.QueryBatch(pairs).ok());
+
+  // 2 kSnapshot singles, 1 kBoundedStaleness single.
+  ReadOptions snap;
+  snap.consistency = Consistency::kSnapshot;
+  ASSERT_TRUE(service.Query(1, 2, snap).ok());
+  ASSERT_TRUE(service.Query(2, 3, snap).ok());
+  ReadOptions bounded;
+  bounded.consistency = Consistency::kBoundedStaleness;
+  bounded.max_lag = 100;
+  ASSERT_TRUE(service.Query(3, 4, bounded).ok());
+
+  // Rejections: one invalid id, one future min_generation, one
+  // kSnapshot-unavailable (future generations cannot be served).
+  EXPECT_FALSE(service.Query(n, 0).ok());
+  ReadOptions future;
+  future.min_generation = service.Generation() + 5;
+  EXPECT_FALSE(service.Query(0, 1, future).ok());
+
+  // Writes: one applied insert + its duplicate (no-op). An empty batch
+  // is admitted but not recorded (it served nothing).
+  const Edge e = SampleNonEdges(service.engine().graph(), 1, 8).at(0);
+  ASSERT_TRUE(service.InsertEdge(e.u, e.v).ok());
+  ASSERT_TRUE(service.InsertEdge(e.u, e.v).ok());  // no-op
+  ASSERT_TRUE(service.ApplyUpdates({}).ok());
+  ASSERT_TRUE(service.QueryBatch({}).ok());
+
+  const MetricsSnapshot m = service.Metrics();
+  EXPECT_EQ(m.queries_by_mode[static_cast<size_t>(Consistency::kFresh)], 8u);
+  EXPECT_EQ(m.queries_by_mode[static_cast<size_t>(Consistency::kSnapshot)],
+            2u);
+  EXPECT_EQ(
+      m.queries_by_mode[static_cast<size_t>(Consistency::kBoundedStaleness)],
+      1u);
+  EXPECT_EQ(m.TotalQueries(), 11u);
+  EXPECT_EQ(m.served_from_snapshot + m.served_from_live, m.TotalQueries());
+  // One staleness sample per served query — none may be lost.
+  EXPECT_EQ(m.StalenessSamples(), m.TotalQueries());
+  EXPECT_EQ(m.read_batches, 1u);
+  EXPECT_EQ(m.read_batch_queries, 5u);
+  EXPECT_EQ(m.read_batch_size_hist[MetricsSnapshot::BatchBucket(5)], 1u);
+  EXPECT_EQ(m.rejected_invalid_argument, 2u);
+  EXPECT_EQ(m.deadline_misses_read, 0u);
+  EXPECT_EQ(m.write_batches, 2u);
+  EXPECT_EQ(m.updates_applied, 1u);
+  EXPECT_EQ(m.updates_noop, 1u);
+  EXPECT_EQ(m.updates_rejected, 0u);
+
+  // The text dump carries the headline numbers.
+  const std::string dump = m.ToString();
+  EXPECT_NE(dump.find("SpcService metrics"), std::string::npos);
+  EXPECT_NE(dump.find("total=11"), std::string::npos);
+  EXPECT_NE(dump.find("invalid_argument=2"), std::string::npos);
 }
 
 TEST(SpcServiceTest, RemoveVertexIsolatesAndTokens) {

@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Docs smoke checker: keep README/docs honest.
+
+Two checks, both cheap enough for every CI run:
+
+1. Intra-repo markdown links resolve. Every `[text](target)` in the
+   checked files whose target is not an absolute URL must point at a
+   file (or directory) that exists, relative to the file containing
+   the link (fragments are stripped; pure-fragment links are skipped).
+
+2. Fenced ```cpp snippets compile. Each block is extracted and
+   compiled with `-fsyntax-only` against the real headers, so an API
+   rename breaks the docs job instead of silently rotting the guide.
+   Blocks are statement sequences; the harness wraps each one in a
+   function with a prelude that provides the common includes, a
+   variadic `use(...)` sink, and `extern` declarations for the objects
+   the guide's prose establishes (`service`, `graph`). A block whose
+   first line is `// docs:no-compile` is skipped; a block containing
+   `#include` or `int main` is compiled verbatim as its own TU.
+
+Usage: tools/check_docs.py [--no-compile] [files...]
+Defaults to README.md, DESIGN.md, ROADMAP.md, and docs/*.md. Exits
+non-zero on any failure, listing every offender.
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+FENCE_RE = re.compile(r"^```(\w[\w+-]*)?\s*$")
+
+SNIPPET_PRELUDE = """\
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dspc/api/spc_service.h"
+#include "dspc/graph/generators.h"
+#include "dspc/graph/graph.h"
+#include "dspc/graph/update_stream.h"
+
+using namespace dspc;
+
+// Sink for values the guide's snippets inspect but do not consume.
+template <typename... Args>
+void use(Args&&...) {}
+
+// Objects the guide's prose establishes before later snippets use them.
+extern SpcService service;
+extern Graph graph;
+"""
+
+
+def default_files():
+    files = ["README.md", "DESIGN.md", "ROADMAP.md"]
+    docs = os.path.join(REPO, "docs")
+    if os.path.isdir(docs):
+        files += [
+            os.path.join("docs", f)
+            for f in sorted(os.listdir(docs))
+            if f.endswith(".md")
+        ]
+    return [f for f in files if os.path.exists(os.path.join(REPO, f))]
+
+
+def check_links(relpath, text, errors):
+    base = os.path.dirname(os.path.join(REPO, relpath))
+    in_fence = False
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:  # code, not prose: `arr[i](x)` is not a link
+            continue
+        for target in LINK_RE.findall(line):
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:
+                continue
+            path = target.split("#", 1)[0]
+            if not path:  # pure fragment
+                continue
+            resolved = os.path.normpath(os.path.join(base, path))
+            if not os.path.exists(resolved):
+                errors.append(
+                    f"{relpath}:{lineno}: broken link -> {target}")
+
+
+def extract_cpp_blocks(text):
+    blocks = []
+    lines = text.splitlines()
+    in_block = False
+    lang = None
+    start = 0
+    buf = []
+    for lineno, line in enumerate(lines, 1):
+        fence = FENCE_RE.match(line)
+        if fence and not in_block:
+            in_block, lang, start, buf = True, fence.group(1), lineno + 1, []
+        elif line.strip() == "```" and in_block:
+            if lang == "cpp":
+                blocks.append((start, "\n".join(buf)))
+            in_block = False
+        elif in_block:
+            buf.append(line)
+    return blocks
+
+
+def find_compiler():
+    for cand in (os.environ.get("CXX"), "c++", "g++", "clang++"):
+        if not cand:
+            continue
+        try:
+            subprocess.run([cand, "--version"], capture_output=True,
+                           check=True)
+            return cand
+        except (OSError, subprocess.CalledProcessError):
+            continue
+    return None
+
+
+def compile_snippet(compiler, relpath, lineno, body, index, errors):
+    if body.lstrip().startswith("// docs:no-compile"):
+        return
+    if "#include" in body or re.search(r"\bint\s+main\b", body):
+        source = body
+    else:
+        indented = "\n".join("  " + line for line in body.splitlines())
+        source = (f"{SNIPPET_PRELUDE}\n"
+                  f"void Snippet_{index}() {{\n{indented}\n}}\n")
+    with tempfile.NamedTemporaryFile(
+            mode="w", suffix=".cc", delete=False) as tu:
+        tu.write(source)
+        tu_path = tu.name
+    try:
+        proc = subprocess.run(
+            [compiler, "-std=c++20", "-fsyntax-only",
+             "-I", os.path.join(REPO, "src"), "-x", "c++", tu_path],
+            capture_output=True, text=True)
+        if proc.returncode != 0:
+            detail = proc.stderr.strip().splitlines()
+            errors.append(
+                f"{relpath}:{lineno}: cpp snippet does not compile:\n    "
+                + "\n    ".join(detail[:12]))
+    finally:
+        os.unlink(tu_path)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="*", help="markdown files to check")
+    parser.add_argument("--no-compile", action="store_true",
+                        help="only check links")
+    args = parser.parse_args()
+
+    files = args.files or default_files()
+    errors = []
+    compiler = None if args.no_compile else find_compiler()
+    if not args.no_compile and compiler is None:
+        print("check_docs: no C++ compiler found; snippet check skipped",
+              file=sys.stderr)
+
+    snippets = 0
+    for relpath in files:
+        with open(os.path.join(REPO, relpath), encoding="utf-8") as f:
+            text = f.read()
+        check_links(relpath, text, errors)
+        if compiler:
+            for lineno, body in extract_cpp_blocks(text):
+                compile_snippet(compiler, relpath, lineno, body, snippets,
+                                errors)
+                snippets += 1
+
+    if errors:
+        print("\n".join(errors), file=sys.stderr)
+        print(f"check_docs: FAILED ({len(errors)} problem(s))",
+              file=sys.stderr)
+        return 1
+    print(f"check_docs: OK ({len(files)} file(s), {snippets} snippet(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
