@@ -13,9 +13,16 @@
 // API (DESIGN.md §9) — sync readers with kFresh, background readers with
 // kBoundedStaleness — so the numbers price the real serving surface, and
 // a final quiesced row compares facade-vs-service single-query
-// throughput (the service-layer overhead budget is <= 2%). Emits a human
-// table and machine-readable JSON (BENCH_streaming_latency.json,
-// override with argv[1]).
+// throughput (the service-layer overhead budget is <= 2%).
+//
+// A second sweep prices durability (DESIGN.md §11): per-update latency
+// through a non-durable service vs a WAL-journaled one under each
+// WalSyncPolicy (kNone / kBatch / kEveryWrite), plus the durable-ack
+// (group-commit flush) latency for writes that ask for
+// WriteOptions::durable. The budget: kNone and kBatch journaling adds
+// <= 2% to the plain update path — only kEveryWrite pays an fsync
+// inline. Emits a human table and machine-readable JSON
+// (BENCH_streaming_latency.json, override with argv[1]).
 
 #include <algorithm>
 #include <array>
@@ -36,6 +43,8 @@
 #include "dspc/core/hp_spc.h"
 #include "dspc/graph/generators.h"
 #include "dspc/graph/update_stream.h"
+#include "dspc/persist/env.h"
+#include "dspc/persist/wal.h"
 
 namespace {
 
@@ -176,6 +185,112 @@ PolicyResult ServeUnderBursts(const Graph& graph, const SpcIndex& base,
   return out;
 }
 
+// --- durability sweep (DESIGN.md §11) ---------------------------------------
+
+struct DurabilityRow {
+  std::string name;
+  size_t updates = 0;
+  double p50_us = 0.0;   // plain (non-durable-flagged) update latency
+  double p99_us = 0.0;
+  double max_us = 0.0;
+  size_t durable_acks = 0;  // writes issued with WriteOptions::durable
+  double durable_p50_us = 0.0;  // durable-ack (flush) latency
+  double durable_p99_us = 0.0;
+  uint64_t wal_syncs = 0;
+  uint64_t wal_appended_bytes = 0;
+  double overhead_pct = 0.0;  // plain-update p50 vs the baseline row
+};
+
+/// Empties (or creates) a scratch WAL directory for one durable row.
+std::string FreshWalDir(const std::string& tag) {
+  FileSystem* fs = FileSystem::Default();
+  const std::string dir = "/tmp/dspc_bench_wal_" + tag;
+  (void)fs->CreateDir(dir);
+  if (auto names = fs->ListDir(dir); names.ok()) {
+    for (const std::string& name : *names) {
+      (void)fs->RemoveFile(dir + "/" + name);
+    }
+  }
+  return dir;
+}
+
+/// Drives `stream` through a non-durable baseline and one durable
+/// service per WAL sync policy, INTERLEAVED per update (B N B E B N B E
+/// ... for every input) so machine-load drift taxes all rows equally —
+/// the per-row p50 deltas then isolate the journaling cost instead of
+/// whichever row drew the quiet scheduling window. All four services
+/// start from the same graph and apply the identical update sequence,
+/// so every row does the same engine work. Every 8th write additionally
+/// demands WriteOptions::durable so each row also prices the
+/// durable-ack (flush) latency under its policy.
+std::vector<DurabilityRow> SweepSyncPolicies(const Graph& graph,
+                                             const SpcIndex& base,
+                                             const std::vector<Update>& stream) {
+  DynamicSpcOptions options;
+  options.snapshot.refresh = RefreshPolicy::kManual;  // pure update path
+
+  SpcService baseline(graph, base, options);
+  const std::vector<std::pair<std::string, WalSyncPolicy>> policies = {
+      {"wal_none", WalSyncPolicy::kNone},
+      {"wal_batch", WalSyncPolicy::kBatch},
+      {"wal_every", WalSyncPolicy::kEveryWrite},
+  };
+  std::vector<SpcService*> services = {&baseline};
+  std::vector<std::unique_ptr<SpcService>> durables;
+  for (const auto& [name, sync] : policies) {
+    DurabilityOptions durability;
+    durability.dir = FreshWalDir(name);
+    durability.sync = sync;
+    durability.checkpoint_wal_bytes = 0;  // no background checkpoints
+    durability.checkpoint_wal_records = 0;  // mid-measurement
+    auto service = SpcService::Open(Graph(graph), durability, options);
+    if (!service.ok()) {
+      std::fprintf(stderr, "durability row %s: open failed: %s\n",
+                   name.c_str(), service.status().ToString().c_str());
+      return {};
+    }
+    durables.push_back(std::move(*service));
+    services.push_back(durables.back().get());
+  }
+
+  std::vector<SampleStats> plain(services.size());
+  std::vector<SampleStats> durable(services.size());
+  for (size_t i = 0; i < stream.size(); ++i) {
+    const bool want_durable = i % 8 == 7;
+    for (size_t s = 0; s < services.size(); ++s) {
+      WriteOptions write;
+      write.durable = want_durable && services[s]->Durable();
+      Stopwatch w;
+      const auto resp = services[s]->ApplyUpdates({&stream[i], 1}, write);
+      const double us = w.ElapsedMicros();
+      if (!resp.ok()) {
+        std::fprintf(stderr, "durability row %zu: update failed: %s\n", s,
+                     resp.status().ToString().c_str());
+        return {};
+      }
+      (write.durable ? durable[s] : plain[s]).Add(us);
+    }
+  }
+
+  std::vector<DurabilityRow> rows;
+  for (size_t s = 0; s < services.size(); ++s) {
+    DurabilityRow row;
+    row.name = s == 0 ? "no_wal" : policies[s - 1].first;
+    row.updates = stream.size();
+    row.p50_us = plain[s].Percentile(50.0);
+    row.p99_us = plain[s].Percentile(99.0);
+    row.max_us = plain[s].Max();
+    row.durable_acks = durable[s].count();
+    row.durable_p50_us = durable[s].Percentile(50.0);
+    row.durable_p99_us = durable[s].Percentile(99.0);
+    const MetricsSnapshot m = services[s]->Metrics();
+    row.wal_syncs = m.wal_syncs;
+    row.wal_appended_bytes = m.wal_appended_bytes;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -298,6 +413,39 @@ int main(int argc, char** argv) {
       facade_qps, service_qps, service_overhead_pct);
   std::printf("\n%s", overhead_metrics_dump.c_str());
 
+  // Durability sweep: the same single-update drive through a non-durable
+  // service and through SpcService::Open under each WAL sync policy. The
+  // baseline adopts the prebuilt index; durable rows bootstrap their own
+  // (identical) index, so only the update path differs.
+  const std::vector<Update> wal_stream = MakeHybridStream(graph, 600, 150, 17);
+  std::vector<DurabilityRow> wal_rows = SweepSyncPolicies(graph, base,
+                                                          wal_stream);
+  if (wal_rows.empty()) return 1;
+  const double base_p50 = wal_rows[0].p50_us;
+  for (DurabilityRow& r : wal_rows) {
+    r.overhead_pct =
+        base_p50 > 0.0 ? (r.p50_us - base_p50) / base_p50 * 100.0 : 0.0;
+  }
+
+  std::printf("\n%-10s %8s %9s %9s %10s %9s %11s %11s %7s %10s\n", "wal",
+              "updates", "p50 us", "p99 us", "max us", "ovh %", "dur p50 us",
+              "dur p99 us", "syncs", "wal bytes");
+  bench::PrintRule(10);
+  for (const DurabilityRow& r : wal_rows) {
+    std::printf("%-10s %8zu %9.1f %9.1f %10.1f %9.2f %11.1f %11.1f %7llu "
+                "%10llu\n",
+                r.name.c_str(), r.updates, r.p50_us, r.p99_us, r.max_us,
+                r.overhead_pct, r.durable_p50_us, r.durable_p99_us,
+                static_cast<unsigned long long>(r.wal_syncs),
+                static_cast<unsigned long long>(r.wal_appended_bytes));
+  }
+  std::printf(
+      "journaling overhead on the plain update path (p50): "
+      "kNone %+.2f%%, kBatch %+.2f%%, kEveryWrite %+.2f%% "
+      "(budget <= 2%% for kNone/kBatch; kEveryWrite pays its inline fsync)\n",
+      wal_rows[1].overhead_pct, wal_rows[2].overhead_pct,
+      wal_rows[3].overhead_pct);
+
   std::FILE* json = std::fopen(json_path.c_str(), "w");
   if (json == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
@@ -336,6 +484,22 @@ int main(int argc, char** argv) {
         r.idle.p99_us, r.idle.max_us, r.idle.stalls_1ms, r.idle.stalls_20ms,
         r.rebuilds, r.background_rebuilds, r.retired, r.shards_repacked,
         r.shards_adopted);
+    first = false;
+  }
+  std::fprintf(json, "  ],\n  \"durability\": [\n");
+  first = true;
+  for (const DurabilityRow& r : wal_rows) {
+    std::fprintf(
+        json,
+        "    %s{\"policy\": \"%s\", \"updates\": %zu, \"p50_us\": %.2f, "
+        "\"p99_us\": %.2f, \"max_us\": %.2f, \"overhead_pct\": %.3f,\n"
+        "     \"durable_acks\": %zu, \"durable_p50_us\": %.2f, "
+        "\"durable_p99_us\": %.2f, \"wal_syncs\": %llu, "
+        "\"wal_appended_bytes\": %llu}\n",
+        first ? "" : ",", r.name.c_str(), r.updates, r.p50_us, r.p99_us,
+        r.max_us, r.overhead_pct, r.durable_acks, r.durable_p50_us,
+        r.durable_p99_us, static_cast<unsigned long long>(r.wal_syncs),
+        static_cast<unsigned long long>(r.wal_appended_bytes));
     first = false;
   }
   std::fprintf(json,

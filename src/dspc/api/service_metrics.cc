@@ -95,6 +95,20 @@ std::string MetricsSnapshot::ToString() const {
   AppendHist(&out, kBatchLabels, write_batch_size_hist.data(),
              kBatchBuckets);
   out += "\n";
+
+  std::snprintf(buf, sizeof(buf),
+                "  durability: wal_appends=%" PRIu64 " wal_bytes=%" PRIu64
+                " wal_syncs=%" PRIu64 " durable_waits=%" PRIu64
+                " failures=%" PRIu64 " checkpoints=%" PRIu64 "\n",
+                wal_appends, wal_appended_bytes, wal_syncs,
+                wal_durable_waits, wal_failures, checkpoints);
+  out += buf;
+
+  std::snprintf(buf, sizeof(buf),
+                "  recovery: replayed=%" PRIu64
+                " truncated_tail_bytes=%" PRIu64 "\n",
+                recovery_replayed, recovery_truncated_bytes);
+  out += buf;
   return out;
 }
 
@@ -139,6 +153,30 @@ void ServiceMetrics::RecordWrite(size_t batch_size, size_t applied,
   if (rejected > 0) add(kUpdatesRejected, rejected);
 }
 
+void ServiceMetrics::RecordWalAppend(uint64_t bytes) {
+  Shard& shard = Local();
+  shard.counters[kWalAppends].fetch_add(1, std::memory_order_relaxed);
+  shard.counters[kWalAppendedBytes].fetch_add(bytes,
+                                              std::memory_order_relaxed);
+}
+
+void ServiceMetrics::RecordWalSync() { Add(kWalSyncs, 1); }
+
+void ServiceMetrics::RecordWalDurableWait() { Add(kWalDurableWaits, 1); }
+
+void ServiceMetrics::RecordWalFailure() { Add(kWalFailures, 1); }
+
+void ServiceMetrics::RecordCheckpoint() { Add(kCheckpoints, 1); }
+
+void ServiceMetrics::RecordRecovery(uint64_t replayed,
+                                    uint64_t truncated_tail_bytes) {
+  Shard& shard = Local();
+  shard.counters[kRecoveryReplayed].fetch_add(replayed,
+                                              std::memory_order_relaxed);
+  shard.counters[kRecoveryTruncatedBytes].fetch_add(
+      truncated_tail_bytes, std::memory_order_relaxed);
+}
+
 MetricsSnapshot ServiceMetrics::Snapshot() const {
   std::array<uint64_t, kNumCounters> sum{};
   for (const Shard& shard : shards_) {
@@ -176,6 +214,14 @@ MetricsSnapshot ServiceMetrics::Snapshot() const {
   snap.updates_applied = sum[kUpdatesApplied];
   snap.updates_noop = sum[kUpdatesNoop];
   snap.updates_rejected = sum[kUpdatesRejected];
+  snap.wal_appends = sum[kWalAppends];
+  snap.wal_appended_bytes = sum[kWalAppendedBytes];
+  snap.wal_syncs = sum[kWalSyncs];
+  snap.wal_durable_waits = sum[kWalDurableWaits];
+  snap.wal_failures = sum[kWalFailures];
+  snap.checkpoints = sum[kCheckpoints];
+  snap.recovery_replayed = sum[kRecoveryReplayed];
+  snap.recovery_truncated_bytes = sum[kRecoveryTruncatedBytes];
   return snap;
 }
 

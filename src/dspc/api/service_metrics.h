@@ -93,6 +93,17 @@ struct MetricsSnapshot {
   uint64_t updates_noop = 0;      ///< WriteReport kNoOp outcomes
   uint64_t updates_rejected = 0;  ///< WriteReport kRejected outcomes
 
+  // --- durability (persist/, DESIGN.md §11; all zero on a service opened
+  // without DurabilityOptions) ----------------------------------------------
+  uint64_t wal_appends = 0;         ///< records appended to the WAL
+  uint64_t wal_appended_bytes = 0;  ///< framed record bytes appended
+  uint64_t wal_syncs = 0;           ///< WAL fsyncs (group commit or forced)
+  uint64_t wal_durable_waits = 0;   ///< writes that waited on group commit
+  uint64_t wal_failures = 0;        ///< fail-stop trips (sticky: stays 1)
+  uint64_t checkpoints = 0;         ///< checkpoints published
+  uint64_t recovery_replayed = 0;   ///< committed WAL ops replayed at Open
+  uint64_t recovery_truncated_bytes = 0;  ///< torn tail bytes repaired
+
   /// Served queries across all modes (equals the staleness histogram's
   /// total population).
   uint64_t TotalQueries() const {
@@ -162,6 +173,26 @@ class ServiceMetrics {
   void RecordWrite(size_t batch_size, size_t applied, size_t noops,
                    size_t rejected);
 
+  // --- durability (no-ops in spirit on non-durable services: never called) --
+
+  /// One WAL record appended; `bytes` is its framed on-disk size.
+  void RecordWalAppend(uint64_t bytes);
+
+  /// One successful WAL fsync (group-commit flusher or a forced sync).
+  void RecordWalSync();
+
+  /// One write that blocked on WaitDurable (joined a group commit).
+  void RecordWalDurableWait();
+
+  /// The durability path went fail-stop (sticky; recorded once).
+  void RecordWalFailure();
+
+  /// One checkpoint published.
+  void RecordCheckpoint();
+
+  /// Recovery results, folded in once at SpcService::Open.
+  void RecordRecovery(uint64_t replayed, uint64_t truncated_tail_bytes);
+
   /// Sums all shards into one consistent-enough view (monotone counters;
   /// see the file comment).
   MetricsSnapshot Snapshot() const;
@@ -187,6 +218,14 @@ class ServiceMetrics {
     kUpdatesApplied = kWriteBatchHist + MetricsSnapshot::kBatchBuckets,
     kUpdatesNoop,
     kUpdatesRejected,
+    kWalAppends,
+    kWalAppendedBytes,
+    kWalSyncs,
+    kWalDurableWaits,
+    kWalFailures,
+    kCheckpoints,
+    kRecoveryReplayed,
+    kRecoveryTruncatedBytes,
     kNumCounters,
   };
 

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <string>
 #include <utility>
+#include <vector>
 
 namespace dspc {
 
@@ -64,6 +65,99 @@ SpcService::SpcService(Graph graph, const DynamicSpcOptions& options)
 SpcService::SpcService(Graph graph, SpcIndex index,
                        const DynamicSpcOptions& options)
     : engine_(std::move(graph), std::move(index), options) {}
+
+SpcService::~SpcService() {
+  if (fs_ == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(dur_mu_);
+    stop_checkpointer_ = true;
+  }
+  checkpoint_cv_.notify_all();
+  if (checkpoint_thread_.joinable()) checkpoint_thread_.join();
+  if (wal_) (void)wal_->Close();  // clean close syncs: shutdown ≠ crash
+}
+
+StatusOr<std::unique_ptr<SpcService>> SpcService::Open(
+    Graph bootstrap, const DurabilityOptions& durability,
+    const DynamicSpcOptions& options) {
+  if (durability.dir.empty()) {
+    return Status::InvalidArgument("DurabilityOptions::dir must be set");
+  }
+  if (options.rebuild_after_updates != 0 ||
+      options.rebuild_growth_factor != 0.0) {
+    return Status::NotSupported(
+        "durable serving requires the lazy rebuild policy disabled: a "
+        "policy rebuild advances the generation outside the WAL, which "
+        "would break replay determinism");
+  }
+  FileSystem* fs =
+      durability.fs != nullptr ? durability.fs : FileSystem::Default();
+  if (Status st = fs->CreateDir(durability.dir); !st.ok()) return st;
+  RecoveryPlan plan;
+  if (Status st = PlanRecovery(fs, durability.dir, &plan); !st.ok()) {
+    return st;
+  }
+
+  std::unique_ptr<SpcService> service;
+  if (plan.has_checkpoint) {
+    DynamicSpcOptions engine_options = options;
+    engine_options.initial_generation = plan.checkpoint.generation;
+    service.reset(new SpcService(std::move(plan.checkpoint.graph),
+                                 plan.checkpoint.index.Unpack(),
+                                 engine_options));
+    for (const ReplayOp& op : plan.ops) {
+      if (Status st = ApplyReplayOp(&service->engine_, op); !st.ok()) {
+        return st;
+      }
+    }
+  } else {
+    service.reset(new SpcService(std::move(bootstrap), options));
+  }
+  service->recovery_report_ = plan.report;
+  if (!plan.has_checkpoint) {
+    service->recovery_report_.recovered_generation = service->Generation();
+  }
+  service->metrics_.RecordRecovery(plan.report.replayed,
+                                   plan.report.truncated_tail_bytes);
+  service->fs_ = fs;
+  if (Status st = service->StartDurability(durability, plan.next_wal_seq);
+      !st.ok()) {
+    return st;
+  }
+  return service;
+}
+
+Status SpcService::StartDurability(const DurabilityOptions& durability,
+                                   uint64_t wal_seq) {
+  dur_options_ = durability;
+  dur_options_.fs = fs_;
+  checkpointer_ = std::make_unique<Checkpointer>(fs_, durability.dir);
+  WalWriter::Options wal_options;
+  wal_options.sync = durability.sync;
+  wal_options.flush_interval = durability.flush_interval;
+  wal_options.on_sync = [this] { metrics_.RecordWalSync(); };
+  auto wal = WalWriter::Create(
+      fs_, durability.dir + "/" + WalSegmentFileName(wal_seq), wal_seq,
+      engine_.Generation(), wal_options);
+  if (!wal.ok()) return wal.status();
+  wal_ = std::move(*wal);
+  // Publish a checkpoint of the just-opened state so the directory is
+  // immediately self-contained: replayed segments (or a crashed first
+  // open's strays) are covered and garbage-collected right here, and
+  // WAL growth restarts from zero after every recovery.
+  const FlatSpcIndex flat(engine_.index());
+  if (Status st = checkpointer_->Publish(engine_.graph(), flat,
+                                         engine_.Generation(), wal_seq);
+      !st.ok()) {
+    return st;
+  }
+  metrics_.RecordCheckpoint();
+  if (dur_options_.checkpoint_wal_bytes != 0 ||
+      dur_options_.checkpoint_wal_records != 0) {
+    checkpoint_thread_ = std::thread([this] { CheckpointLoop(); });
+  }
+  return Status::OK();
+}
 
 Status SpcService::ValidateVertex(Vertex v, const char* what) const {
   const size_t n = engine_.NumVertices();
@@ -292,6 +386,12 @@ StatusOr<BatchQueryResponse> SpcService::QueryBatch(
 }
 
 StatusOr<UpdateResponse> SpcService::ApplyUpdates(
+    std::span<const Update> updates, const WriteOptions& write) {
+  if (fs_ == nullptr) return ApplyUpdatesPlain(updates);
+  return ApplyUpdatesDurable(updates, write);
+}
+
+StatusOr<UpdateResponse> SpcService::ApplyUpdatesPlain(
     std::span<const Update> updates) {
   // Admission is per update: out-of-range endpoints are rejected
   // individually (kRejected report) while the valid remainder applies.
@@ -353,36 +453,199 @@ StatusOr<UpdateResponse> SpcService::ApplyUpdates(
   return out;
 }
 
-StatusOr<UpdateResponse> SpcService::InsertEdge(Vertex u, Vertex v) {
+StatusOr<UpdateResponse> SpcService::ApplyUpdatesDurable(
+    std::span<const Update> updates, const WriteOptions& write) {
+  StatusOr<UpdateResponse> out(std::in_place);
+  UpdateResponse& resp = *out;
+  uint64_t commit_offset = 0;
+  std::shared_ptr<WalWriter> wal;
+  {
+    // dur_mu_ serializes the whole durable write path: WAL order and
+    // engine apply order are the same order by construction, which is
+    // what makes replay deterministic. It is taken BEFORE the engine's
+    // writer lock (inside ApplyBatch), never the other way around.
+    std::lock_guard<std::mutex> lock(dur_mu_);
+    if (dur_failed_) {
+      metrics_.RecordRejected(dur_error_.code());
+      return dur_error_;
+    }
+    const size_t n = engine_.NumVertices();
+    resp.reports.resize(updates.size());
+    std::vector<Update> admitted;
+    std::vector<size_t> position;
+    admitted.reserve(updates.size());
+    position.reserve(updates.size());
+    for (size_t i = 0; i < updates.size(); ++i) {
+      const Edge& e = updates[i].edge;
+      if (static_cast<size_t>(e.u) >= n || static_cast<size_t>(e.v) >= n) {
+        resp.reports[i].outcome = WriteReport::Outcome::kRejected;
+        resp.reports[i].reason =
+            "endpoint vertex id outside [0, NumVertices())";
+        continue;
+      }
+      admitted.push_back(updates[i]);
+      position.push_back(i);
+    }
+    resp.token.generation = engine_.Generation();
+    if (!admitted.empty()) {
+      // Intent before apply, commit (with per-update outcomes) after:
+      // recovery replays only paired records, so a crash anywhere in
+      // between loses exactly the unacknowledged tail and nothing else.
+      WalRecord intent;
+      intent.kind = WalRecord::Kind::kBatch;
+      intent.seq = next_batch_seq_++;
+      intent.generation = engine_.Generation();
+      intent.updates = admitted;
+      if (auto off = AppendWalLocked(EncodeWalRecord(intent)); !off.ok()) {
+        return off.status();
+      }
+      std::vector<WriteReport> sub;
+      resp.stats = engine_.ApplyBatch(admitted, &sub);
+      WalRecord commit;
+      commit.kind = WalRecord::Kind::kCommit;
+      commit.seq = intent.seq;
+      commit.generation = engine_.Generation();
+      commit.outcomes.resize(sub.size());
+      for (size_t j = 0; j < sub.size(); ++j) {
+        commit.outcomes[j] = sub[j].applied() ? 1 : 0;
+      }
+      auto off = AppendWalLocked(EncodeWalRecord(commit));
+      for (size_t j = 0; j < sub.size(); ++j) {
+        resp.reports[position[j]] = sub[j];
+      }
+      resp.token.generation = commit.generation;
+      // The engine applied either way, but a write whose commit record
+      // never reached the log must not be acknowledged: recovery would
+      // drop it. Fail the call (and the service — AppendWalLocked has
+      // already latched fail-stop).
+      if (!off.ok()) return off.status();
+      commit_offset = *off;
+      wal = wal_;
+    }
+    MaybeTriggerCheckpointLocked();
+  }
+
+  for (const WriteReport& report : resp.reports) {
+    switch (report.outcome) {
+      case WriteReport::Outcome::kApplied:
+        ++resp.applied;
+        break;
+      case WriteReport::Outcome::kNoOp:
+        ++resp.noops;
+        break;
+      case WriteReport::Outcome::kRejected:
+        ++resp.rejected;
+        break;
+    }
+  }
+  metrics_.RecordWrite(updates.size(), resp.applied, resp.noops,
+                       resp.rejected);
+  if (write.durable) {
+    if (wal) {
+      metrics_.RecordWalDurableWait();
+      if (Status st = WaitDurableOffset(wal, commit_offset); !st.ok()) {
+        return st;
+      }
+    }
+    // Nothing admitted ⇒ nothing to persist; trivially durable.
+    resp.token.durable = true;
+  }
+  return out;
+}
+
+StatusOr<UpdateResponse> SpcService::InsertEdge(Vertex u, Vertex v,
+                                                const WriteOptions& write) {
   // Single-edge calls keep the strict contract: a bad endpoint fails the
   // call (there is no partial batch a caller could still want).
   if (Status st = ValidateVertex(u, "edge"); !st.ok()) return st;
   if (Status st = ValidateVertex(v, "edge"); !st.ok()) return st;
   const Update update = Update::Insert(u, v);
-  return ApplyUpdates({&update, 1});
+  return ApplyUpdates({&update, 1}, write);
 }
 
-StatusOr<UpdateResponse> SpcService::RemoveEdge(Vertex u, Vertex v) {
+StatusOr<UpdateResponse> SpcService::RemoveEdge(Vertex u, Vertex v,
+                                                const WriteOptions& write) {
   if (Status st = ValidateVertex(u, "edge"); !st.ok()) return st;
   if (Status st = ValidateVertex(v, "edge"); !st.ok()) return st;
   const Update update = Update::Delete(u, v);
-  return ApplyUpdates({&update, 1});
+  return ApplyUpdates({&update, 1}, write);
 }
 
-AddVertexResponse SpcService::AddVertex() {
+AddVertexResponse SpcService::AddVertex(const WriteOptions& write) {
   AddVertexResponse resp;
-  resp.vertex = engine_.AddVertex();
-  resp.token.generation = engine_.Generation();
+  if (fs_ == nullptr) {
+    resp.vertex = engine_.AddVertex();
+    resp.token.generation = engine_.Generation();
+    metrics_.RecordWrite(1, 1, 0, 0);
+    return resp;
+  }
+  uint64_t offset = 0;
+  std::shared_ptr<WalWriter> wal;
+  {
+    std::lock_guard<std::mutex> lock(dur_mu_);
+    if (dur_failed_) {
+      metrics_.RecordRejected(dur_error_.code());
+      return resp;  // vertex stays kInvalidVertex: the refusal signal
+    }
+    // AddVertex self-commits: under dur_mu_ serialization both record
+    // fields are exact predictions (the new id is the current count,
+    // the generation bumps by exactly one), so logging before the apply
+    // still lets replay cross-check them.
+    WalRecord rec;
+    rec.kind = WalRecord::Kind::kAddVertex;
+    rec.generation = engine_.Generation() + 1;
+    rec.vertex = static_cast<Vertex>(engine_.NumVertices());
+    auto off = AppendWalLocked(EncodeWalRecord(rec));
+    if (!off.ok()) return resp;
+    resp.vertex = engine_.AddVertex();
+    resp.token.generation = engine_.Generation();
+    offset = *off;
+    wal = wal_;
+    MaybeTriggerCheckpointLocked();
+  }
   metrics_.RecordWrite(1, 1, 0, 0);
+  if (write.durable) {
+    metrics_.RecordWalDurableWait();
+    if (WaitDurableOffset(wal, offset).ok()) resp.token.durable = true;
+  }
   return resp;
 }
 
-StatusOr<UpdateResponse> SpcService::RemoveVertex(Vertex v) {
+StatusOr<UpdateResponse> SpcService::RemoveVertex(Vertex v,
+                                                 const WriteOptions& write) {
   if (Status st = ValidateVertex(v, "vertex"); !st.ok()) return st;
   StatusOr<UpdateResponse> out(std::in_place);
   UpdateResponse& resp = *out;
-  resp.stats = engine_.RemoveVertex(v);
-  resp.token.generation = engine_.Generation();
+  uint64_t offset = 0;
+  std::shared_ptr<WalWriter> wal;
+  if (fs_ == nullptr) {
+    resp.stats = engine_.RemoveVertex(v);
+    resp.token.generation = engine_.Generation();
+  } else {
+    std::lock_guard<std::mutex> lock(dur_mu_);
+    if (dur_failed_) {
+      metrics_.RecordRejected(dur_error_.code());
+      return dur_error_;
+    }
+    WalRecord intent;
+    intent.kind = WalRecord::Kind::kRemoveVertex;
+    intent.seq = next_batch_seq_++;
+    intent.vertex = v;
+    if (auto off = AppendWalLocked(EncodeWalRecord(intent)); !off.ok()) {
+      return off.status();
+    }
+    resp.stats = engine_.RemoveVertex(v);
+    WalRecord commit;
+    commit.kind = WalRecord::Kind::kCommit;
+    commit.seq = intent.seq;
+    commit.generation = engine_.Generation();
+    auto off = AppendWalLocked(EncodeWalRecord(commit));
+    resp.token.generation = commit.generation;
+    if (!off.ok()) return off.status();
+    offset = *off;
+    wal = wal_;
+    MaybeTriggerCheckpointLocked();
+  }
   // Vertex deletion folds one decremental update per incident edge; the
   // report covers the whole deletion as one logical update.
   resp.reports.resize(1);
@@ -399,7 +662,126 @@ StatusOr<UpdateResponse> SpcService::RemoveVertex(Vertex v) {
     resp.noops = 1;
   }
   metrics_.RecordWrite(1, resp.applied, resp.noops, 0);
+  if (write.durable) {
+    if (wal) {
+      metrics_.RecordWalDurableWait();
+      if (Status st = WaitDurableOffset(wal, offset); !st.ok()) return st;
+    }
+    resp.token.durable = true;
+  }
   return out;
+}
+
+StatusOr<uint64_t> SpcService::AppendWalLocked(
+    const std::vector<uint8_t>& payload) {
+  auto off = wal_->AppendRecord(payload);
+  if (!off.ok()) return FailDurabilityLocked(off.status());
+  metrics_.RecordWalAppend(payload.size() + kWalRecordOverheadBytes);
+  return off;
+}
+
+Status SpcService::FailDurabilityLocked(Status st) {
+  if (!dur_failed_) {
+    dur_failed_ = true;
+    dur_error_ = std::move(st);
+    metrics_.RecordWalFailure();
+  }
+  return dur_error_;  // the FIRST failure is the story, always
+}
+
+Status SpcService::WaitDurableOffset(const std::shared_ptr<WalWriter>& wal,
+                                     uint64_t offset) {
+  // Called WITHOUT dur_mu_: group commit blocks here and concurrent
+  // writers must keep appending (that is the whole point of batching).
+  // The shared_ptr keeps the segment alive across a concurrent rotation;
+  // rotation Closes the old segment, and Close's final sync satisfies
+  // this wait.
+  Status st = wal->WaitDurable(offset);
+  if (!st.ok()) {
+    std::lock_guard<std::mutex> lock(dur_mu_);
+    return FailDurabilityLocked(std::move(st));
+  }
+  return st;
+}
+
+Status SpcService::Checkpoint() {
+  if (fs_ == nullptr) {
+    return Status::NotSupported(
+        "not a durable service (construct with SpcService::Open)");
+  }
+  std::lock_guard<std::mutex> lock(dur_mu_);
+  if (dur_failed_) return dur_error_;
+  return CheckpointLocked();
+}
+
+Status SpcService::CheckpointLocked() {
+  // Capture a consistent (generation, graph, index) triple. FreezeWrites
+  // only blocks engine writers — readers keep serving throughout; and
+  // since dur_mu_ is held, no durable writer can be mid-append anyway.
+  uint64_t gen = 0;
+  Graph graph_copy;
+  std::unique_ptr<FlatSpcIndex> flat;
+  {
+    auto freeze = engine_.FreezeWrites();
+    gen = engine_.Generation();
+    graph_copy = engine_.graph();
+    flat = std::make_unique<FlatSpcIndex>(engine_.index());
+  }
+  // Rotate first: the new segment must exist (and carry base_generation
+  // == gen) before the manifest can point at it. A crash between the
+  // two leaves the old manifest in charge — the old segment run is still
+  // contiguous, the new segment is just an empty stray.
+  const uint64_t new_seq = wal_->seq() + 1;
+  WalWriter::Options wal_options;
+  wal_options.sync = dur_options_.sync;
+  wal_options.flush_interval = dur_options_.flush_interval;
+  wal_options.on_sync = [this] { metrics_.RecordWalSync(); };
+  auto next = WalWriter::Create(
+      fs_, dur_options_.dir + "/" + WalSegmentFileName(new_seq), new_seq,
+      gen, wal_options);
+  if (!next.ok()) return FailDurabilityLocked(next.status());
+  std::shared_ptr<WalWriter> old = wal_;
+  wal_ = std::move(*next);
+  // Close syncs everything appended before tearing down, so records the
+  // checkpoint is about to cover — and any in-flight durable waiters on
+  // the old segment — are safe before the manifest moves past them.
+  if (Status st = old->Close(); !st.ok()) return FailDurabilityLocked(st);
+  if (Status st = checkpointer_->Publish(graph_copy, *flat, gen, new_seq);
+      !st.ok()) {
+    return FailDurabilityLocked(st);
+  }
+  metrics_.RecordCheckpoint();
+  return Status::OK();
+}
+
+void SpcService::MaybeTriggerCheckpointLocked() {
+  if (!checkpoint_thread_.joinable() || dur_failed_ ||
+      checkpoint_requested_) {
+    return;
+  }
+  const uint64_t bytes = dur_options_.checkpoint_wal_bytes;
+  const uint64_t records = dur_options_.checkpoint_wal_records;
+  const bool due =
+      (bytes != 0 && wal_->AppendedBytes() >= bytes) ||
+      (records != 0 && wal_->AppendedRecords() >= records);
+  if (due) {
+    checkpoint_requested_ = true;
+    checkpoint_cv_.notify_one();
+  }
+}
+
+void SpcService::CheckpointLoop() {
+  std::unique_lock<std::mutex> lock(dur_mu_);
+  while (!stop_checkpointer_) {
+    checkpoint_cv_.wait(lock, [&] {
+      return stop_checkpointer_ || checkpoint_requested_;
+    });
+    checkpoint_requested_ = false;
+    if (stop_checkpointer_ || dur_failed_) continue;
+    // Failure latches fail-stop (visible to every writer); nothing to
+    // return to from a background trigger.
+    (void)CheckpointLocked();
+  }
 }
 
 Status SpcService::WaitForSnapshotUntil(

@@ -64,8 +64,13 @@
 #define DSPC_API_SPC_SERVICE_H_
 
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <span>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "dspc/api/service_metrics.h"
@@ -76,6 +81,10 @@
 #include "dspc/core/update_stats.h"
 #include "dspc/graph/graph.h"
 #include "dspc/graph/update_stream.h"
+#include "dspc/persist/checkpointer.h"
+#include "dspc/persist/env.h"
+#include "dspc/persist/recovery.h"
+#include "dspc/persist/wal.h"
 
 namespace dspc {
 
@@ -137,6 +146,53 @@ struct ReadOptions {
 /// token.generation as ReadOptions::min_generation to read your write.
 struct WriteToken {
   uint64_t generation = 0;
+
+  /// True when this write is crash-durable at return: it was appended to
+  /// the WAL and the append was fsynced (the write joined a group commit
+  /// under WalSyncPolicy::kBatch, or every write syncs under
+  /// kEveryWrite). Set only when the caller asked via
+  /// WriteOptions::durable on a durable service; a plain write on a
+  /// durable service is logged but possibly not yet synced, and a write
+  /// on a non-durable service never sets it.
+  bool durable = false;
+};
+
+/// Per-write options (writes were previously option-free; the default
+/// keeps their old behavior exactly).
+struct WriteOptions {
+  /// Block until this write's WAL records are fsynced before returning
+  /// (token.durable confirms it). Under kBatch this joins the group
+  /// commit — concurrent durable writers share one fsync. Ignored (left
+  /// false on the token) when the service was not opened durable.
+  bool durable = false;
+};
+
+/// Configuration for a durable service (SpcService::Open): where the
+/// WAL + checkpoints live and when they are synced. See DESIGN.md §11.
+struct DurabilityOptions {
+  /// Directory holding MANIFEST, ckpt-*.spc, and wal-*.log. Created if
+  /// missing; recovered from if not empty.
+  std::string dir;
+
+  /// When WAL appends are fsynced (persist/wal.h). kBatch (default)
+  /// group-commits on a flusher thread; kEveryWrite syncs inside every
+  /// write; kNone leaves it to the OS (and to WriteOptions::durable,
+  /// which forces a sync even under kNone).
+  WalSyncPolicy sync = WalSyncPolicy::kBatch;
+
+  /// Group-commit flush interval under kBatch.
+  std::chrono::microseconds flush_interval{2000};
+
+  /// Background checkpoint triggers: publish a new checkpoint (and
+  /// rotate + GC the WAL) once the current segment holds this many bytes
+  /// or records, whichever trips first. 0 disables that trigger;
+  /// both 0 means checkpoints happen only via Checkpoint().
+  uint64_t checkpoint_wal_bytes = uint64_t{64} << 20;
+  uint64_t checkpoint_wal_records = 100000;
+
+  /// Filesystem seam; nullptr = FileSystem::Default(). Tests inject a
+  /// FaultInjectingEnv here. Must outlive the service.
+  FileSystem* fs = nullptr;
 };
 
 /// Which serving path answered a read.
@@ -209,6 +265,29 @@ class SpcService {
   SpcService(Graph graph, SpcIndex index,
              const DynamicSpcOptions& options = {});
 
+  /// Opens a DURABLE service on `durability.dir` (DESIGN.md §11). An
+  /// empty directory bootstraps from `bootstrap` (building its index)
+  /// and publishes the first checkpoint; a non-empty one recovers —
+  /// newest valid checkpoint (previous on checksum failure), WAL
+  /// replayed through the engine to the exact last durably-written
+  /// generation — and `bootstrap` is ignored. Every accepted write is
+  /// then WAL-appended before the engine applies it; checkpoints
+  /// publish in the background per the thresholds. RecoveryInfo() says
+  /// what recovery did.
+  ///
+  /// Fails with kDataLoss when durable state is damaged beyond the
+  /// checkpoint fallback, kIOError on filesystem trouble, and
+  /// kNotSupported when `options` enables the lazy rebuild policy
+  /// (policy rebuilds advance the generation outside the WAL, which
+  /// would break replay determinism).
+  static StatusOr<std::unique_ptr<SpcService>> Open(
+      Graph bootstrap, const DurabilityOptions& durability,
+      const DynamicSpcOptions& options = {});
+
+  /// Stops the background checkpointer and closes the WAL (a clean close
+  /// syncs it — shutdown is not a crash). No-op for non-durable services.
+  ~SpcService();
+
   // --- reads -------------------------------------------------------------
 
   /// SPC query under the given read options.
@@ -249,25 +328,51 @@ class SpcService {
   ///
   /// Blocking: takes the writer lock per applied update; the batch is
   /// not one atomic unit (readers may observe intermediate generations).
-  /// Thread-safe against every other method.
-  StatusOr<UpdateResponse> ApplyUpdates(std::span<const Update> updates);
+  /// Thread-safe against every other method. On a durable service the
+  /// admitted subset is journaled (intent before apply, commit with
+  /// per-update outcomes after) and the whole call is serialized with
+  /// other writes; after a WAL failure the service is fail-stop and
+  /// every write returns the original kIOError.
+  StatusOr<UpdateResponse> ApplyUpdates(std::span<const Update> updates,
+                                        const WriteOptions& write = {});
 
   /// Single-edge conveniences over ApplyUpdates. Unlike the batch call,
   /// an out-of-range endpoint fails the whole call with
   /// kInvalidArgument (there is no partial batch to salvage). A legal
   /// no-op returns OK with reports[0].outcome == kNoOp.
-  StatusOr<UpdateResponse> InsertEdge(Vertex u, Vertex v);
-  StatusOr<UpdateResponse> RemoveEdge(Vertex u, Vertex v);
+  StatusOr<UpdateResponse> InsertEdge(Vertex u, Vertex v,
+                                      const WriteOptions& write = {});
+  StatusOr<UpdateResponse> RemoveEdge(Vertex u, Vertex v,
+                                      const WriteOptions& write = {});
 
-  /// Adds an isolated vertex. Infallible (the id space simply grows).
-  /// Takes the writer lock; forces a full snapshot rebuild next refresh.
-  AddVertexResponse AddVertex();
+  /// Adds an isolated vertex. Infallible on a non-durable service (the
+  /// id space simply grows); on a fail-stopped durable service the write
+  /// is refused and resp.vertex == kInvalidVertex. Takes the writer
+  /// lock; forces a full snapshot rebuild next refresh.
+  AddVertexResponse AddVertex(const WriteOptions& write = {});
 
   /// Removes all edges incident to `v` (the paper's vertex deletion);
   /// the id stays valid but isolated. kInvalidArgument for an
   /// out-of-range id. Runs one writer-locked update per incident edge;
   /// readers may observe intermediate generations.
-  StatusOr<UpdateResponse> RemoveVertex(Vertex v);
+  StatusOr<UpdateResponse> RemoveVertex(Vertex v,
+                                        const WriteOptions& write = {});
+
+  // --- durability ---------------------------------------------------------
+
+  /// True when this service journals writes (constructed via Open).
+  bool Durable() const { return wal_ != nullptr; }
+
+  /// What recovery did at Open (all-zero for non-durable services and
+  /// fresh bootstraps).
+  const RecoveryReport& RecoveryInfo() const { return recovery_report_; }
+
+  /// Publishes a checkpoint of the current state NOW (temp → fsync →
+  /// rename → MANIFEST → dir-fsync), rotates the WAL, and garbage-
+  /// collects covered segments. Blocks writes for the capture + publish.
+  /// kNotSupported on a non-durable service; after a failure the
+  /// durability path is fail-stop.
+  Status Checkpoint();
 
   // --- freshness barriers -------------------------------------------------
 
@@ -334,11 +439,78 @@ class SpcService {
                               std::chrono::steady_clock::time_point deadline)
       const;
 
+  // --- durability internals (inactive — wal_ == nullptr — unless the
+  // service was constructed via Open) --------------------------------------
+
+  /// Wires up the WAL + checkpointer after recovery/bootstrap: creates
+  /// segment `wal_seq`, publishes a checkpoint of the just-opened state
+  /// (so GC can drop replayed segments), starts the background
+  /// checkpointer when thresholds are configured.
+  Status StartDurability(const DurabilityOptions& durability,
+                         uint64_t wal_seq);
+
+  /// The non-durable ApplyUpdates body (also the durable path's final
+  /// shape — kept verbatim so the non-durable service is untouched).
+  StatusOr<UpdateResponse> ApplyUpdatesPlain(std::span<const Update> updates);
+
+  /// Durable ApplyUpdates: intent record → engine apply → commit record
+  /// with per-update outcomes, all under dur_mu_.
+  StatusOr<UpdateResponse> ApplyUpdatesDurable(std::span<const Update> updates,
+                                               const WriteOptions& write);
+
+  /// Appends one encoded record to the WAL, updating metrics; on failure
+  /// trips fail-stop and returns the sticky error. Caller holds dur_mu_.
+  StatusOr<uint64_t> AppendWalLocked(const std::vector<uint8_t>& payload);
+
+  /// Marks the durability path failed (first error wins) and records it.
+  /// Caller holds dur_mu_.
+  Status FailDurabilityLocked(Status st);
+
+  /// Blocks until `offset` is synced in `wal` (a shared_ptr copy taken
+  /// under dur_mu_, so rotation can retire the segment meanwhile).
+  Status WaitDurableOffset(const std::shared_ptr<WalWriter>& wal,
+                           uint64_t offset);
+
+  /// Checkpoint body; caller holds dur_mu_.
+  Status CheckpointLocked();
+
+  /// Wakes the background checkpointer when the current segment crossed
+  /// a threshold. Caller holds dur_mu_.
+  void MaybeTriggerCheckpointLocked();
+
+  void CheckpointLoop();
+
   DynamicSpcIndex engine_;
 
   /// Aggregate counters (Metrics()); mutable because recording a read is
   /// not a logical mutation of the service.
   mutable ServiceMetrics metrics_;
+
+  FileSystem* fs_ = nullptr;           ///< null ⇔ non-durable
+  DurabilityOptions dur_options_;
+  std::unique_ptr<Checkpointer> checkpointer_;
+
+  /// Serializes the whole write path on a durable service: WAL append,
+  /// engine apply, commit append, rotation, checkpoint capture. Ordering
+  /// with the engine lock: dur_mu_ is always taken FIRST (writes apply
+  /// under it; Checkpoint takes it, then FreezeWrites). Reads never
+  /// touch it.
+  std::mutex dur_mu_;
+  /// Current segment's writer. shared_ptr so a durable waiter can hold
+  /// the segment across a concurrent rotation (the retired writer's
+  /// Close syncs everything first, so waiters are satisfied, not
+  /// stranded). Swapped only under dur_mu_.
+  std::shared_ptr<WalWriter> wal_;
+  uint64_t next_batch_seq_ = 1;  ///< intent/commit pairing key
+  bool dur_failed_ = false;      ///< fail-stop latch (under dur_mu_)
+  Status dur_error_;             ///< first durability failure
+
+  std::thread checkpoint_thread_;
+  std::condition_variable checkpoint_cv_;
+  bool checkpoint_requested_ = false;  ///< under dur_mu_
+  bool stop_checkpointer_ = false;     ///< under dur_mu_
+
+  RecoveryReport recovery_report_;
 };
 
 }  // namespace dspc

@@ -4,16 +4,20 @@
 #include <bit>
 #include <cstring>
 
+#ifdef __SSE4_2__
+#include <nmmintrin.h>
+#endif
+
 namespace dspc {
 
 namespace {
 
-std::array<uint32_t, 256> BuildCrcTable() {
+std::array<uint32_t, 256> BuildCrcTable(uint32_t poly) {
   std::array<uint32_t, 256> table{};
   for (uint32_t i = 0; i < 256; ++i) {
     uint32_t c = i;
     for (int k = 0; k < 8; ++k) {
-      c = (c & 1) ? (0xEDB88320U ^ (c >> 1)) : (c >> 1);
+      c = (c & 1) ? (poly ^ (c >> 1)) : (c >> 1);
     }
     table[i] = c;
   }
@@ -21,9 +25,16 @@ std::array<uint32_t, 256> BuildCrcTable() {
 }
 
 const std::array<uint32_t, 256>& CrcTable() {
-  static const std::array<uint32_t, 256> table = BuildCrcTable();
+  static const std::array<uint32_t, 256> table = BuildCrcTable(0xEDB88320U);
   return table;
 }
+
+#ifndef __SSE4_2__
+const std::array<uint32_t, 256>& Crc32cTable() {
+  static const std::array<uint32_t, 256> table = BuildCrcTable(0x82F63B78U);
+  return table;
+}
+#endif
 
 }  // namespace
 
@@ -34,6 +45,32 @@ uint32_t Crc32(const void* data, size_t n, uint32_t seed) {
   for (size_t i = 0; i < n; ++i) {
     c = table[(c ^ p[i]) & 0xFF] ^ (c >> 8);
   }
+  return c ^ 0xFFFFFFFFU;
+}
+
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t c = seed ^ 0xFFFFFFFFU;
+#ifdef __SSE4_2__
+  uint64_t c64 = c;
+  while (n >= 8) {
+    uint64_t chunk;
+    std::memcpy(&chunk, p, 8);
+    c64 = _mm_crc32_u64(c64, chunk);
+    p += 8;
+    n -= 8;
+  }
+  c = static_cast<uint32_t>(c64);
+  while (n > 0) {
+    c = _mm_crc32_u8(c, *p++);
+    --n;
+  }
+#else
+  const auto& table = Crc32cTable();
+  for (size_t i = 0; i < n; ++i) {
+    c = table[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+  }
+#endif
   return c ^ 0xFFFFFFFFU;
 }
 
@@ -98,9 +135,15 @@ Status BinaryReader::ReadFromFile(const std::string& path, BinaryReader* out) {
   if (f == nullptr) {
     return Status::IOError("cannot open for reading: " + path);
   }
-  std::fseek(f, 0, SEEK_END);
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    std::fclose(f);
+    return Status::IOError("cannot seek: " + path);
+  }
   const long size = std::ftell(f);
-  std::fseek(f, 0, SEEK_SET);
+  if (size < 0 || std::fseek(f, 0, SEEK_SET) != 0) {
+    std::fclose(f);
+    return Status::IOError("cannot stat: " + path);
+  }
   if (size < 4) {
     std::fclose(f);
     return Status::Corruption("file too small: " + path);
@@ -180,6 +223,13 @@ bool BinaryReader::GetU64Array(uint64_t* out, size_t n) {
   } else {
     for (size_t i = 0; i < n; ++i) out[i] = GetU64();
   }
+  return true;
+}
+
+bool BinaryReader::GetBytes(void* out, size_t n) {
+  if (!Ensure(n)) return false;
+  std::memcpy(out, data_.data() + pos_, n);
+  pos_ += n;
   return true;
 }
 

@@ -18,6 +18,12 @@ namespace dspc {
 /// allows incremental computation by chaining calls.
 uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
 
+/// CRC32C (Castagnoli polynomial, reflected) — the WAL record checksum.
+/// Uses the SSE4.2 crc32 instruction when the build targets it (the
+/// repo-wide -march=x86-64-v2 does), falling back to a table otherwise.
+/// Same chaining convention as Crc32.
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed = 0);
+
 /// Buffered binary writer. Accumulates into memory, then flushes to a file
 /// with a trailing CRC32 so corrupt files are rejected at load time.
 class BinaryWriter {
@@ -63,6 +69,8 @@ class BinaryReader {
   /// flips into the failed state and `out` is untouched.
   bool GetU32Array(uint32_t* out, size_t n);
   bool GetU64Array(uint64_t* out, size_t n);
+  /// Raw byte run (counterpart of Append); same failure contract.
+  bool GetBytes(void* out, size_t n);
 
   /// True when all payload bytes have been consumed and no read failed.
   bool AtEnd() const { return ok_ && pos_ == data_.size(); }

@@ -22,6 +22,8 @@ const char* CodeName(Status::Code code) {
       return "Unavailable";
     case Status::Code::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case Status::Code::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
 }

@@ -30,6 +30,7 @@ class Status {
     kNotSupported = 5,
     kUnavailable = 6,
     kDeadlineExceeded = 7,
+    kDataLoss = 8,
   };
 
   /// Default-constructed Status is OK.
@@ -82,6 +83,14 @@ class Status {
   static Status DeadlineExceeded(std::string msg) {
     return Status(Code::kDeadlineExceeded, std::move(msg));
   }
+  /// Durable state is unrecoverably damaged: a checkpoint or WAL record
+  /// failed its checksum, or stored bytes decode to something structurally
+  /// impossible. Unlike kCorruption (a bad input file the caller handed
+  /// us), kDataLoss means previously-acknowledged state cannot be fully
+  /// reconstructed and a fallback (older checkpoint) may have been used.
+  static Status DataLoss(std::string msg) {
+    return Status(Code::kDataLoss, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -93,6 +102,7 @@ class Status {
   bool IsDeadlineExceeded() const {
     return code_ == Code::kDeadlineExceeded;
   }
+  bool IsDataLoss() const { return code_ == Code::kDataLoss; }
 
   Code code() const { return code_; }
   const std::string& message() const {

@@ -54,6 +54,9 @@ DynamicSpcIndex::DynamicSpcIndex(Graph graph, SpcIndex index,
 }
 
 void DynamicSpcIndex::InitSnapshots() {
+  if (options_.initial_generation != 0) {
+    generation_.store(options_.initial_generation, std::memory_order_release);
+  }
   entries_at_build_ = index_.SizeStats().total_entries;
   num_vertices_.store(graph_.NumVertices(), std::memory_order_release);
   snapshot_shards_ = options_.snapshot.shards != 0

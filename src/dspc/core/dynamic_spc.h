@@ -136,6 +136,13 @@ struct DynamicSpcOptions {
   size_t rebuild_after_updates = 0;
   double rebuild_growth_factor = 0.0;
 
+  /// Starting value of the structural generation counter (0 means the
+  /// historical default of 1). Recovery (persist/recovery.h) passes the
+  /// loaded checkpoint's generation here so that replaying the WAL
+  /// advances the counter to the exact pre-crash value and previously
+  /// issued WriteTokens stay meaningful across a restart.
+  uint64_t initial_generation = 0;
+
   /// Snapshot maintenance/serving knobs (DESIGN.md §5, §7, §8).
   SnapshotOptions snapshot;
 };

@@ -604,6 +604,12 @@ Status FlatSpcIndex::ValidateArena() const {
 
 Status FlatSpcIndex::Save(const std::string& path) const {
   BinaryWriter w;
+  SaveImage(&w);
+  return w.WriteToFile(path);
+}
+
+void FlatSpcIndex::SaveImage(BinaryWriter* writer) const {
+  BinaryWriter& w = *writer;
   w.PutU32(kSpcIndexMagic);
   w.PutU32(kSpcIndexFormatV2);
   w.PutU64(num_vertices_);
@@ -664,7 +670,6 @@ Status FlatSpcIndex::Save(const std::string& path) const {
       }
     }
   }
-  return w.WriteToFile(path);
 }
 
 Status FlatSpcIndex::Load(const std::string& path, FlatSpcIndex* out) {

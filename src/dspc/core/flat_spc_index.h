@@ -59,6 +59,7 @@
 
 namespace dspc {
 
+class BinaryWriter;
 class ThreadPool;
 
 /// On-disk format identifiers. Version 1 is SpcIndex's tagged per-entry
@@ -233,6 +234,13 @@ class FlatSpcIndex {
   /// converting through SpcIndex.
   Status Save(const std::string& path) const;
   static Status Load(const std::string& path, FlatSpcIndex* out);
+
+  /// Serializes the full v2 image (magic + version + payload) into `w`,
+  /// without the file-level CRC framing — the embeddable form. Save() is
+  /// this plus WriteToFile; the checkpointer (persist/checkpointer.h)
+  /// embeds the image as a length-prefixed blob inside the checkpoint
+  /// file, whose own CRC then covers it.
+  void SaveImage(BinaryWriter* w) const;
 
   /// Parses a v2 payload from `r`, which must be positioned just past the
   /// magic/version header. Used by the cross-version loaders so a file is

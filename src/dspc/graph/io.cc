@@ -15,9 +15,15 @@ namespace {
 Status ReadFileToString(const std::string& path, std::string* out) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return Status::IOError("cannot open: " + path);
-  std::fseek(f, 0, SEEK_END);
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    std::fclose(f);
+    return Status::IOError("cannot seek: " + path);
+  }
   const long size = std::ftell(f);
-  std::fseek(f, 0, SEEK_SET);
+  if (size < 0 || std::fseek(f, 0, SEEK_SET) != 0) {
+    std::fclose(f);
+    return Status::IOError("cannot stat: " + path);
+  }
   out->resize(static_cast<size_t>(size));
   const bool ok =
       size == 0 || std::fread(out->data(), 1, out->size(), f) == out->size();
@@ -157,11 +163,24 @@ Status LoadGraphBinary(const std::string& path, Graph* out) {
   if (r.GetU32() != 1) return Status::Corruption("bad graph version");
   const uint64_t n = r.GetU64();
   const uint64_t m = r.GetU64();
+  // Validate counts against the actual payload before any allocation: a
+  // bit-flipped m would otherwise drive a multi-GB reserve (or worse, a
+  // length_error abort) from attacker-controlled bytes.
+  if (!r.status().ok()) return Status::DataLoss("truncated graph header");
+  if (m > r.remaining() / (2 * sizeof(uint32_t))) {
+    return Status::DataLoss("graph edge count exceeds payload: " + path);
+  }
+  if (n > (uint64_t{1} << 32)) {
+    return Status::DataLoss("graph vertex count out of range: " + path);
+  }
   std::vector<Edge> edges;
   edges.reserve(m);
   for (uint64_t i = 0; i < m; ++i) {
     const Vertex u = r.GetU32();
     const Vertex v = r.GetU32();
+    if (u >= n || v >= n) {
+      return Status::DataLoss("graph edge endpoint out of range: " + path);
+    }
     edges.push_back(Edge{u, v});
   }
   if (!r.AtEnd()) return Status::Corruption("trailing bytes in " + path);

@@ -1,0 +1,259 @@
+#include "dspc/persist/checkpointer.h"
+
+#include <utility>
+#include <vector>
+
+#include "dspc/common/binary_io.h"
+#include "dspc/persist/wal.h"
+
+namespace dspc {
+
+namespace {
+
+std::string Join(const std::string& dir, const std::string& name) {
+  return dir + "/" + name;
+}
+
+/// Writes `payload` + CRC32C trailer to `path` via tmp + fsync + rename.
+/// The directory fsync is the caller's (so one publish batches it).
+Status WriteFramedFileAtomic(FileSystem* fs, const std::string& dir,
+                             const std::string& name,
+                             const std::vector<uint8_t>& payload) {
+  const std::string tmp = Join(dir, name + ".tmp");
+  auto file = fs->NewWritableFile(tmp);
+  if (!file.ok()) return file.status();
+  if (Status st = (*file)->Append(payload.data(), payload.size()); !st.ok()) {
+    return st;
+  }
+  const uint32_t crc = Crc32c(payload.data(), payload.size());
+  const uint8_t tail[4] = {
+      static_cast<uint8_t>(crc), static_cast<uint8_t>(crc >> 8),
+      static_cast<uint8_t>(crc >> 16), static_cast<uint8_t>(crc >> 24)};
+  if (Status st = (*file)->Append(tail, sizeof(tail)); !st.ok()) return st;
+  if (Status st = (*file)->Sync(); !st.ok()) return st;
+  if (Status st = (*file)->Close(); !st.ok()) return st;
+  return fs->RenameFile(tmp, Join(dir, name));
+}
+
+/// Reads a CRC32C-framed file into a BinaryReader over its payload.
+Status ReadFramedFile(FileSystem* fs, const std::string& path,
+                      BinaryReader* out) {
+  std::vector<uint8_t> data;
+  if (Status st = fs->ReadFile(path, &data); !st.ok()) return st;
+  if (data.size() < 4) {
+    return Status::DataLoss("framed file too small: " + path);
+  }
+  const size_t payload = data.size() - 4;
+  const uint32_t stored = static_cast<uint32_t>(data[payload]) |
+                          (static_cast<uint32_t>(data[payload + 1]) << 8) |
+                          (static_cast<uint32_t>(data[payload + 2]) << 16) |
+                          (static_cast<uint32_t>(data[payload + 3]) << 24);
+  if (Crc32c(data.data(), payload) != stored) {
+    return Status::DataLoss("checksum mismatch: " + path);
+  }
+  data.resize(payload);
+  *out = BinaryReader(std::move(data));
+  return Status::OK();
+}
+
+bool ParseCheckpointFileName(const std::string& name, uint64_t* generation) {
+  if (name.size() < 10 || name.compare(0, 5, "ckpt-") != 0 ||
+      name.compare(name.size() - 4, 4, ".spc") != 0) {
+    return false;
+  }
+  uint64_t value = 0;
+  for (size_t i = 5; i < name.size() - 4; ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  *generation = value;
+  return true;
+}
+
+}  // namespace
+
+std::string CheckpointFileName(uint64_t generation) {
+  return "ckpt-" + std::to_string(generation) + ".spc";
+}
+
+Status WriteManifest(FileSystem* fs, const std::string& dir,
+                     const CheckpointManifest& manifest) {
+  BinaryWriter w;
+  w.PutU32(kManifestMagic);
+  w.PutU32(kManifestVersion);
+  w.PutU64(manifest.generation);
+  w.PutU64(manifest.wal_seq);
+  w.PutU64(manifest.layout_stamp);
+  w.PutU8(manifest.has_previous ? 1 : 0);
+  w.PutU64(manifest.prev_generation);
+  w.PutU64(manifest.prev_wal_seq);
+  return WriteFramedFileAtomic(fs, dir, ManifestFileName(), w.buffer());
+}
+
+StatusOr<CheckpointManifest> ReadManifest(FileSystem* fs,
+                                          const std::string& dir) {
+  const std::string path = Join(dir, ManifestFileName());
+  BinaryReader r(std::vector<uint8_t>{});
+  if (Status st = ReadFramedFile(fs, path, &r); !st.ok()) return st;
+  if (r.GetU32() != kManifestMagic) {
+    return Status::DataLoss("manifest bad magic: " + path);
+  }
+  if (r.GetU32() != kManifestVersion) {
+    return Status::DataLoss("manifest bad version: " + path);
+  }
+  CheckpointManifest m;
+  m.generation = r.GetU64();
+  m.wal_seq = r.GetU64();
+  m.layout_stamp = r.GetU64();
+  m.has_previous = r.GetU8() != 0;
+  m.prev_generation = r.GetU64();
+  m.prev_wal_seq = r.GetU64();
+  if (!r.status().ok() || !r.AtEnd()) {
+    return Status::DataLoss("manifest malformed: " + path);
+  }
+  return m;
+}
+
+Status LoadCheckpoint(FileSystem* fs, const std::string& dir,
+                      uint64_t generation, LoadedCheckpoint* out) {
+  const std::string path = Join(dir, CheckpointFileName(generation));
+  BinaryReader r(std::vector<uint8_t>{});
+  if (Status st = ReadFramedFile(fs, path, &r); !st.ok()) return st;
+  if (r.GetU32() != kCheckpointMagic) {
+    return Status::DataLoss("checkpoint bad magic: " + path);
+  }
+  if (r.GetU32() != kCheckpointVersion) {
+    return Status::DataLoss("checkpoint bad version: " + path);
+  }
+  LoadedCheckpoint ckpt;
+  ckpt.generation = r.GetU64();
+  ckpt.layout_stamp = r.GetU64();
+  if (ckpt.generation != generation) {
+    return Status::DataLoss("checkpoint generation mismatch: " + path);
+  }
+  const uint64_t n = r.GetU64();
+  const uint64_t m = r.GetU64();
+  if (!r.status().ok()) {
+    return Status::DataLoss("checkpoint graph header truncated: " + path);
+  }
+  if (n > (uint64_t{1} << 32) ||
+      m > r.remaining() / (2 * sizeof(uint32_t))) {
+    return Status::DataLoss("checkpoint graph counts out of range: " + path);
+  }
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  for (uint64_t i = 0; i < m; ++i) {
+    const Vertex u = r.GetU32();
+    const Vertex v = r.GetU32();
+    if (u >= n || v >= n) {
+      return Status::DataLoss("checkpoint edge endpoint out of range: " + path);
+    }
+    edges.push_back(Edge{u, v});
+  }
+  ckpt.graph = Graph(static_cast<size_t>(n), edges);
+
+  const uint64_t image_len = r.GetU64();
+  if (!r.status().ok() || image_len != r.remaining()) {
+    return Status::DataLoss("checkpoint image length mismatch: " + path);
+  }
+  std::vector<uint8_t> image(image_len);
+  if (image_len > 0 && !r.GetBytes(image.data(), image_len)) {
+    return Status::DataLoss("checkpoint image truncated: " + path);
+  }
+  BinaryReader ir(std::move(image));
+  if (ir.GetU32() != kSpcIndexMagic ||
+      ir.GetU32() != kSpcIndexFormatV2) {
+    return Status::DataLoss("checkpoint index image bad header: " + path);
+  }
+  if (Status st = FlatSpcIndex::LoadFromReader(&ir, &ckpt.index); !st.ok()) {
+    // The image passed the file CRC but fails structural validation:
+    // that is corruption, not a torn write (the rename was atomic).
+    return Status::DataLoss("checkpoint index image invalid: " + path +
+                            ": " + st.message());
+  }
+  if (ckpt.index.NumVertices() != n) {
+    return Status::DataLoss("checkpoint graph/index vertex mismatch: " + path);
+  }
+  *out = std::move(ckpt);
+  return Status::OK();
+}
+
+Status Checkpointer::Publish(const Graph& graph, const FlatSpcIndex& index,
+                             uint64_t generation, uint64_t wal_seq) {
+  CheckpointManifest manifest;
+  manifest.generation = generation;
+  manifest.wal_seq = wal_seq;
+  manifest.layout_stamp = index.LayoutStamp();
+  if (fs_->FileExists(Join(dir_, ManifestFileName()))) {
+    auto prev = ReadManifest(fs_, dir_);
+    // An unreadable old manifest forfeits the fallback but must not
+    // block publishing a good new checkpoint over it.
+    if (prev.ok()) {
+      manifest.has_previous = true;
+      manifest.prev_generation = prev->generation;
+      manifest.prev_wal_seq = prev->wal_seq;
+    }
+  }
+
+  BinaryWriter w;
+  w.PutU32(kCheckpointMagic);
+  w.PutU32(kCheckpointVersion);
+  w.PutU64(generation);
+  w.PutU64(index.LayoutStamp());
+  const std::vector<Edge> edges = graph.Edges();
+  w.PutU64(graph.NumVertices());
+  w.PutU64(edges.size());
+  for (const Edge& e : edges) {
+    w.PutU32(e.u);
+    w.PutU32(e.v);
+  }
+  BinaryWriter image;
+  index.SaveImage(&image);
+  w.PutU64(image.buffer().size());
+  w.Append(image.buffer().data(), image.buffer().size());
+
+  if (Status st = WriteFramedFileAtomic(fs_, dir_,
+                                        CheckpointFileName(generation),
+                                        w.buffer());
+      !st.ok()) {
+    return st;
+  }
+  if (Status st = WriteManifest(fs_, dir_, manifest); !st.ok()) return st;
+  // One directory fsync covers both renames; only now is the new
+  // checkpoint the durable truth, so only now may GC delete old state.
+  if (Status st = fs_->SyncDir(dir_); !st.ok()) return st;
+  return GarbageCollect();
+}
+
+Status Checkpointer::GarbageCollect() {
+  if (!fs_->FileExists(Join(dir_, ManifestFileName()))) return Status::OK();
+  auto manifest = ReadManifest(fs_, dir_);
+  if (!manifest.ok()) return manifest.status();
+  auto names = fs_->ListDir(dir_);
+  if (!names.ok()) return names.status();
+  const uint64_t min_wal_seq =
+      manifest->has_previous ? manifest->prev_wal_seq : manifest->wal_seq;
+  bool removed = false;
+  for (const std::string& name : *names) {
+    bool drop = false;
+    uint64_t value = 0;
+    if (name.size() > 4 &&
+        name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      drop = true;  // orphan of an interrupted publish
+    } else if (ParseCheckpointFileName(name, &value)) {
+      drop = value != manifest->generation &&
+             !(manifest->has_previous && value == manifest->prev_generation);
+    } else if (ParseWalSegmentFileName(name, &value)) {
+      drop = value < min_wal_seq;
+    }
+    if (!drop) continue;
+    if (Status st = fs_->RemoveFile(Join(dir_, name)); !st.ok()) return st;
+    removed = true;
+  }
+  if (removed) {
+    if (Status st = fs_->SyncDir(dir_); !st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+}  // namespace dspc

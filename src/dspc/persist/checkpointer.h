@@ -1,0 +1,112 @@
+// Atomic checkpoint publication for the durability subsystem (DESIGN.md
+// §11). A checkpoint is one self-contained file — the graph's edge list
+// plus the FlatSpcIndex v2 image, CRC32C-framed — published with the
+// classic crash-safe dance:
+//
+//   write ckpt-<gen>.spc.tmp  →  fsync  →  rename to ckpt-<gen>.spc
+//   write MANIFEST.tmp        →  fsync  →  rename to MANIFEST
+//   fsync the directory       →  garbage-collect
+//
+// The MANIFEST names the current checkpoint generation and the WAL
+// segment replay starts from, and retains the previous checkpoint as a
+// fallback: recovery that finds the newest checkpoint unreadable
+// (kDataLoss) can fall back one generation and replay further back in
+// the WAL. Garbage collection therefore keeps the current and previous
+// checkpoints, every WAL segment the *previous* one still needs, and
+// deletes orphaned .tmp files from interrupted publishes. A crash at any
+// step leaves either the old MANIFEST (pointing at intact old state) or
+// the new one (pointing at the fully-synced new checkpoint) — never a
+// manifest that names missing or partial files.
+
+#ifndef DSPC_PERSIST_CHECKPOINTER_H_
+#define DSPC_PERSIST_CHECKPOINTER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "dspc/common/status.h"
+#include "dspc/core/flat_spc_index.h"
+#include "dspc/graph/graph.h"
+#include "dspc/persist/env.h"
+
+namespace dspc {
+
+inline constexpr uint32_t kCheckpointMagic = 0x504B4344;  // "DCKP"
+inline constexpr uint32_t kCheckpointVersion = 1;
+inline constexpr uint32_t kManifestMagic = 0x4E414D44;  // "DMAN"
+inline constexpr uint32_t kManifestVersion = 1;
+
+/// File name of the checkpoint at `generation` within the durability
+/// directory.
+std::string CheckpointFileName(uint64_t generation);
+
+/// The durability directory's root pointer file.
+inline const char* ManifestFileName() { return "MANIFEST"; }
+
+/// Decoded MANIFEST: which checkpoint is current, where replay starts,
+/// and the retained fallback.
+struct CheckpointManifest {
+  /// Engine generation the current checkpoint captures.
+  uint64_t generation = 0;
+  /// First WAL segment NOT covered by the checkpoint — replay starts
+  /// here. Its base_generation equals `generation`.
+  uint64_t wal_seq = 0;
+  /// Layout stamp of the checkpointed snapshot (diagnostic).
+  uint64_t layout_stamp = 0;
+
+  bool has_previous = false;
+  uint64_t prev_generation = 0;
+  uint64_t prev_wal_seq = 0;
+};
+
+/// A checkpoint loaded back from disk.
+struct LoadedCheckpoint {
+  Graph graph;
+  FlatSpcIndex index;
+  uint64_t generation = 0;
+  uint64_t layout_stamp = 0;
+};
+
+/// Writes/reads the MANIFEST (CRC32C-framed; write is atomic via .tmp +
+/// rename but does NOT fsync the directory — Publish sequences that).
+Status WriteManifest(FileSystem* fs, const std::string& dir,
+                     const CheckpointManifest& manifest);
+StatusOr<CheckpointManifest> ReadManifest(FileSystem* fs,
+                                          const std::string& dir);
+
+/// Reads and verifies the checkpoint at `generation`. kDataLoss on any
+/// checksum or structural failure — the caller's cue to fall back.
+Status LoadCheckpoint(FileSystem* fs, const std::string& dir,
+                      uint64_t generation, LoadedCheckpoint* out);
+
+/// Owns the publish + retention protocol for one durability directory.
+class Checkpointer {
+ public:
+  Checkpointer(FileSystem* fs, std::string dir)
+      : fs_(fs), dir_(std::move(dir)) {}
+
+  /// Atomically publishes a checkpoint of (`graph`, `index`) captured at
+  /// `generation`, pointing replay at WAL segment `wal_seq`, then
+  /// garbage-collects. The previous current checkpoint becomes the
+  /// fallback. The caller guarantees graph/index are a consistent pair
+  /// at `generation` (the service captures them under FreezeWrites) and
+  /// that segment `wal_seq` already exists (rotation happens first).
+  Status Publish(const Graph& graph, const FlatSpcIndex& index,
+                 uint64_t generation, uint64_t wal_seq);
+
+  /// Deletes everything the current MANIFEST no longer needs: checkpoint
+  /// files other than current/previous, WAL segments below the oldest
+  /// still-needed replay point, and orphaned .tmp files. Missing
+  /// MANIFEST is a no-op. Best-effort: stops at the first error.
+  Status GarbageCollect();
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  FileSystem* const fs_;
+  const std::string dir_;
+};
+
+}  // namespace dspc
+
+#endif  // DSPC_PERSIST_CHECKPOINTER_H_

@@ -1,0 +1,257 @@
+#include "dspc/persist/recovery.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "dspc/core/dynamic_spc.h"
+#include "dspc/persist/wal.h"
+
+namespace dspc {
+
+std::string RecoveryReport::ToString() const {
+  std::string s = "recovery: checkpoint_gen=";
+  s += std::to_string(checkpoint_generation);
+  s += " recovered_gen=" + std::to_string(recovered_generation);
+  s += " replayed=" + std::to_string(replayed);
+  s += " skipped=" + std::to_string(skipped);
+  s += " truncated_tail_bytes=" + std::to_string(truncated_tail_bytes);
+  s += " segments=" + std::to_string(segments_scanned);
+  if (used_fallback_checkpoint) s += " fallback_checkpoint";
+  if (bootstrapped) s += " bootstrapped";
+  return s;
+}
+
+namespace {
+
+std::string Join(const std::string& dir, const std::string& name) {
+  return dir + "/" + name;
+}
+
+}  // namespace
+
+Status PlanRecovery(FileSystem* fs, const std::string& dir,
+                    RecoveryPlan* out) {
+  RecoveryPlan plan;
+
+  auto names = fs->ListDir(dir);
+  if (!names.ok()) return names.status();
+  std::vector<uint64_t> seqs;
+  for (const std::string& name : *names) {
+    uint64_t seq = 0;
+    if (ParseWalSegmentFileName(name, &seq)) seqs.push_back(seq);
+  }
+  std::sort(seqs.begin(), seqs.end());
+  const uint64_t max_seq = seqs.empty() ? 0 : seqs.back();
+
+  if (!fs->FileExists(Join(dir, ManifestFileName()))) {
+    // No MANIFEST means Open never completed a publish, so nothing was
+    // ever durably acknowledged: bootstrap fresh. Stray segments from an
+    // interrupted first open are superseded (and GC'd after the next
+    // publish); skipping their seq numbers keeps file names unique.
+    plan.has_checkpoint = false;
+    plan.next_wal_seq = max_seq + 1;
+    plan.report.bootstrapped = true;
+    *out = std::move(plan);
+    return Status::OK();
+  }
+
+  auto manifest = ReadManifest(fs, dir);
+  if (!manifest.ok()) return manifest.status();
+
+  uint64_t start_seq = manifest->wal_seq;
+  Status load =
+      LoadCheckpoint(fs, dir, manifest->generation, &plan.checkpoint);
+  if (!load.ok()) {
+    if (!manifest->has_previous) return load;
+    Status fallback =
+        LoadCheckpoint(fs, dir, manifest->prev_generation, &plan.checkpoint);
+    if (!fallback.ok()) return load;  // the primary failure is the story
+    plan.report.used_fallback_checkpoint = true;
+    start_seq = manifest->prev_wal_seq;
+  }
+  plan.has_checkpoint = true;
+  plan.report.checkpoint_generation = plan.checkpoint.generation;
+
+  // Replay needs the contiguous run start_seq, start_seq+1, ..., max.
+  std::vector<uint64_t> run;
+  for (const uint64_t s : seqs) {
+    if (s >= start_seq) run.push_back(s);
+  }
+  if (run.empty() || run.front() != start_seq) {
+    return Status::DataLoss("wal segment missing: " +
+                            WalSegmentFileName(start_seq));
+  }
+  for (size_t i = 1; i < run.size(); ++i) {
+    if (run[i] != run[i - 1] + 1) {
+      return Status::DataLoss("wal segment gap after " +
+                              WalSegmentFileName(run[i - 1]));
+    }
+  }
+
+  std::vector<WalSegment> segments;
+  segments.reserve(run.size());
+  for (const uint64_t s : run) {
+    WalSegment seg;
+    if (Status st =
+            ReadWalSegment(fs, Join(dir, WalSegmentFileName(s)), s, &seg);
+        !st.ok()) {
+      return st;
+    }
+    segments.push_back(std::move(seg));
+  }
+  // A torn tail is a write the crash interrupted — nothing can have been
+  // appended (anywhere) after it. Records in a later segment disprove
+  // that, so the "tail" is really mid-log corruption.
+  for (size_t i = 0; i < segments.size(); ++i) {
+    if (segments[i].truncated_tail_bytes == 0) continue;
+    for (size_t j = i + 1; j < segments.size(); ++j) {
+      if (!segments[j].records.empty()) {
+        return Status::DataLoss(
+            "corrupt wal records before later valid records: " +
+            WalSegmentFileName(run[i]));
+      }
+    }
+    if (Status st = RepairWalTail(fs, Join(dir, WalSegmentFileName(run[i])),
+                                  segments[i]);
+        !st.ok()) {
+      return st;
+    }
+    plan.report.truncated_tail_bytes += segments[i].truncated_tail_bytes;
+  }
+  plan.report.segments_scanned = segments.size();
+  if (segments.front().valid_bytes >= kWalHeaderBytes &&
+      segments.front().base_generation != plan.checkpoint.generation) {
+    return Status::DataLoss(
+        "wal segment base generation contradicts its checkpoint: " +
+        WalSegmentFileName(run.front()));
+  }
+
+  // Pair intents with commits. An intent whose commit never made it to
+  // the log was never acknowledged — dropped, wherever it sits.
+  std::unordered_map<uint64_t, WalRecord> pending;
+  std::vector<ReplayOp> committed;
+  for (WalSegment& seg : segments) {
+    for (WalRecord& rec : seg.records) {
+      switch (rec.kind) {
+        case WalRecord::Kind::kBatch:
+        case WalRecord::Kind::kRemoveVertex: {
+          if (!pending.emplace(rec.seq, std::move(rec)).second) {
+            return Status::DataLoss("duplicate wal intent seq " +
+                                    std::to_string(rec.seq));
+          }
+          break;
+        }
+        case WalRecord::Kind::kCommit: {
+          auto it = pending.find(rec.seq);
+          if (it == pending.end()) {
+            return Status::DataLoss("wal commit without intent, seq " +
+                                    std::to_string(rec.seq));
+          }
+          WalRecord intent = std::move(it->second);
+          pending.erase(it);
+          ReplayOp op;
+          if (intent.kind == WalRecord::Kind::kBatch) {
+            if (rec.outcomes.size() != intent.updates.size()) {
+              return Status::DataLoss(
+                  "wal commit outcome count contradicts its intent, seq " +
+                  std::to_string(rec.seq));
+            }
+            op.kind = ReplayOp::Kind::kBatch;
+            op.base_generation = intent.generation;
+            op.updates = std::move(intent.updates);
+            op.outcomes = std::move(rec.outcomes);
+          } else {
+            op.kind = ReplayOp::Kind::kRemoveVertex;
+            op.vertex = intent.vertex;
+          }
+          op.end_generation = rec.generation;
+          committed.push_back(std::move(op));
+          break;
+        }
+        case WalRecord::Kind::kAddVertex: {
+          ReplayOp op;
+          op.kind = ReplayOp::Kind::kAddVertex;
+          op.vertex = rec.vertex;
+          op.end_generation = rec.generation;
+          committed.push_back(std::move(op));
+          break;
+        }
+      }
+    }
+  }
+
+  // Keep only ops the checkpoint does not already cover, and make sure
+  // the committed generations chain: each op starts exactly where the
+  // previous one ended.
+  uint64_t gen = plan.checkpoint.generation;
+  for (ReplayOp& op : committed) {
+    if (op.end_generation <= plan.checkpoint.generation) {
+      ++plan.report.skipped;
+      continue;
+    }
+    if (op.kind == ReplayOp::Kind::kBatch && op.base_generation != gen) {
+      return Status::DataLoss("wal replay chain broken at generation " +
+                              std::to_string(op.base_generation) +
+                              ", expected " + std::to_string(gen));
+    }
+    if (op.end_generation < gen) {
+      return Status::DataLoss("wal commit generations not monotonic");
+    }
+    gen = op.end_generation;
+    plan.ops.push_back(std::move(op));
+  }
+  plan.report.replayed = plan.ops.size();
+  plan.target_generation = gen;
+  plan.report.recovered_generation = gen;
+  plan.next_wal_seq = max_seq + 1;
+  *out = std::move(plan);
+  return Status::OK();
+}
+
+Status ApplyReplayOp(DynamicSpcIndex* engine, const ReplayOp& op) {
+  switch (op.kind) {
+    case ReplayOp::Kind::kBatch: {
+      if (op.base_generation != engine->Generation()) {
+        return Status::DataLoss(
+            "replay base generation mismatch: engine at " +
+            std::to_string(engine->Generation()) + ", journal says " +
+            std::to_string(op.base_generation));
+      }
+      std::vector<WriteReport> reports;
+      engine->ApplyBatch(std::span<const Update>(op.updates), &reports);
+      if (reports.size() != op.outcomes.size()) {
+        return Status::DataLoss("replay produced wrong report count");
+      }
+      for (size_t i = 0; i < reports.size(); ++i) {
+        if (reports[i].applied() != (op.outcomes[i] != 0)) {
+          return Status::DataLoss(
+              "replayed update outcome diverged from journal at index " +
+              std::to_string(i));
+        }
+      }
+      break;
+    }
+    case ReplayOp::Kind::kAddVertex: {
+      const Vertex v = engine->AddVertex();
+      if (v != op.vertex) {
+        return Status::DataLoss("replayed AddVertex produced id " +
+                                std::to_string(v) + ", journal says " +
+                                std::to_string(op.vertex));
+      }
+      break;
+    }
+    case ReplayOp::Kind::kRemoveVertex:
+      engine->RemoveVertex(op.vertex);
+      break;
+  }
+  if (engine->Generation() != op.end_generation) {
+    return Status::DataLoss(
+        "replay generation diverged: engine at " +
+        std::to_string(engine->Generation()) + ", journal committed " +
+        std::to_string(op.end_generation));
+  }
+  return Status::OK();
+}
+
+}  // namespace dspc

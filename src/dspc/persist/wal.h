@@ -1,0 +1,237 @@
+// Write-ahead log for the serving layer (DESIGN.md §11): an append-only,
+// generation-numbered record of every admitted write, so a crash loses
+// nothing that was durably acknowledged.
+//
+// Layout. The log is a sequence of segment files wal-<seq>.log; segment
+// rotation happens at checkpoint time so one checkpoint plus the
+// segments at or after its wal_seq reconstruct the exact pre-crash
+// state, and older segments become garbage. A segment is a fixed header
+// (magic, version, seq, the engine generation at rotation, header
+// CRC32C) followed by length-prefixed records:
+//
+//   u32 payload_len | u32 crc32c(payload) | payload
+//
+// Torn tails are expected, not exceptional: on an append-only log every
+// framing or checksum failure at the tail is indistinguishable from a
+// write interrupted by the crash, so ReadWalSegment stops at the last
+// valid record and reports the rest as truncated_tail_bytes for repair
+// (RepairWalTail). Corruption *before* later valid records — which a
+// torn write cannot produce — is kDataLoss.
+//
+// Record protocol (the ApplyUpdates atomicity fix). A write batch is two
+// records: an INTENT (kBatch: sequence number, base generation, the
+// admitted updates) appended before the engine applies anything, and a
+// COMMIT (kCommit: same sequence number, end generation, one outcome
+// byte per update) appended after. Recovery replays only committed
+// batches, re-running the updates and cross-checking each recorded
+// outcome — a replayed no-op stays a no-op and bumps nothing, so the
+// recovered generation lands exactly on the commit record's value. A
+// trailing intent without its commit was never acknowledged and is
+// skipped. kAddVertex is a single self-committing record (the operation
+// is infallible); kRemoveVertex uses intent + commit like a batch.
+//
+// Sync policy. kNone never fsyncs (the OS decides; cheapest, weakest),
+// kEveryWrite fsyncs inside every AppendRecord (strongest, slowest),
+// kBatch runs a group-commit flusher thread that fsyncs every
+// flush_interval — or immediately when a durable waiter arrives — so
+// concurrent durable writers share one fsync (WaitDurable). Any append
+// or sync failure is sticky: the writer goes fail-stop and every later
+// operation returns the first error, preserving the invariant that the
+// WAL is always a superset of acknowledged engine state.
+
+#ifndef DSPC_PERSIST_WAL_H_
+#define DSPC_PERSIST_WAL_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dspc/common/status.h"
+#include "dspc/common/types.h"
+#include "dspc/graph/update_stream.h"
+#include "dspc/persist/env.h"
+
+namespace dspc {
+
+inline constexpr uint32_t kWalMagic = 0x4C415744;  // "DWAL"
+inline constexpr uint32_t kWalVersion = 1;
+/// Fixed segment header size: magic, version, seq, base generation, CRC.
+inline constexpr size_t kWalHeaderBytes = 4 + 4 + 8 + 8 + 4;
+/// Framing guard: a length prefix beyond this is treated as a torn tail
+/// (a real record can't be this big — batches are bounded by admission).
+inline constexpr uint32_t kWalMaxRecordBytes = 1u << 26;
+/// Per-record framing overhead: u32 payload length + u32 CRC32C.
+inline constexpr size_t kWalRecordOverheadBytes = 8;
+
+/// When WAL appends are made durable. See the file comment.
+enum class WalSyncPolicy : unsigned char {
+  kNone = 0,
+  kBatch = 1,
+  kEveryWrite = 2,
+};
+
+const char* WalSyncPolicyName(WalSyncPolicy policy);
+
+/// One decoded WAL record. Which fields are meaningful depends on `kind`
+/// (see the record protocol in the file comment).
+struct WalRecord {
+  enum class Kind : uint8_t {
+    kBatch = 1,         ///< intent: seq, generation (base), updates
+    kCommit = 2,        ///< commit: seq, generation (end), outcomes
+    kAddVertex = 3,     ///< self-committing: generation (end), vertex
+    kRemoveVertex = 4,  ///< intent: seq, vertex (committed by kCommit)
+  };
+
+  Kind kind = Kind::kBatch;
+  uint64_t seq = 0;
+  uint64_t generation = 0;
+  Vertex vertex = 0;
+  std::vector<Update> updates;
+  /// Per-update outcome bytes of a commit: 1 = applied (bumped the
+  /// generation), 0 = no-op. Rejected updates never reach the WAL.
+  std::vector<uint8_t> outcomes;
+};
+
+/// Serializes a record payload (what goes inside the framing).
+std::vector<uint8_t> EncodeWalRecord(const WalRecord& rec);
+
+/// Parses a record payload. kDataLoss on structural nonsense (a CRC-valid
+/// payload that does not decode is corruption, not a torn write).
+Status DecodeWalRecord(std::span<const uint8_t> payload, WalRecord* out);
+
+/// File name of segment `seq` within the durability directory.
+std::string WalSegmentFileName(uint64_t seq);
+
+/// Parses "wal-<seq>.log"; returns false for any other name.
+bool ParseWalSegmentFileName(const std::string& name, uint64_t* seq);
+
+/// The append side of one segment.
+class WalWriter {
+ public:
+  struct Options {
+    WalSyncPolicy sync = WalSyncPolicy::kBatch;
+    /// Group-commit interval under kBatch.
+    std::chrono::microseconds flush_interval{2000};
+    /// Invoked (from whichever thread synced) after every successful
+    /// fsync — the service layer's metrics hook.
+    std::function<void()> on_sync;
+  };
+
+  /// Creates segment `seq` at `path`, writes its header, and (under
+  /// kBatch) starts the flusher thread.
+  static StatusOr<std::unique_ptr<WalWriter>> Create(FileSystem* fs,
+                                                     const std::string& path,
+                                                     uint64_t seq,
+                                                     uint64_t base_generation,
+                                                     const Options& options);
+
+  ~WalWriter();
+
+  /// Appends one framed record. Calls must be externally serialized (the
+  /// service's write lock); Sync/WaitDurable may run concurrently.
+  /// Returns the end offset of the record — the argument WaitDurable
+  /// needs. Fail-stop: after any error every later call returns it.
+  StatusOr<uint64_t> AppendRecord(std::span<const uint8_t> payload);
+
+  /// Blocks until every byte up to `offset` is fsynced. Under kBatch
+  /// this joins the group commit (waking the flusher immediately rather
+  /// than waiting out the interval); under kNone it forces a sync
+  /// (honoring an explicit durable request on a non-durable log);
+  /// under kEveryWrite it is typically already satisfied.
+  Status WaitDurable(uint64_t offset);
+
+  /// Forces an fsync of everything appended so far.
+  Status Sync();
+
+  /// Stops the flusher, syncs, and closes the file. Called by the
+  /// destructor if not called explicitly; only the explicit call
+  /// reports errors.
+  Status Close();
+
+  uint64_t seq() const { return seq_; }
+  uint64_t base_generation() const { return base_generation_; }
+  uint64_t AppendedBytes() const {
+    return appended_.load(std::memory_order_acquire);
+  }
+  uint64_t AppendedRecords() const {
+    return records_.load(std::memory_order_relaxed);
+  }
+  uint64_t SyncedBytes() const {
+    return synced_.load(std::memory_order_acquire);
+  }
+  uint64_t SyncCount() const {
+    return syncs_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  WalWriter(FileSystem* fs, std::unique_ptr<WritableFile> file, uint64_t seq,
+            uint64_t base_generation, const Options& options);
+
+  /// Fsyncs through `target` and publishes the result. Serialized by
+  /// sync_mu_ (never held while appending).
+  Status SyncTo(uint64_t target);
+
+  void FlusherLoop();
+
+  FileSystem* const fs_;
+  std::unique_ptr<WritableFile> file_;
+  const uint64_t seq_;
+  const uint64_t base_generation_;
+  const Options options_;
+
+  std::atomic<uint64_t> appended_{0};
+  std::atomic<uint64_t> synced_{0};
+  std::atomic<uint64_t> records_{0};
+  std::atomic<uint64_t> syncs_{0};
+
+  /// Serializes fsyncs and guards the sticky error + wakeups.
+  std::mutex sync_mu_;
+  std::condition_variable flush_cv_;   ///< wakes the flusher
+  std::condition_variable synced_cv_;  ///< wakes durable waiters
+  Status error_;                       ///< sticky first failure (sync_mu_)
+  /// Atomic so AppendRecord's entry check never queues behind the
+  /// flusher's in-progress fsync (which holds sync_mu_ throughout) —
+  /// under kBatch that stall would tax every append landing mid-flush.
+  std::atomic<bool> failed_{false};
+  std::atomic<bool> closed_{false};
+  bool sync_requested_ = false;
+  bool stop_ = false;
+  std::thread flusher_;
+};
+
+/// One scanned segment: its header fields, every valid record in order,
+/// and how the file ends.
+struct WalSegment {
+  uint64_t seq = 0;
+  uint64_t base_generation = 0;
+  std::vector<WalRecord> records;
+  /// Offset one past the last valid record (kWalHeaderBytes for an empty
+  /// segment; 0 when even the header was torn).
+  uint64_t valid_bytes = 0;
+  /// Bytes past valid_bytes — a torn tail to repair. 0 for a clean file.
+  uint64_t truncated_tail_bytes = 0;
+};
+
+/// Scans one segment file. `expected_seq` is the sequence number implied
+/// by the file name; a complete header that contradicts it (or fails its
+/// own CRC with a fully-written file body after it) is kDataLoss. A
+/// header shorter than kWalHeaderBytes is a file created but never
+/// flushed: the segment parses as empty with everything in the tail.
+Status ReadWalSegment(FileSystem* fs, const std::string& path,
+                      uint64_t expected_seq, WalSegment* out);
+
+/// Truncates `path` to the segment's valid prefix (no-op when clean).
+Status RepairWalTail(FileSystem* fs, const std::string& path,
+                     const WalSegment& segment);
+
+}  // namespace dspc
+
+#endif  // DSPC_PERSIST_WAL_H_

@@ -1,12 +1,21 @@
-// Unit tests for SNAP-format edge-list I/O and binary graph snapshots.
+// Unit tests for SNAP-format edge-list I/O and binary graph snapshots,
+// plus the loader-hardening regressions: byte-truncated and bit-flipped
+// v1/v2 files must come back as typed Status errors, never UB or aborts.
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <vector>
 
-#include "dspc/graph/generators.h"
 #include "dspc/common/binary_io.h"
+#include "dspc/common/rng.h"
+#include "dspc/core/flat_spc_index.h"
+#include "dspc/core/hp_spc.h"
+#include "dspc/core/spc_index.h"
+#include "dspc/graph/generators.h"
 #include "dspc/graph/io.h"
 
 namespace dspc {
@@ -95,6 +104,117 @@ TEST(BinaryGraphTest, RejectsWrongMagic) {
   ASSERT_TRUE(w.WriteToFile(path).ok());
   Graph g;
   EXPECT_TRUE(LoadGraphBinary(path, &g).IsCorruption());
+  std::remove(path.c_str());
+}
+
+// --- loader hardening (DESIGN.md §11 satellite) ------------------------------
+
+std::vector<uint8_t> ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good());
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                              std::istreambuf_iterator<char>());
+}
+
+void WriteWholeFile(const std::string& path,
+                    const std::vector<uint8_t>& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  ASSERT_TRUE(out.good());
+}
+
+// A load outcome is acceptable iff it is success or a *typed* error —
+// what the hardening is for: no aborts (e.g. a bad-alloc from a
+// bit-flipped count), no garbage graphs passing a checksum.
+void ExpectTypedStatus(const Status& st, const std::string& what) {
+  EXPECT_TRUE(st.ok() || st.IsCorruption() || st.IsDataLoss() ||
+              st.IsIOError() || st.IsInvalidArgument())
+      << what << ": " << st.ToString();
+}
+
+TEST(BinaryGraphTest, TruncationsAndBitFlipsAreTypedErrors) {
+  const Graph g = GenerateBarabasiAlbert(40, 2, 19);
+  const std::string path = ::testing::TempDir() + "/dspc_graph_fuzz.bin";
+  ASSERT_TRUE(SaveGraphBinary(g, path).ok());
+  const std::vector<uint8_t> clean = ReadWholeFile(path);
+
+  // Every truncation point through the header and a sample beyond.
+  for (size_t len = 0; len < clean.size();
+       len += (len < 32 ? 1 : clean.size() / 13 + 1)) {
+    WriteWholeFile(path, {clean.begin(), clean.begin() + len});
+    Graph loaded;
+    const Status st = LoadGraphBinary(path, &loaded);
+    EXPECT_FALSE(st.ok()) << "truncated to " << len;
+    ExpectTypedStatus(st, "truncated to " + std::to_string(len));
+  }
+
+  // Bit flips — including the count fields whose unchecked reserve()
+  // used to abort the process.
+  Rng rng(0xF11);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<uint8_t> flipped = clean;
+    const size_t pos = rng.NextBounded(flipped.size());
+    flipped[pos] ^= static_cast<uint8_t>(1u << rng.NextBounded(8));
+    WriteWholeFile(path, flipped);
+    Graph loaded;
+    ExpectTypedStatus(LoadGraphBinary(path, &loaded),
+                      "bit flip at " + std::to_string(pos));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IndexFileTest, V1TruncationsAndBitFlipsAreTypedErrors) {
+  const Graph g = GenerateBarabasiAlbert(30, 2, 23);
+  const SpcIndex index = BuildSpcIndex(g);
+  const std::string path = ::testing::TempDir() + "/dspc_v1_fuzz.index";
+  ASSERT_TRUE(index.Save(path).ok());
+  const std::vector<uint8_t> clean = ReadWholeFile(path);
+
+  Rng rng(0xF12);
+  for (int trial = 0; trial < 120; ++trial) {
+    std::vector<uint8_t> bad = clean;
+    if (trial % 2 == 0) {
+      bad.resize(rng.NextBounded(bad.size()));
+    } else {
+      bad[rng.NextBounded(bad.size())] ^=
+          static_cast<uint8_t>(1u << rng.NextBounded(8));
+    }
+    WriteWholeFile(path, bad);
+    SpcIndex loaded;
+    const Status st = SpcIndex::Load(path, &loaded);
+    if (bad != clean) {
+      EXPECT_FALSE(st.ok()) << "trial " << trial;
+    }
+    ExpectTypedStatus(st, "v1 trial " + std::to_string(trial));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IndexFileTest, V2TruncationsAndBitFlipsAreTypedErrors) {
+  const Graph g = GenerateBarabasiAlbert(30, 2, 29);
+  const FlatSpcIndex flat(BuildSpcIndex(g));
+  const std::string path = ::testing::TempDir() + "/dspc_v2_fuzz.index";
+  ASSERT_TRUE(flat.Save(path).ok());
+  const std::vector<uint8_t> clean = ReadWholeFile(path);
+
+  Rng rng(0xF13);
+  for (int trial = 0; trial < 120; ++trial) {
+    std::vector<uint8_t> bad = clean;
+    if (trial % 2 == 0) {
+      bad.resize(rng.NextBounded(bad.size()));
+    } else {
+      bad[rng.NextBounded(bad.size())] ^=
+          static_cast<uint8_t>(1u << rng.NextBounded(8));
+    }
+    WriteWholeFile(path, bad);
+    FlatSpcIndex loaded;
+    const Status st = FlatSpcIndex::Load(path, &loaded);
+    if (bad != clean) {
+      EXPECT_FALSE(st.ok()) << "trial " << trial;
+    }
+    ExpectTypedStatus(st, "v2 trial " + std::to_string(trial));
+  }
   std::remove(path.c_str());
 }
 
