@@ -120,15 +120,15 @@ StatusOr<std::unique_ptr<SpcService>> SpcService::Open(
   service->metrics_.RecordRecovery(plan.report.replayed,
                                    plan.report.truncated_tail_bytes);
   service->fs_ = fs;
-  if (Status st = service->StartDurability(durability, plan.next_wal_seq);
-      !st.ok()) {
+  if (Status st = service->StartDurability(durability, plan); !st.ok()) {
     return st;
   }
   return service;
 }
 
 Status SpcService::StartDurability(const DurabilityOptions& durability,
-                                   uint64_t wal_seq) {
+                                   const RecoveryPlan& plan) {
+  const uint64_t wal_seq = plan.next_wal_seq;
   dur_options_ = durability;
   dur_options_.fs = fs_;
   checkpointer_ = std::make_unique<Checkpointer>(fs_, durability.dir);
@@ -144,10 +144,20 @@ Status SpcService::StartDurability(const DurabilityOptions& durability,
   // Publish a checkpoint of the just-opened state so the directory is
   // immediately self-contained: replayed segments (or a crashed first
   // open's strays) are covered and garbage-collected right here, and
-  // WAL growth restarts from zero after every recovery.
+  // WAL growth restarts from zero after every recovery. The fallback
+  // this publish retains is the checkpoint recovery actually loaded —
+  // NOT the on-disk MANIFEST's current entry, which after a fallback
+  // recovery names exactly the corrupt checkpoint (trusting it would
+  // make GC delete the proven-good one and retain the unreadable one).
   const FlatSpcIndex flat(engine_.index());
-  if (Status st = checkpointer_->Publish(engine_.graph(), flat,
-                                         engine_.Generation(), wal_seq);
+  CheckpointRef validated_prev;
+  if (plan.has_checkpoint) {
+    validated_prev.generation = plan.checkpoint.generation;
+    validated_prev.wal_seq = plan.checkpoint_wal_seq;
+  }
+  if (Status st = checkpointer_->Publish(
+          engine_.graph(), flat, engine_.Generation(), wal_seq,
+          plan.has_checkpoint ? &validated_prev : nullptr);
       !st.ok()) {
     return st;
   }
@@ -455,6 +465,19 @@ StatusOr<UpdateResponse> SpcService::ApplyUpdatesPlain(
 
 StatusOr<UpdateResponse> SpcService::ApplyUpdatesDurable(
     std::span<const Update> updates, const WriteOptions& write) {
+  // Hard batch admission cap: an intent record larger than
+  // kWalMaxRecordBytes would be refused by the WAL (and, were it ever
+  // written, read back as a torn tail — losing an acknowledged write at
+  // recovery). Refused up front, before any per-update work.
+  if (updates.size() > kWalMaxBatchUpdates) {
+    metrics_.RecordRejected(Status::Code::kInvalidArgument);
+    return Status::InvalidArgument(
+        "durable batch of " + std::to_string(updates.size()) +
+        " updates exceeds the per-call cap of " +
+        std::to_string(kWalMaxBatchUpdates) +
+        " (its WAL intent record would not fit one frame); split the "
+        "batch");
+  }
   StatusOr<UpdateResponse> out(std::in_place);
   UpdateResponse& resp = *out;
   uint64_t commit_offset = 0;
@@ -493,7 +516,7 @@ StatusOr<UpdateResponse> SpcService::ApplyUpdatesDurable(
       // between loses exactly the unacknowledged tail and nothing else.
       WalRecord intent;
       intent.kind = WalRecord::Kind::kBatch;
-      intent.seq = next_batch_seq_++;
+      intent.seq = NextBatchSeqLocked();
       intent.generation = engine_.Generation();
       intent.updates = admitted;
       if (auto off = AppendWalLocked(EncodeWalRecord(intent)); !off.ok()) {
@@ -629,7 +652,7 @@ StatusOr<UpdateResponse> SpcService::RemoveVertex(Vertex v,
     }
     WalRecord intent;
     intent.kind = WalRecord::Kind::kRemoveVertex;
-    intent.seq = next_batch_seq_++;
+    intent.seq = NextBatchSeqLocked();
     intent.vertex = v;
     if (auto off = AppendWalLocked(EncodeWalRecord(intent)); !off.ok()) {
       return off.status();
@@ -742,6 +765,7 @@ Status SpcService::CheckpointLocked() {
   if (!next.ok()) return FailDurabilityLocked(next.status());
   std::shared_ptr<WalWriter> old = wal_;
   wal_ = std::move(*next);
+  batch_seq_in_segment_ = 0;  // pairing keys are scoped per segment
   // Close syncs everything appended before tearing down, so records the
   // checkpoint is about to cover — and any in-flight durable waiters on
   // the old segment — are safe before the manifest moves past them.

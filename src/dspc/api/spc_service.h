@@ -331,8 +331,10 @@ class SpcService {
   /// Thread-safe against every other method. On a durable service the
   /// admitted subset is journaled (intent before apply, commit with
   /// per-update outcomes after) and the whole call is serialized with
-  /// other writes; after a WAL failure the service is fail-stop and
-  /// every write returns the original kIOError.
+  /// other writes; a batch larger than kWalMaxBatchUpdates (its intent
+  /// record would not fit one WAL frame) is kInvalidArgument up front —
+  /// split it; after a WAL failure the service is fail-stop and every
+  /// write returns the original kIOError.
   StatusOr<UpdateResponse> ApplyUpdates(std::span<const Update> updates,
                                         const WriteOptions& write = {});
 
@@ -443,11 +445,12 @@ class SpcService {
   // service was constructed via Open) --------------------------------------
 
   /// Wires up the WAL + checkpointer after recovery/bootstrap: creates
-  /// segment `wal_seq`, publishes a checkpoint of the just-opened state
-  /// (so GC can drop replayed segments), starts the background
-  /// checkpointer when thresholds are configured.
+  /// segment `plan.next_wal_seq`, publishes a checkpoint of the
+  /// just-opened state (so GC can drop replayed segments) retaining the
+  /// checkpoint recovery validated as the fallback, starts the
+  /// background checkpointer when thresholds are configured.
   Status StartDurability(const DurabilityOptions& durability,
-                         uint64_t wal_seq);
+                         const RecoveryPlan& plan);
 
   /// The non-durable ApplyUpdates body (also the durable path's final
   /// shape — kept verbatim so the non-durable service is untouched).
@@ -461,6 +464,14 @@ class SpcService {
   /// Appends one encoded record to the WAL, updating metrics; on failure
   /// trips fail-stop and returns the sticky error. Caller holds dur_mu_.
   StatusOr<uint64_t> AppendWalLocked(const std::vector<uint8_t>& payload);
+
+  /// Mints the next intent/commit pairing key, unique across restarts
+  /// (see batch_seq_in_segment_). Caller holds dur_mu_. The 32/32 split
+  /// cannot realistically overflow: the low half would need 4G pairs in
+  /// one segment (>128 GiB of records), the high half 4G rotations.
+  uint64_t NextBatchSeqLocked() {
+    return (wal_->seq() << 32) | ++batch_seq_in_segment_;
+  }
 
   /// Marks the durability path failed (first error wins) and records it.
   /// Caller holds dur_mu_.
@@ -501,7 +512,16 @@ class SpcService {
   /// Close syncs everything first, so waiters are satisfied, not
   /// stranded). Swapped only under dur_mu_.
   std::shared_ptr<WalWriter> wal_;
-  uint64_t next_batch_seq_ = 1;  ///< intent/commit pairing key
+  /// Intent/commit pairing keys are scoped to the live segment:
+  /// NextBatchSeqLocked() returns (segment seq << 32) | ++counter, and
+  /// the counter resets at every rotation. Pairs never straddle segments
+  /// (intent and commit are appended under one dur_mu_ hold, and rotation
+  /// holds dur_mu_ too) and segment seqs are unique across process
+  /// restarts (next_wal_seq = max on disk + 1), so a restarted service
+  /// can never mint a seq colliding with a crashed run's stale unpaired
+  /// intent — which fallback recovery scans in the same pass and would
+  /// otherwise refuse as a duplicate.
+  uint64_t batch_seq_in_segment_ = 0;  ///< under dur_mu_
   bool dur_failed_ = false;      ///< fail-stop latch (under dur_mu_)
   Status dur_error_;             ///< first durability failure
 

@@ -56,6 +56,12 @@ Status ReadFramedFile(FileSystem* fs, const std::string& path,
   return Status::OK();
 }
 
+}  // namespace
+
+std::string CheckpointFileName(uint64_t generation) {
+  return "ckpt-" + std::to_string(generation) + ".spc";
+}
+
 bool ParseCheckpointFileName(const std::string& name, uint64_t* generation) {
   if (name.size() < 10 || name.compare(0, 5, "ckpt-") != 0 ||
       name.compare(name.size() - 4, 4, ".spc") != 0) {
@@ -68,12 +74,6 @@ bool ParseCheckpointFileName(const std::string& name, uint64_t* generation) {
   }
   *generation = value;
   return true;
-}
-
-}  // namespace
-
-std::string CheckpointFileName(uint64_t generation) {
-  return "ckpt-" + std::to_string(generation) + ".spc";
 }
 
 Status WriteManifest(FileSystem* fs, const std::string& dir,
@@ -179,12 +179,20 @@ Status LoadCheckpoint(FileSystem* fs, const std::string& dir,
 }
 
 Status Checkpointer::Publish(const Graph& graph, const FlatSpcIndex& index,
-                             uint64_t generation, uint64_t wal_seq) {
+                             uint64_t generation, uint64_t wal_seq,
+                             const CheckpointRef* validated_prev) {
   CheckpointManifest manifest;
   manifest.generation = generation;
   manifest.wal_seq = wal_seq;
   manifest.layout_stamp = index.LayoutStamp();
-  if (fs_->FileExists(Join(dir_, ManifestFileName()))) {
+  if (validated_prev != nullptr) {
+    // The caller vouches for this checkpoint (recovery loaded it). The
+    // on-disk MANIFEST may still name the corrupt one recovery fell
+    // back FROM — retaining that would hand GC the known-good fallback.
+    manifest.has_previous = true;
+    manifest.prev_generation = validated_prev->generation;
+    manifest.prev_wal_seq = validated_prev->wal_seq;
+  } else if (fs_->FileExists(Join(dir_, ManifestFileName()))) {
     auto prev = ReadManifest(fs_, dir_);
     // An unreadable old manifest forfeits the fallback but must not
     // block publishing a good new checkpoint over it.

@@ -40,6 +40,16 @@ inline constexpr uint32_t kManifestVersion = 1;
 /// directory.
 std::string CheckpointFileName(uint64_t generation);
 
+/// Parses "ckpt-<generation>.spc"; returns false for any other name.
+bool ParseCheckpointFileName(const std::string& name, uint64_t* generation);
+
+/// Coordinates of one checkpoint — which file, and where its WAL replay
+/// starts. Used to tell Publish which previous checkpoint to retain.
+struct CheckpointRef {
+  uint64_t generation = 0;
+  uint64_t wal_seq = 0;
+};
+
 /// The durability directory's root pointer file.
 inline const char* ManifestFileName() { return "MANIFEST"; }
 
@@ -87,12 +97,19 @@ class Checkpointer {
 
   /// Atomically publishes a checkpoint of (`graph`, `index`) captured at
   /// `generation`, pointing replay at WAL segment `wal_seq`, then
-  /// garbage-collects. The previous current checkpoint becomes the
-  /// fallback. The caller guarantees graph/index are a consistent pair
-  /// at `generation` (the service captures them under FreezeWrites) and
+  /// garbage-collects. The retained fallback is `validated_prev` when
+  /// given — the checkpoint the caller KNOWS is loadable (recovery just
+  /// loaded it); pass it at open time, where the on-disk MANIFEST may
+  /// still name the corrupt checkpoint recovery fell back FROM, which
+  /// must not be retained in place of the good one. With nullptr the
+  /// fallback is the MANIFEST's current checkpoint — correct for
+  /// rotation-time publishes, whose predecessor this process published
+  /// itself. The caller guarantees graph/index are a consistent pair at
+  /// `generation` (the service captures them under FreezeWrites) and
   /// that segment `wal_seq` already exists (rotation happens first).
   Status Publish(const Graph& graph, const FlatSpcIndex& index,
-                 uint64_t generation, uint64_t wal_seq);
+                 uint64_t generation, uint64_t wal_seq,
+                 const CheckpointRef* validated_prev = nullptr);
 
   /// Deletes everything the current MANIFEST no longer needs: checkpoint
   /// files other than current/previous, WAL segments below the oldest

@@ -45,10 +45,47 @@ Status PlanRecovery(FileSystem* fs, const std::string& dir,
   const uint64_t max_seq = seqs.empty() ? 0 : seqs.back();
 
   if (!fs->FileExists(Join(dir, ManifestFileName()))) {
-    // No MANIFEST means Open never completed a publish, so nothing was
-    // ever durably acknowledged: bootstrap fresh. Stray segments from an
-    // interrupted first open are superseded (and GC'd after the next
-    // publish); skipping their seq numbers keeps file names unique.
+    // No MANIFEST normally means Open never completed its first publish,
+    // so nothing was ever durably acknowledged: bootstrap fresh. But
+    // writes are only accepted once that publish has created a MANIFEST
+    // — so WAL records alongside a missing MANIFEST mean the MANIFEST
+    // was deleted or destroyed externally, and bootstrapping would
+    // silently discard durable data. The one checkpoint-without-MANIFEST
+    // state a crash CAN produce is a first open dying between its
+    // checkpoint rename and its MANIFEST rename: exactly one checkpoint
+    // file (of the never-acknowledged bootstrap state) and zero records.
+    // Two checkpoint files have necessarily been through a publish that
+    // retained a previous one — a MANIFEST existed.
+    size_t checkpoints = 0;
+    for (const std::string& name : *names) {
+      uint64_t gen = 0;
+      if (ParseCheckpointFileName(name, &gen)) ++checkpoints;
+    }
+    if (checkpoints > 1) {
+      return Status::DataLoss(
+          std::to_string(checkpoints) +
+          " checkpoints exist without a MANIFEST — the MANIFEST was lost "
+          "outside this process; refusing to bootstrap over durable "
+          "state");
+    }
+    for (const uint64_t s : seqs) {
+      WalSegment seg;
+      // Unreadable strays are not evidence (and must not block a
+      // legitimate bootstrap); any decoded record is — records are only
+      // ever appended after a MANIFEST exists.
+      if (ReadWalSegment(fs, Join(dir, WalSegmentFileName(s)), s, &seg)
+              .ok() &&
+          !seg.records.empty()) {
+        return Status::DataLoss(
+            WalSegmentFileName(s) +
+            " holds records without a MANIFEST — the MANIFEST was lost "
+            "outside this process; refusing to bootstrap over durable "
+            "state");
+      }
+    }
+    // Stray record-free segments from an interrupted first open are
+    // superseded (and GC'd after the next publish); skipping their seq
+    // numbers keeps file names unique.
     plan.has_checkpoint = false;
     plan.next_wal_seq = max_seq + 1;
     plan.report.bootstrapped = true;
@@ -71,6 +108,7 @@ Status PlanRecovery(FileSystem* fs, const std::string& dir,
     start_seq = manifest->prev_wal_seq;
   }
   plan.has_checkpoint = true;
+  plan.checkpoint_wal_seq = start_seq;
   plan.report.checkpoint_generation = plan.checkpoint.generation;
 
   // Replay needs the contiguous run start_seq, start_seq+1, ..., max.

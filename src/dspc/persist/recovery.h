@@ -90,6 +90,11 @@ struct RecoveryPlan {
   /// durably acknowledged, the caller bootstraps from its own graph.
   bool has_checkpoint = false;
   LoadedCheckpoint checkpoint;      ///< valid when has_checkpoint
+  /// WAL segment the validated checkpoint's replay starts from. Together
+  /// with checkpoint.generation this names the checkpoint recovery
+  /// PROVED loadable — what the open-time Publish must retain as the
+  /// fallback (the on-disk MANIFEST may still name a corrupt one).
+  uint64_t checkpoint_wal_seq = 0;
   std::vector<ReplayOp> ops;        ///< committed ops newer than checkpoint
   /// Generation after full replay (== checkpoint generation with no ops).
   uint64_t target_generation = 0;

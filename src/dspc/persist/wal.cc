@@ -171,7 +171,25 @@ StatusOr<std::unique_ptr<WalWriter>> WalWriter::Create(
 
 WalWriter::~WalWriter() { (void)Close(); }
 
+// The u32 length prefix must hold any accepted payload size with room
+// for the frame itself — otherwise an accepted append would corrupt the
+// framing of everything after it.
+static_assert(uint64_t{kWalMaxRecordBytes} + kWalRecordOverheadBytes <=
+                  uint64_t{UINT32_MAX},
+              "kWalMaxRecordBytes must fit the u32 length prefix");
+
 StatusOr<uint64_t> WalWriter::AppendRecord(std::span<const uint8_t> payload) {
+  // Oversize records are refused BEFORE touching the file: ReadWalSegment
+  // treats any length prefix beyond kWalMaxRecordBytes as a torn tail, so
+  // appending (and fsyncing!) one would be acknowledged durable yet
+  // silently truncated at recovery. A caller error, not a device failure:
+  // nothing was appended, so the writer stays usable (no fail-stop).
+  if (payload.size() > kWalMaxRecordBytes) {
+    return Status::InvalidArgument(
+        "wal record payload of " + std::to_string(payload.size()) +
+        " bytes exceeds kWalMaxRecordBytes (" +
+        std::to_string(kWalMaxRecordBytes) + ")");
+  }
   // Lock-free entry check: taking sync_mu_ here would queue the append
   // behind an in-progress group-commit fsync.
   if (failed_.load(std::memory_order_acquire)) {

@@ -65,11 +65,23 @@ inline constexpr uint32_t kWalMagic = 0x4C415744;  // "DWAL"
 inline constexpr uint32_t kWalVersion = 1;
 /// Fixed segment header size: magic, version, seq, base generation, CRC.
 inline constexpr size_t kWalHeaderBytes = 4 + 4 + 8 + 8 + 4;
-/// Framing guard: a length prefix beyond this is treated as a torn tail
-/// (a real record can't be this big — batches are bounded by admission).
+/// Framing guard, enforced on BOTH sides of the log: AppendRecord
+/// refuses a larger payload (kInvalidArgument, nothing appended), so
+/// ReadWalSegment may treat any length prefix beyond it as a torn tail
+/// without ever dropping a record that was really written.
 inline constexpr uint32_t kWalMaxRecordBytes = 1u << 26;
 /// Per-record framing overhead: u32 payload length + u32 CRC32C.
 inline constexpr size_t kWalRecordOverheadBytes = 8;
+
+/// Encoded kBatch intent layout: 1 kind + 8 seq + 8 generation + 4 count
+/// header bytes, then 9 bytes (kind + two u32 endpoints) per update.
+inline constexpr size_t kWalBatchRecordHeaderBytes = 1 + 8 + 8 + 4;
+inline constexpr size_t kWalBatchUpdateBytes = 1 + 4 + 4;
+/// Largest admitted-update count whose intent record still fits in one
+/// WAL record — the service's hard per-call batch admission cap. (The
+/// matching commit record is smaller: one outcome byte per update.)
+inline constexpr size_t kWalMaxBatchUpdates =
+    (kWalMaxRecordBytes - kWalBatchRecordHeaderBytes) / kWalBatchUpdateBytes;
 
 /// When WAL appends are made durable. See the file comment.
 enum class WalSyncPolicy : unsigned char {
@@ -138,7 +150,10 @@ class WalWriter {
   /// Appends one framed record. Calls must be externally serialized (the
   /// service's write lock); Sync/WaitDurable may run concurrently.
   /// Returns the end offset of the record — the argument WaitDurable
-  /// needs. Fail-stop: after any error every later call returns it.
+  /// needs. A payload over kWalMaxRecordBytes is kInvalidArgument with
+  /// nothing appended (the writer stays usable — recovery would read a
+  /// larger frame as a torn tail, losing it silently). I/O failures are
+  /// fail-stop: after the first, every later call returns it.
   StatusOr<uint64_t> AppendRecord(std::span<const uint8_t> payload);
 
   /// Blocks until every byte up to `offset` is fsynced. Under kBatch

@@ -212,6 +212,34 @@ TEST(WalWriterTest, AppendedRecordsRoundTripThroughSegmentScan) {
   }
 }
 
+TEST(WalWriterTest, OversizeRecordsAreRefusedBeforeTouchingTheLog) {
+  const std::string dir = FreshDir("wal_oversize");
+  FileSystem* fs = FileSystem::Default();
+  const std::string path = dir + "/" + WalSegmentFileName(1);
+  WalWriter::Options options;
+  options.sync = WalSyncPolicy::kEveryWrite;
+  auto writer = WalWriter::Create(fs, path, 1, 0, options);
+  ASSERT_TRUE(writer.ok());
+
+  // One byte past the framing guard. Were this appended (and fsynced —
+  // acknowledged durable!), ReadWalSegment would read its length prefix
+  // as a torn tail and recovery would silently truncate it away.
+  const std::vector<uint8_t> huge(size_t{kWalMaxRecordBytes} + 1, 0xAB);
+  const auto off = (*writer)->AppendRecord(huge);
+  EXPECT_TRUE(off.status().IsInvalidArgument()) << off.status().ToString();
+  EXPECT_EQ((*writer)->AppendedRecords(), 0u);
+  EXPECT_EQ((*writer)->AppendedBytes(), kWalHeaderBytes);
+
+  // A caller error, not a device failure: nothing was appended and the
+  // writer is still usable (no fail-stop latch).
+  ASSERT_TRUE((*writer)->AppendRecord(TestRecord(1, 1)).ok());
+  ASSERT_TRUE((*writer)->Close().ok());
+  WalSegment segment;
+  ASSERT_TRUE(ReadWalSegment(fs, path, 1, &segment).ok());
+  EXPECT_EQ(segment.records.size(), 1u);
+  EXPECT_EQ(segment.truncated_tail_bytes, 0u);
+}
+
 TEST(WalWriterTest, GroupCommitSatisfiesDurableWaiters) {
   const std::string dir = FreshDir("wal_group_commit");
   FileSystem* fs = FileSystem::Default();

@@ -394,6 +394,195 @@ TEST(RecoveryTest, GarbageAppendedToTheWalIsTruncatedNotFatal) {
   EXPECT_EQ((*reopened)->Generation(), log.last_acked_generation);
 }
 
+// A durable batch whose WAL intent record would exceed the one-frame cap
+// must be rejected up front with kInvalidArgument — NOT appended, fsynced
+// and acknowledged only to be read back as a "torn tail" (and silently
+// truncated) at recovery.
+TEST(RecoveryTest, DurableBatchesBeyondTheWalFrameCapAreRejectedUpFront) {
+  const std::string dir = FreshDir("recovery_oversize_batch");
+  const Graph bootstrap = GenerateBarabasiAlbert(30, 2, 3);
+  auto service = SpcService::Open(bootstrap, EveryWriteOptions(dir));
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  const uint64_t before = (*service)->Generation();
+
+  std::vector<Update> updates(kWalMaxBatchUpdates + 1, Update::Insert(0, 1));
+  const auto resp =
+      (*service)->ApplyUpdates(updates, WriteOptions{.durable = true});
+  ASSERT_FALSE(resp.ok());
+  EXPECT_TRUE(resp.status().IsInvalidArgument()) << resp.status().ToString();
+
+  // A caller error, not a device failure: the log must not fail-stop.
+  const auto ok = (*service)->AddVertex(WriteOptions{.durable = true});
+  ASSERT_NE(ok.vertex, kInvalidVertex);
+  EXPECT_TRUE(ok.token.durable);
+  EXPECT_EQ((*service)->Generation(), before + 1);
+}
+
+// Regression for two recovery bugs that only meet under checkpoint
+// fallback across process restarts:
+//
+//  1. Batch seqs restarting at 1 every Open: a crashed run's synced-but-
+//     unpaired intent (seq N) plus a later run reusing seq N made the
+//     fallback replay — the one path that reads both runs' segments —
+//     die with "duplicate wal intent seq". Seqs are now scoped by WAL
+//     segment, which is unique across restarts.
+//  2. The open-time Publish deriving its retained fallback from the
+//     on-disk MANIFEST: after fallback recovery that MANIFEST names the
+//     checkpoint recovery just PROVED corrupt, and retaining it lets GC
+//     delete the proven-good one.
+TEST(RecoveryTest, FallbackRecoveryAcrossCrashedRunsAndCorruptCheckpoints) {
+  const std::string dir = FreshDir("recovery_fallback_restart");
+  const Graph bootstrap = GenerateBarabasiAlbert(30, 2, 7);
+  FileSystem* fs = FileSystem::Default();
+  const WriteOptions durable{.durable = true};
+
+  // Run 1: one acknowledged durable write (AddVertex: always applies, so
+  // the generation demonstrably advances), then a crash that lands after
+  // a batch write's intent is synced but before its commit is appended —
+  // the canonical stale unpaired intent. The fresh vertex also gives the
+  // later runs edges guaranteed absent from the bootstrap graph.
+  uint64_t acked_gen = 0;
+  Vertex fresh = kInvalidVertex;
+  {
+    FaultInjectingEnv env(fs);
+    auto service = SpcService::Open(bootstrap, EveryWriteOptions(dir, &env));
+    ASSERT_TRUE(service.ok()) << service.status().ToString();
+    const AddVertexResponse resp = (*service)->AddVertex(durable);
+    ASSERT_NE(resp.vertex, kInvalidVertex);
+    ASSERT_TRUE(resp.token.durable);
+    acked_gen = resp.token.generation;
+    fresh = resp.vertex;
+    // Arm resets the op counter; the ops after it under kEveryWrite are
+    // append intent (0), sync (1), append commit (2), sync (3). Kill the
+    // commit append: the intent is durable, unpaired.
+    env.Arm(2);
+    const std::vector<Update> doomed = {Update::Insert(0, fresh)};
+    ASSERT_FALSE((*service)->ApplyUpdates(doomed, durable).ok());
+    EXPECT_TRUE(env.Tripped());
+  }
+
+  // Run 2: recovery drops the unpaired intent; two more acknowledged
+  // batch writes land in the new run's segment (two, so the restarted
+  // run reaches the crashed run's stale seq under a per-Open counter;
+  // edges into the fresh vertex, so both genuinely apply).
+  uint64_t final_gen = 0;
+  {
+    auto service = SpcService::Open(bootstrap, EveryWriteOptions(dir));
+    ASSERT_TRUE(service.ok()) << service.status().ToString();
+    ASSERT_EQ((*service)->Generation(), acked_gen);
+    const std::vector<Update> first = {Update::Insert(5, fresh)};
+    ASSERT_TRUE((*service)->ApplyUpdates(first, durable).ok());
+    const std::vector<Update> second = {Update::Insert(6, fresh)};
+    const auto resp = (*service)->ApplyUpdates(second, durable);
+    ASSERT_TRUE(resp.ok());
+    ASSERT_EQ(resp->applied, 1u);
+    final_gen = resp->token.generation;
+    ASSERT_EQ(final_gen, acked_gen + 2);
+  }
+
+  // Corrupt the current checkpoint: recovery must fall back to the
+  // retained previous one and replay BOTH runs' segments — the stale
+  // unpaired intent and the later run's records in one pass.
+  auto manifest = ReadManifest(fs, dir);
+  ASSERT_TRUE(manifest.ok());
+  const std::string current =
+      dir + "/" + CheckpointFileName(manifest->generation);
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE(fs->ReadFile(current, &bytes).ok());
+  ASSERT_GT(bytes.size(), 64u);
+  bytes[bytes.size() / 2] ^= 0x40;
+  {
+    auto f = fs->NewWritableFile(current);
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE((*f)->Append(bytes.data(), bytes.size()).ok());
+    ASSERT_TRUE((*f)->Close().ok());
+  }
+  {
+    auto service = SpcService::Open(bootstrap, EveryWriteOptions(dir));
+    ASSERT_TRUE(service.ok()) << service.status().ToString();
+    EXPECT_TRUE((*service)->RecoveryInfo().used_fallback_checkpoint);
+    EXPECT_EQ((*service)->Generation(), final_gen);
+  }
+
+  // That open re-published. Its retained fallback must be the checkpoint
+  // recovery PROVED loadable — not the corrupt one the stale MANIFEST
+  // still named (which would have let GC delete the good one). Corrupt
+  // the new current checkpoint and fall back once more to find out.
+  auto manifest2 = ReadManifest(fs, dir);
+  ASSERT_TRUE(manifest2.ok());
+  ASSERT_TRUE(manifest2->has_previous);
+  EXPECT_NE(manifest2->prev_generation, manifest->generation);
+  const std::string current2 =
+      dir + "/" + CheckpointFileName(manifest2->generation);
+  std::vector<uint8_t> bytes2;
+  ASSERT_TRUE(fs->ReadFile(current2, &bytes2).ok());
+  bytes2[bytes2.size() / 2] ^= 0x40;
+  {
+    auto f = fs->NewWritableFile(current2);
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE((*f)->Append(bytes2.data(), bytes2.size()).ok());
+    ASSERT_TRUE((*f)->Close().ok());
+  }
+  auto reopened = SpcService::Open(bootstrap, EveryWriteOptions(dir));
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_TRUE((*reopened)->RecoveryInfo().used_fallback_checkpoint);
+  EXPECT_EQ((*reopened)->Generation(), final_gen);
+}
+
+// A missing MANIFEST over a directory that demonstrably held durable
+// state is external destruction, not a first-open crash: bootstrapping
+// would silently discard acknowledged writes, so Open must refuse with
+// kDataLoss.
+TEST(RecoveryTest, MissingManifestOverDurableRecordsIsDataLossNotBootstrap) {
+  const Graph bootstrap = GenerateBarabasiAlbert(20, 2, 11);
+  FileSystem* fs = FileSystem::Default();
+  const WriteOptions durable{.durable = true};
+
+  // Evidence form 1: WAL segments holding committed records.
+  const std::string dir = FreshDir("recovery_lost_manifest_wal");
+  {
+    auto service = SpcService::Open(bootstrap, EveryWriteOptions(dir));
+    ASSERT_TRUE(service.ok()) << service.status().ToString();
+    ASSERT_TRUE((*service)->AddVertex(durable).token.durable);
+  }
+  ASSERT_TRUE(fs->RemoveFile(dir + "/" + ManifestFileName()).ok());
+  {
+    const auto reopened = SpcService::Open(bootstrap, EveryWriteOptions(dir));
+    ASSERT_FALSE(reopened.ok());
+    EXPECT_TRUE(reopened.status().IsDataLoss())
+        << reopened.status().ToString();
+  }
+
+  // Evidence form 2: two checkpoint files and no records at all. A
+  // first-open crash can strand at most ONE checkpoint without a
+  // MANIFEST; two have necessarily been through a publish that retained
+  // a previous — a MANIFEST existed.
+  const std::string dir2 = FreshDir("recovery_lost_manifest_ckpt");
+  {
+    auto service = SpcService::Open(bootstrap, EveryWriteOptions(dir2));
+    ASSERT_TRUE(service.ok()) << service.status().ToString();
+    // AddVertex genuinely advances the generation, so Checkpoint()
+    // publishes a SECOND checkpoint file (and retains the open-time one).
+    ASSERT_TRUE((*service)->AddVertex(durable).token.durable);
+    ASSERT_TRUE((*service)->Checkpoint().ok());
+  }
+  auto names = fs->ListDir(dir2);
+  ASSERT_TRUE(names.ok());
+  size_t checkpoints = 0;
+  for (const std::string& name : *names) {
+    uint64_t ignored = 0;
+    if (ParseCheckpointFileName(name, &ignored)) ++checkpoints;
+    if (ParseWalSegmentFileName(name, &ignored) ||
+        name == ManifestFileName()) {
+      ASSERT_TRUE(fs->RemoveFile(dir2 + "/" + name).ok());
+    }
+  }
+  ASSERT_GE(checkpoints, 2u);
+  const auto reopened = SpcService::Open(bootstrap, EveryWriteOptions(dir2));
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_TRUE(reopened.status().IsDataLoss()) << reopened.status().ToString();
+}
+
 // Random mutilation of the durability directory must never crash Open —
 // it either recovers (possibly via the fallback checkpoint) or returns a
 // typed error. This is the service-level face of the WAL fuzz contract.
