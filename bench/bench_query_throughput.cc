@@ -21,6 +21,7 @@
 #include "dspc/core/dynamic_spc.h"
 #include "dspc/core/flat_spc_index.h"
 #include "dspc/core/hp_spc.h"
+#include "dspc/core/parallel_build.h"
 #include "dspc/graph/generators.h"
 
 namespace {
@@ -54,9 +55,39 @@ int main(int argc, char** argv) {
   std::printf("graph: RMAT scale=%zu  n=%zu  m=%zu\n", scale,
               graph.NumVertices(), graph.NumEdges());
 
-  Stopwatch build_watch;
-  const SpcIndex index = BuildSpcIndex(graph);
-  const double build_s = build_watch.ElapsedSeconds();
+  // Build-thread sweep (DESIGN.md §12): the same construction at 1/2/4/8
+  // threads under one shared ordering. The sequential row doubles as the
+  // index every query driver below uses; every parallel result must be
+  // label-identical to it (build_mismatches gates the exit code).
+  struct BuildRow {
+    unsigned threads;
+    double seconds;
+    double speedup;
+  };
+  std::vector<BuildRow> build_sweep;
+  size_t build_mismatches = 0;
+  const VertexOrdering build_order = BuildOrdering(graph);
+  SpcIndex index;
+  double build_s = 0.0;
+  for (const unsigned bt : {1u, 2u, 4u, 8u}) {
+    ParallelBuildOptions build_opts;
+    build_opts.threads = bt;
+    Stopwatch build_watch;
+    SpcIndex built =
+        bt == 1
+            ? BuildSpcIndex(graph, VertexOrdering(build_order))
+            : BuildSpcIndexParallel(graph, VertexOrdering(build_order),
+                                    build_opts);
+    const double seconds = build_watch.ElapsedSeconds();
+    if (bt == 1) {
+      build_s = seconds;
+      index = std::move(built);
+      build_sweep.push_back({bt, seconds, 1.0});
+    } else {
+      if (!(built == index)) ++build_mismatches;
+      build_sweep.push_back({bt, seconds, build_s / seconds});
+    }
+  }
 
   Stopwatch snap_watch;
   const FlatSpcIndex flat(index);
@@ -217,6 +248,16 @@ int main(int argc, char** argv) {
                 "sharded arena", row.shards, row.flat_qps,
                 row.flat_qps / legacy_qps, row.batch_qps, row.parallel_qps);
   }
+  const unsigned hardware_threads = std::thread::hardware_concurrency();
+  std::printf("\n%-22s %14s %10s\n", "build threads", "seconds", "speedup");
+  bench::PrintRule(4);
+  for (const BuildRow& row : build_sweep) {
+    std::printf("%-22u %14.4f %9.2fx\n", row.threads, row.seconds,
+                row.speedup);
+  }
+  std::printf("(hardware threads: %u; parallel builds label-identical: %s)\n",
+              hardware_threads, build_mismatches == 0 ? "yes" : "NO");
+
   std::printf("\nequivalence: %zu mismatches on %zu queries (sink %llu)\n",
               mismatches, queries,
               static_cast<unsigned long long>(sink));
@@ -256,7 +297,9 @@ int main(int argc, char** argv) {
                "  \"flat_parallel_speedup\": %.3f,\n"
                "  \"facade_batch_speedup\": %.3f,\n"
                "  \"mismatches\": %zu,\n"
-               "  \"shard_sweep\": [\n",
+               "  \"build_mismatches\": %zu,\n"
+               "  \"hardware_threads\": %u,\n"
+               "  \"build_thread_sweep\": [\n",
                scale, graph.NumVertices(), graph.NumEdges(),
                stats.total_entries, stats.wide_bytes, flat.ArenaBytes(),
                flat.OverflowEntries(), build_s, snapshot_s, queries, threads,
@@ -264,7 +307,18 @@ int main(int argc, char** argv) {
                service_qps, service_overhead_pct, facade_single_qps,
                service_single_qps, flat_qps / legacy_qps,
                batch_qps / legacy_qps, parallel_qps / legacy_qps,
-               facade_qps / legacy_qps, mismatches);
+               facade_qps / legacy_qps, mismatches, build_mismatches,
+               hardware_threads);
+  for (size_t i = 0; i < build_sweep.size(); ++i) {
+    const BuildRow& row = build_sweep[i];
+    std::fprintf(json,
+                 "    %s{\"threads\": %u, \"build_seconds\": %.4f, "
+                 "\"speedup\": %.3f}\n",
+                 i == 0 ? "" : ",", row.threads, row.seconds, row.speedup);
+  }
+  std::fprintf(json,
+               "  ],\n"
+               "  \"shard_sweep\": [\n");
   for (size_t i = 0; i < sweep.size(); ++i) {
     const ShardRow& row = sweep[i];
     std::fprintf(json,
@@ -277,5 +331,5 @@ int main(int argc, char** argv) {
   std::fprintf(json, "  ]\n}\n");
   std::fclose(json);
   std::printf("wrote %s\n", json_path.c_str());
-  return mismatches == 0 ? 0 : 1;
+  return mismatches == 0 && build_mismatches == 0 ? 0 : 1;
 }

@@ -9,11 +9,14 @@
 // reconstruction.
 
 #include <cstdio>
+#include <thread>
 
 #include "bench_util.h"
 #include "dspc/common/stopwatch.h"
 #include "dspc/core/dynamic_spc.h"
 #include "dspc/core/flat_spc_index.h"
+#include "dspc/core/hp_spc.h"
+#include "dspc/core/parallel_build.h"
 #include "dspc/graph/update_stream.h"
 
 int main() {
@@ -75,5 +78,49 @@ int main() {
       "\nShape check vs paper: IncSPC 2-4 orders below L Time; DecSPC slower\n"
       "than IncSPC but 1-2 orders below L Time. Flat MB is the serving\n"
       "snapshot's resident arena (packed entries + dense directory).\n");
-  return 0;
+
+  // Build-thread sweep (DESIGN.md §12): the full HP-SPC construction of
+  // each dataset at 1/2/4/8 threads under one shared ordering, bypassing
+  // the bench cache on purpose. Every parallel build is checked
+  // label-identical to the sequential one.
+  constexpr unsigned kBuildThreads[] = {1, 2, 4, 8};
+  std::printf(
+      "\nBuild-thread sweep: full HP-SPC construction seconds by thread "
+      "count\n(hardware threads: %u)\n\n",
+      std::thread::hardware_concurrency());
+  std::printf("%-6s %10s %10s %10s %10s %10s %10s\n", "Graph", "t=1", "t=2",
+              "t=4", "t=8", "spd@8", "equal");
+  PrintRule(7);
+  bool all_equal = true;
+  for (Dataset& d : MakeDatasets()) {
+    const VertexOrdering order = BuildOrdering(d.graph);
+    double seconds[4] = {};
+    bool equal = true;
+    SpcIndex sequential;
+    for (size_t i = 0; i < 4; ++i) {
+      ParallelBuildOptions opts;
+      opts.threads = kBuildThreads[i];
+      Stopwatch watch;
+      SpcIndex built =
+          kBuildThreads[i] == 1
+              ? BuildSpcIndex(d.graph, VertexOrdering(order))
+              : BuildSpcIndexParallel(d.graph, VertexOrdering(order), opts);
+      seconds[i] = watch.ElapsedSeconds();
+      if (kBuildThreads[i] == 1) {
+        sequential = std::move(built);
+      } else if (!(built == sequential)) {
+        equal = false;
+      }
+    }
+    all_equal = all_equal && equal;
+    std::printf("%-6s %10s %10s %10s %10s %9.2fx %10s\n", d.name.c_str(),
+                FormatSeconds(seconds[0]).c_str(),
+                FormatSeconds(seconds[1]).c_str(),
+                FormatSeconds(seconds[2]).c_str(),
+                FormatSeconds(seconds[3]).c_str(),
+                seconds[3] > 0 ? seconds[0] / seconds[3] : 0.0,
+                equal ? "yes" : "NO");
+    std::fflush(stdout);
+  }
+  return all_equal ? 0 : 1;
 }

@@ -273,7 +273,10 @@ class SpcService {
   /// generation — and `bootstrap` is ignored. Every accepted write is
   /// then WAL-appended before the engine applies it; checkpoints
   /// publish in the background per the thresholds. RecoveryInfo() says
-  /// what recovery did.
+  /// what recovery did. The bootstrap build honors `options.build`
+  /// (parallel construction, DESIGN.md §12) — safe for checkpoint
+  /// digests because the parallel builder is label-identical to the
+  /// sequential one.
   ///
   /// Fails with kDataLoss when durable state is damaged beyond the
   /// checkpoint fallback, kIOError on filesystem trouble, and

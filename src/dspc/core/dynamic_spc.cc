@@ -36,7 +36,7 @@ unsigned ResolveRebuildThreads(unsigned requested) {
 
 DynamicSpcIndex::DynamicSpcIndex(Graph graph, const DynamicSpcOptions& options)
     : graph_(std::move(graph)),
-      index_(BuildSpcIndex(graph_, options.ordering)),
+      index_(BuildSpcIndexParallel(graph_, options.ordering, options.build)),
       options_(options),
       inc_(&graph_, &index_),
       dec_(&graph_, &index_, options.dec) {
@@ -405,7 +405,7 @@ void DynamicSpcIndex::Rebuild() {
 }
 
 void DynamicSpcIndex::RebuildLocked() {
-  index_ = BuildSpcIndex(graph_, options_.ordering);
+  index_ = BuildSpcIndexParallel(graph_, options_.ordering, options_.build);
   inc_.Resize();
   dec_.Resize();
   updates_since_build_ = 0;

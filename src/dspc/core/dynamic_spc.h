@@ -48,6 +48,7 @@
 #include "dspc/core/dec_spc.h"
 #include "dspc/core/flat_spc_index.h"
 #include "dspc/core/inc_spc.h"
+#include "dspc/core/parallel_build.h"
 #include "dspc/core/snapshot_manager.h"
 #include "dspc/core/spc_index.h"
 #include "dspc/core/update_stats.h"
@@ -145,6 +146,17 @@ struct DynamicSpcOptions {
 
   /// Snapshot maintenance/serving knobs (DESIGN.md §5, §7, §8).
   SnapshotOptions snapshot;
+
+  /// Full-(re)build parallelism (DESIGN.md §12). Every HP-SPC
+  /// construction this engine performs — at creation, in Rebuild(), and
+  /// when the lazy rebuild policy fires (SpcService::Open's
+  /// no-checkpoint bootstrap funnels through the constructor, so it is
+  /// covered too) — goes through BuildSpcIndexParallel with these
+  /// options. threads = 1 forces the sequential builder; the default 0
+  /// uses hardware concurrency on graphs large enough to amortize the
+  /// worker pool (kParallelBuildMinVertices) and stays sequential below.
+  /// The result is label-identical to the sequential builder either way.
+  ParallelBuildOptions build;
 };
 
 /// A dynamic shortest-path-counting index over an owned graph.

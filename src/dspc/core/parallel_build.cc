@@ -1,0 +1,302 @@
+// Parallel HP-SPC construction. Correctness argument in DESIGN.md §12;
+// the sequential loop this must match label-for-label is hp_spc.cc.
+
+#include "dspc/core/parallel_build.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "dspc/common/thread_pool.h"
+#include "dspc/common/types.h"
+#include "dspc/core/hp_spc.h"
+
+namespace dspc {
+namespace {
+
+/// One label a hub's pruned BFS would insert, buffered until the merge.
+struct PendingLabel {
+  Vertex v;
+  Distance dist;
+  PathCount count;
+};
+
+/// Per-worker scratch for the batched pruned BFS. n-sized arrays reset via
+/// the touched list, exactly like the sequential builder's.
+struct BfsScratch {
+  std::vector<Distance> dist;
+  std::vector<PathCount> count;
+  std::vector<Vertex> queue;
+  std::vector<Vertex> touched;
+  HubCache cache;
+
+  explicit BfsScratch(size_t n)
+      : dist(n, kInfDistance), count(n, 0), cache(n) {}
+};
+
+/// Runs hub h's rank-restricted pruned BFS against `index`, buffering the
+/// labels it would insert into *out instead of inserting them. Mirrors the
+/// sequential loop in hp_spc.cc statement for statement; buffering is
+/// behaviourally identical because a hub's own labels land in L(v) of
+/// vertices whose prune check has already happened, so its BFS never reads
+/// them.
+void RunPrunedHubBfs(const Graph& graph, const VertexOrdering& order,
+                     const Rank h, const SpcIndex& index, BfsScratch& ws,
+                     std::vector<PendingLabel>* out) {
+  out->clear();
+  const Vertex hv = order.vertex_of[h];
+  ws.cache.Load(index.Labels(hv));
+  ws.dist[hv] = 0;
+  ws.count[hv] = 1;
+  ws.queue.clear();
+  ws.queue.push_back(hv);
+  ws.touched.clear();
+  ws.touched.push_back(hv);
+  for (size_t head = 0; head < ws.queue.size(); ++head) {
+    const Vertex v = ws.queue[head];
+    if (v != hv) {
+      const SpcResult covered = ws.cache.Query(index.Labels(v));
+      if (covered.dist < ws.dist[v]) continue;  // strictly covered: prune
+      out->push_back({v, ws.dist[v], ws.count[v]});
+    }
+    for (const Vertex w : graph.Neighbors(v)) {
+      if (order.rank_of[w] <= h) continue;  // restricted to lower ranks
+      if (ws.dist[w] == kInfDistance) {
+        ws.dist[w] = ws.dist[v] + 1;
+        ws.count[w] = ws.count[v];
+        ws.queue.push_back(w);
+        ws.touched.push_back(w);
+      } else if (ws.dist[w] == ws.dist[v] + 1) {
+        ws.count[w] += ws.count[v];
+      }
+    }
+  }
+  for (const Vertex v : ws.touched) {
+    ws.dist[v] = kInfDistance;
+    ws.count[v] = 0;
+  }
+}
+
+/// Frontier split granularity for the level-synchronous mode. Small enough
+/// to balance skewed neighbor lists, large enough that per-grain buffer
+/// bookkeeping stays cheap.
+constexpr size_t kFrontierGrain = 128;
+
+/// Scratch for the intra-hub frontier mode: atomic distance/count arrays
+/// so concurrent expansions of one level can discover and accumulate into
+/// the next level without locks.
+struct FrontierScratch {
+  std::vector<std::atomic<Distance>> dist;
+  std::vector<std::atomic<PathCount>> count;
+  std::vector<Vertex> frontier;
+  std::vector<Vertex> next;
+  std::vector<Vertex> touched;
+  HubCache cache;
+  /// Per-grain output and next-frontier buffers, concatenated serially in
+  /// grain order after each level so the result is schedule-independent.
+  std::vector<std::vector<PendingLabel>> grain_out;
+  std::vector<std::vector<Vertex>> grain_next;
+
+  explicit FrontierScratch(size_t n) : dist(n), count(n), cache(n) {
+    for (auto& d : dist) d.store(kInfDistance, std::memory_order_relaxed);
+    for (auto& c : count) c.store(0, std::memory_order_relaxed);
+  }
+};
+
+/// Runs hub h's pruned BFS level-synchronously, parallelizing each level's
+/// frontier over `pool`. Exactly equivalent to the sequential BFS: a FIFO
+/// queue pops in level order, discovery races are resolved by a
+/// compare-exchange from "unvisited" (every winner records the same
+/// distance), and count accumulation is a sum of the same contributions in
+/// some order — addition mod 2^64 is commutative, so the totals match.
+/// Cross-level visibility rides on ParallelFor's fork/join rendezvous.
+void RunFrontierHubBfs(const Graph& graph, const VertexOrdering& order,
+                       const Rank h, const SpcIndex& index,
+                       FrontierScratch& ws, ThreadPool* pool,
+                       std::vector<PendingLabel>* out) {
+  constexpr auto relaxed = std::memory_order_relaxed;
+  out->clear();
+  const Vertex hv = order.vertex_of[h];
+  ws.cache.Load(index.Labels(hv));
+  ws.dist[hv].store(0, relaxed);
+  ws.count[hv].store(1, relaxed);
+  ws.frontier.assign(1, hv);
+  ws.touched.assign(1, hv);
+  Distance level = 0;
+  while (!ws.frontier.empty()) {
+    const size_t fsize = ws.frontier.size();
+    const size_t grains = (fsize + kFrontierGrain - 1) / kFrontierGrain;
+    if (ws.grain_out.size() < grains) {
+      ws.grain_out.resize(grains);
+      ws.grain_next.resize(grains);
+    }
+    const auto expand = [&](size_t g) {
+      std::vector<PendingLabel>& ob = ws.grain_out[g];
+      std::vector<Vertex>& nb = ws.grain_next[g];
+      ob.clear();
+      nb.clear();
+      const size_t lo = g * kFrontierGrain;
+      const size_t hi = std::min(fsize, lo + kFrontierGrain);
+      for (size_t i = lo; i < hi; ++i) {
+        const Vertex v = ws.frontier[i];
+        const PathCount cv = ws.count[v].load(relaxed);
+        if (v != hv) {
+          const SpcResult covered = ws.cache.Query(index.Labels(v));
+          if (covered.dist < level) continue;
+          ob.push_back({v, level, cv});
+        }
+        for (const Vertex w : graph.Neighbors(v)) {
+          if (order.rank_of[w] <= h) continue;
+          Distance dw = ws.dist[w].load(relaxed);
+          if (dw == kInfDistance &&
+              ws.dist[w].compare_exchange_strong(dw, level + 1, relaxed)) {
+            dw = level + 1;
+            nb.push_back(w);  // discovery winner owns w's bookkeeping
+          }
+          if (dw == level + 1) ws.count[w].fetch_add(cv, relaxed);
+        }
+      }
+    };
+    if (pool != nullptr && grains > 1) {
+      pool->ParallelFor(grains, expand);
+    } else {
+      for (size_t g = 0; g < grains; ++g) expand(g);
+    }
+    ws.next.clear();
+    for (size_t g = 0; g < grains; ++g) {
+      out->insert(out->end(), ws.grain_out[g].begin(), ws.grain_out[g].end());
+      ws.next.insert(ws.next.end(), ws.grain_next[g].begin(),
+                     ws.grain_next[g].end());
+      ws.touched.insert(ws.touched.end(), ws.grain_next[g].begin(),
+                        ws.grain_next[g].end());
+    }
+    std::swap(ws.frontier, ws.next);
+    ++level;
+  }
+  for (const Vertex v : ws.touched) {
+    ws.dist[v].store(kInfDistance, relaxed);
+    ws.count[v].store(0, relaxed);
+  }
+}
+
+}  // namespace
+
+SpcIndex BuildSpcIndexParallel(const Graph& graph, VertexOrdering ordering,
+                               const ParallelBuildOptions& options,
+                               ThreadPool* pool) {
+  const size_t n = graph.NumVertices();
+  unsigned threads = options.threads;
+  if (pool != nullptr) {
+    threads = pool->size();
+  } else if (threads == 0) {
+    if (n < kParallelBuildMinVertices) {
+      return BuildSpcIndex(graph, std::move(ordering));
+    }
+    threads = std::min(std::thread::hardware_concurrency(),
+                       ThreadPool::kMaxThreads);
+  }
+  threads = std::clamp(threads, 1u, ThreadPool::kMaxThreads);
+  if (threads <= 1) return BuildSpcIndex(graph, std::move(ordering));
+
+  std::unique_ptr<ThreadPool> owned;
+  if (pool == nullptr) {
+    owned = std::make_unique<ThreadPool>(threads);
+    pool = owned.get();
+  }
+
+  SpcIndex index(std::move(ordering));
+  const VertexOrdering& order = index.ordering();
+
+  const size_t window = options.rank_window != 0
+                            ? options.rank_window
+                            : std::max<size_t>(32, 8 * threads);
+
+  std::vector<BfsScratch> scratch;
+  scratch.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) scratch.emplace_back(n);
+  std::unique_ptr<FrontierScratch> frontier_ws;  // built on first use
+
+  std::vector<std::vector<PendingLabel>> outs(window);
+  std::vector<uint8_t> suspect(window, 0);
+
+  // kAuto starts frontier-parallel (the top-rank hubs visit most of the
+  // graph and label each other, so a window there degenerates to serial
+  // re-runs) and switches to rank windows for good once pruning keeps
+  // BFS trees small.
+  bool frontier_phase = options.batch_strategy != BuildBatchStrategy::kRankWindow;
+  const size_t small_tree = std::max<size_t>(64, n / 64);
+  int small_streak = 0;
+
+  Rank h = 0;
+  while (h < n) {
+    if (frontier_phase) {
+      const Vertex hv = order.vertex_of[h];
+      if (graph.Degree(hv) == 0) {
+        ++h;
+        continue;
+      }
+      if (frontier_ws == nullptr) {
+        frontier_ws = std::make_unique<FrontierScratch>(n);
+      }
+      std::vector<PendingLabel>& out = outs[0];
+      RunFrontierHubBfs(graph, order, h, index, *frontier_ws, pool, &out);
+      for (const PendingLabel& e : out) {
+        index.InsertLabel(e.v, LabelEntry{h, e.dist, e.count});
+      }
+      if (options.batch_strategy == BuildBatchStrategy::kAuto) {
+        small_streak = out.size() <= small_tree ? small_streak + 1 : 0;
+        if (small_streak >= 4) frontier_phase = false;
+      }
+      ++h;
+      continue;
+    }
+
+    // Rank-window batch [h, end).
+    const Rank end = static_cast<Rank>(std::min<size_t>(n, h + window));
+    const size_t batch = end - h;
+    // Phase A: every hub in the window runs its pruned BFS against the
+    // prefix index completed by earlier windows, concurrently. Workers
+    // only read `index` (const) and write their own scratch + out buffer.
+    pool->ParallelFor(threads, [&](size_t slot) {
+      for (size_t k = slot; k < batch; k += threads) {
+        const Rank hk = h + static_cast<Rank>(k);
+        outs[k].clear();
+        if (graph.Degree(order.vertex_of[hk]) == 0) continue;
+        RunPrunedHubBfs(graph, order, hk, index, scratch[slot], &outs[k]);
+      }
+    });
+    // Phase B: serial rank-ordered merge. A hub whose label set was
+    // extended by an earlier batch-mate's merged output is "suspect" —
+    // its Phase A run pruned against a stale L(hub) — and is re-run
+    // against the now sequential-exact prefix before merging. Everything
+    // else merges as-is (DESIGN.md §12 proves the outputs are equal).
+    std::fill(suspect.begin(), suspect.begin() + batch, 0);
+    for (size_t k = 0; k < batch; ++k) {
+      const Rank hk = h + static_cast<Rank>(k);
+      if (graph.Degree(order.vertex_of[hk]) == 0) continue;
+      if (suspect[k]) {
+        RunPrunedHubBfs(graph, order, hk, index, scratch[0], &outs[k]);
+      }
+      for (const PendingLabel& e : outs[k]) {
+        index.InsertLabel(e.v, LabelEntry{hk, e.dist, e.count});
+        const Rank rv = order.rank_of[e.v];
+        if (rv < end) suspect[rv - h] = 1;  // rv > hk always holds
+      }
+    }
+    h = end;
+  }
+  return index;
+}
+
+SpcIndex BuildSpcIndexParallel(const Graph& graph,
+                               const OrderingOptions& ordering_options,
+                               const ParallelBuildOptions& options,
+                               ThreadPool* pool) {
+  return BuildSpcIndexParallel(graph, BuildOrdering(graph, ordering_options),
+                               options, pool);
+}
+
+}  // namespace dspc

@@ -34,11 +34,30 @@ struct Script {
   // truth[g - 1][i]: BFS answer for probes[i] on the generation-g graph
   // (g in [1, 1 + updates.size()]).
   std::vector<std::vector<SpcResult>> truth;
+  // Optional generation -> truth-row indirection: gen_truth[g - 1] is the
+  // truth index for generation g. Empty means the identity (generation g
+  // = first g - 1 updates); the parallel-rebuild stress interposes
+  // Rebuild() generations, which repeat the previous row because a
+  // rebuild bumps the generation without changing the graph.
+  std::vector<size_t> gen_truth;
 
-  uint64_t MaxGeneration() const { return 1 + updates.size(); }
+  uint64_t MaxGeneration() const {
+    return gen_truth.empty() ? 1 + updates.size() : gen_truth.size();
+  }
 
   const std::vector<SpcResult>& TruthAt(uint64_t gen) const {
-    return truth[gen - 1];
+    return gen_truth.empty() ? truth[gen - 1] : truth[gen_truth[gen - 1]];
+  }
+
+  /// Rewrites gen_truth for a writer that calls Rebuild() after every
+  /// `every` applied updates.
+  void InterposeRebuilds(size_t every) {
+    gen_truth.clear();
+    gen_truth.push_back(0);  // generation 1: the initial build
+    for (size_t i = 0; i < updates.size(); ++i) {
+      gen_truth.push_back(i + 1);
+      if ((i + 1) % every == 0) gen_truth.push_back(i + 1);
+    }
   }
 
   /// True iff `r` is the answer for probe i at some generation.
@@ -164,7 +183,7 @@ void ReaderLoop(const DynamicSpcIndex& dyn, const Script& script,
 }
 
 void RunConcurrentScript(const Script& script, const DynamicSpcOptions& options,
-                         unsigned readers) {
+                         unsigned readers, size_t rebuild_every = 0) {
   DynamicSpcIndex dyn(script.start, options);
 
   // Held across the whole run: retirement must never invalidate it.
@@ -181,9 +200,14 @@ void RunConcurrentScript(const Script& script, const DynamicSpcOptions& options,
     });
   }
 
-  // Writer: the scripted update burst, spaced so readers interleave.
+  // Writer: the scripted update burst, spaced so readers interleave,
+  // optionally interleaving full rebuilds (which swap the entire index
+  // and its ordering under the writer lock).
+  size_t applied = 0;
   for (const Update& u : script.updates) {
     EXPECT_TRUE(dyn.Apply(u).applied);
+    ++applied;
+    if (rebuild_every != 0 && applied % rebuild_every == 0) dyn.Rebuild();
     std::this_thread::sleep_for(std::chrono::microseconds(300));
     if (failures.load() != 0) break;
   }
@@ -232,6 +256,27 @@ TEST(ConcurrentStressTest, SyncInlineRebuildsStayConsistentUnderReaders) {
   options.snapshot.refresh = RefreshPolicy::kSync;
   options.snapshot.rebuild_after_queries = 4;
   RunConcurrentScript(script, options, 2);
+}
+
+// Build-under-concurrent-query (DESIGN.md §12): the writer interleaves
+// scripted updates with explicit Rebuild() calls that run the *parallel*
+// builder at 4 threads — pool workers reading the graph and the
+// under-construction index while reader threads concurrently pin
+// snapshots, query the facade, and drive batched snapshot queries. A
+// rebuild re-ranks every hub and swaps the whole index under the writer
+// lock; readers must never observe a torn state, every pin must answer
+// exactly for the generation it claims (rebuild generations repeat the
+// previous graph's truth), and the pin held from generation 1 must
+// survive all the churn.
+TEST(ConcurrentStressTest, ParallelRebuildUnderConcurrentReaders) {
+  Script script = MakeScript(72, 117, 20, 10, 16);
+  constexpr size_t kRebuildEvery = 5;
+  script.InterposeRebuilds(kRebuildEvery);
+  DynamicSpcOptions options;
+  options.snapshot.refresh = RefreshPolicy::kBackground;
+  options.snapshot.rebuild_after_queries = 1;
+  options.build.threads = 4;
+  RunConcurrentScript(script, options, 3, kRebuildEvery);
 }
 
 // ServiceMetrics under concurrency: the per-thread counter shards must

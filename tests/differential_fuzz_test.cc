@@ -24,6 +24,7 @@
 #include "dspc/common/rng.h"
 #include "dspc/core/dynamic_spc.h"
 #include "dspc/core/hp_spc.h"
+#include "dspc/core/parallel_build.h"
 #include "dspc/graph/generators.h"
 #include "dspc/graph/update_stream.h"
 
@@ -36,12 +37,16 @@ constexpr size_t kStaleBudget = 3;
 class DifferentialStream {
  public:
   DifferentialStream(const Graph& start, RefreshPolicy policy, uint64_t seed,
-                     size_t snapshot_shards = 0)
-      : policy_(policy), rng_(seed) {
+                     size_t snapshot_shards = 0,
+                     ParallelBuildOptions build = {},
+                     size_t rebuild_after_updates = 0)
+      : policy_(policy), build_(build), rng_(seed) {
     DynamicSpcOptions options;
     options.snapshot.refresh = policy;
     options.snapshot.rebuild_after_queries = kStaleBudget;
     options.snapshot.shards = snapshot_shards;
+    options.build = build;
+    options.rebuild_after_updates = rebuild_after_updates;
     dyn_ = std::make_unique<DynamicSpcIndex>(start, options);
     history_.emplace(dyn_->Generation(), dyn_->graph());
   }
@@ -178,6 +183,12 @@ class DifferentialStream {
     ASSERT_TRUE(static_cast<bool>(pin));
     ASSERT_EQ(pin.generation, dyn_->Generation());
     const SpcIndex rebuilt = BuildSpcIndex(dyn_->graph());
+    // The parallel builder must reproduce the sequential rebuild label
+    // for label on the evolved graph, whatever this stream's options.
+    const SpcIndex parallel =
+        BuildSpcIndexParallel(dyn_->graph(), OrderingOptions{}, build_);
+    ASSERT_TRUE(parallel == rebuilt)
+        << "parallel rebuild diverged from sequential at step " << step;
     const FlatSpcIndex unsharded(rebuilt);
     for (int i = 0; i < 40; ++i) {
       const Vertex s = RandomVertex();
@@ -202,6 +213,7 @@ class DifferentialStream {
   }
 
   const RefreshPolicy policy_;
+  const ParallelBuildOptions build_;
   Rng rng_;
   std::unique_ptr<DynamicSpcIndex> dyn_;
   /// Graph state at every generation the index has passed through.
@@ -246,6 +258,63 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(1001u, 2002u),
                        ::testing::Values(1u, 2u, 7u, 64u)),
     FuzzParamName);
+
+// Parallel-build fuzz sweep: the same randomized update streams, but the
+// lazy rebuild policy fires every 6 updates and every full rebuild —
+// construction included — runs through the parallel builder at the
+// sweep's thread count and batch strategy. Every answer is still checked
+// bit-for-bit against BiBFS, and every periodic cross-check asserts the
+// parallel rebuild is label-identical to a sequential one on the evolved
+// graph (which by then has grown vertices and drifted far from the
+// seed graph).
+using ParallelFuzzParam = std::tuple<unsigned, BuildBatchStrategy, uint64_t>;
+
+class ParallelBuildFuzzTest
+    : public ::testing::TestWithParam<ParallelFuzzParam> {};
+
+std::string ParallelFuzzParamName(
+    const ::testing::TestParamInfo<ParallelFuzzParam>& info) {
+  const char* strategy = std::get<1>(info.param) == BuildBatchStrategy::kAuto
+                             ? "Auto"
+                         : std::get<1>(info.param) ==
+                                 BuildBatchStrategy::kRankWindow
+                             ? "RankWindow"
+                             : "Frontier";
+  return std::string(strategy) + "T" + std::to_string(std::get<0>(info.param)) +
+         "Seed" + std::to_string(std::get<2>(info.param));
+}
+
+TEST_P(ParallelBuildFuzzTest, SyncRmatStream) {
+  const auto [threads, strategy, seed] = GetParam();
+  ParallelBuildOptions build;
+  build.threads = threads;
+  build.batch_strategy = strategy;
+  DifferentialStream stream(GenerateRmat(6, 150, seed), RefreshPolicy::kSync,
+                            seed, /*snapshot_shards=*/2, build,
+                            /*rebuild_after_updates=*/6);
+  stream.Run(70);
+}
+
+TEST_P(ParallelBuildFuzzTest, BackgroundBaStream) {
+  const auto [threads, strategy, seed] = GetParam();
+  ParallelBuildOptions build;
+  build.threads = threads;
+  build.batch_strategy = strategy;
+  DifferentialStream stream(GenerateBarabasiAlbert(48, 2, seed),
+                            RefreshPolicy::kBackground, seed,
+                            /*snapshot_shards=*/7, build,
+                            /*rebuild_after_updates=*/6);
+  stream.Run(70);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ParallelBuildFuzzTest,
+    ::testing::Combine(::testing::Values(3u, 8u),
+                       ::testing::Values(BuildBatchStrategy::kAuto,
+                                         BuildBatchStrategy::kRankWindow,
+                                         BuildBatchStrategy::kFrontier),
+                       ::testing::Values(11u)),
+    ParallelFuzzParamName);
 
 // The boundary bookkeeping itself, deterministically: exactly budget-1
 // stale queries ride without a rebuild, the budget-th rebuilds (sync) or
