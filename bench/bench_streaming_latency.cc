@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "dspc/api/replica_service.h"
 #include "dspc/api/spc_service.h"
 #include "dspc/common/rng.h"
 #include "dspc/common/stats.h"
@@ -44,6 +45,7 @@
 #include "dspc/graph/generators.h"
 #include "dspc/graph/update_stream.h"
 #include "dspc/persist/env.h"
+#include "dspc/persist/replication.h"
 #include "dspc/persist/wal.h"
 
 namespace {
@@ -291,6 +293,105 @@ std::vector<DurabilityRow> SweepSyncPolicies(const Graph& graph,
   return rows;
 }
 
+// --- replication sweep (DESIGN.md §13) --------------------------------------
+
+struct ReplicationRow {
+  size_t writes = 0;
+  double ack_p50_us = 0.0;  // durable-ack latency on the primary
+  double lag_p50_us = 0.0;  // durable ack -> visible on the replica
+  double lag_p99_us = 0.0;
+  double lag_max_us = 0.0;
+  uint64_t checkpoints_shipped = 0;
+  uint64_t bytes_shipped = 0;
+  uint64_t ops_applied = 0;
+  bool ok = false;
+};
+
+/// Prices the hot-standby pipeline: a kEveryWrite primary with a
+/// free-running WalShipper into an in-process store, a background-tailing
+/// ReplicaService on the other end. Each durable write is timed twice —
+/// the primary's ack, then the extra wall time until the replica's
+/// applied generation covers the acked token (ship + fetch + replay).
+/// That second number is the replica apply lag a kBoundedStaleness
+/// reader actually experiences.
+ReplicationRow MeasureReplicaApplyLag(const Graph& graph,
+                                      const std::vector<Update>& stream) {
+  ReplicationRow row;
+  DurabilityOptions durability;
+  durability.dir = FreshWalDir("repl");
+  durability.sync = WalSyncPolicy::kEveryWrite;
+  durability.checkpoint_wal_bytes = 0;
+  durability.checkpoint_wal_records = 0;
+  DynamicSpcOptions options;
+  options.snapshot.refresh = RefreshPolicy::kManual;  // pure update path
+  auto primary = SpcService::Open(Graph(graph), durability, options);
+  if (!primary.ok()) {
+    std::fprintf(stderr, "replication row: open failed: %s\n",
+                 primary.status().ToString().c_str());
+    return row;
+  }
+  InProcessTransport transport;
+  WalShipper::Options ship;
+  ship.poll_interval = std::chrono::microseconds(100);
+  auto shipper = (*primary)->NewShipper(&transport, ship);
+  if (!shipper.ok()) {
+    std::fprintf(stderr, "replication row: shipper failed: %s\n",
+                 shipper.status().ToString().c_str());
+    return row;
+  }
+  (*shipper)->Start();
+  ReplicaOptions replica_options;
+  replica_options.transport = &transport;
+  replica_options.poll_interval = std::chrono::microseconds(100);
+  replica_options.bootstrap_timeout = std::chrono::seconds(60);
+  auto replica = ReplicaService::Open(replica_options);
+  if (!replica.ok()) {
+    std::fprintf(stderr, "replication row: replica open failed: %s\n",
+                 replica.status().ToString().c_str());
+    (*shipper)->Stop();
+    return row;
+  }
+
+  SampleStats ack;
+  SampleStats lag;
+  WriteOptions write;
+  write.durable = true;
+  for (const Update& update : stream) {
+    Stopwatch aw;
+    const auto resp = (*primary)->ApplyUpdates({&update, 1}, write);
+    if (!resp.ok()) {
+      std::fprintf(stderr, "replication row: update failed: %s\n",
+                   resp.status().ToString().c_str());
+      (*replica)->Stop();
+      (*shipper)->Stop();
+      return row;
+    }
+    ack.Add(aw.ElapsedMicros());
+    const uint64_t target = resp->token.generation;
+    Stopwatch lw;
+    while ((*replica)->AppliedGeneration() < target &&
+           lw.ElapsedSeconds() < 10.0) {
+      std::this_thread::yield();
+    }
+    lag.Add(lw.ElapsedMicros());
+  }
+  (*replica)->Stop();
+  (*shipper)->Stop();
+
+  row.writes = stream.size();
+  row.ack_p50_us = ack.Percentile(50.0);
+  row.lag_p50_us = lag.Percentile(50.0);
+  row.lag_p99_us = lag.Percentile(99.0);
+  row.lag_max_us = lag.Max();
+  const WalShipper::Stats stats = (*shipper)->GetStats();
+  row.checkpoints_shipped = stats.checkpoints_shipped;
+  row.bytes_shipped = stats.bytes_shipped;
+  row.ops_applied = (*replica)->Metrics().repl_ops_applied;
+  row.ok = (*replica)->AppliedGeneration() == (*primary)->Generation() &&
+           (*replica)->Health().ok();
+  return row;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -446,6 +547,24 @@ int main(int argc, char** argv) {
       wal_rows[1].overhead_pct, wal_rows[2].overhead_pct,
       wal_rows[3].overhead_pct);
 
+  // Replication row: what a hot standby adds on top of kEveryWrite —
+  // the durable ack is unchanged (shipping is off the commit path), and
+  // the apply lag is the freshness gap a replica reader sees.
+  const std::vector<Update> repl_stream = MakeHybridStream(graph, 240, 60, 23);
+  const ReplicationRow repl = MeasureReplicaApplyLag(graph, repl_stream);
+  std::printf("\n%-12s %7s %11s %11s %11s %11s %7s %10s\n", "replication",
+              "writes", "ack p50 us", "lag p50 us", "lag p99 us",
+              "lag max us", "ckpts", "bytes");
+  bench::PrintRule(8);
+  std::printf("%-12s %7zu %11.1f %11.1f %11.1f %11.1f %7llu %10llu  (%s, "
+              "%llu ops applied)\n",
+              "hot_standby", repl.writes, repl.ack_p50_us, repl.lag_p50_us,
+              repl.lag_p99_us, repl.lag_max_us,
+              static_cast<unsigned long long>(repl.checkpoints_shipped),
+              static_cast<unsigned long long>(repl.bytes_shipped),
+              repl.ok ? "converged" : "NOT CONVERGED",
+              static_cast<unsigned long long>(repl.ops_applied));
+
   std::FILE* json = std::fopen(json_path.c_str(), "w");
   if (json == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
@@ -504,6 +623,18 @@ int main(int argc, char** argv) {
   }
   std::fprintf(json,
                "  ],\n"
+               "  \"replication\": {\"writes\": %zu, \"ack_p50_us\": %.2f, "
+               "\"apply_lag_p50_us\": %.2f, \"apply_lag_p99_us\": %.2f, "
+               "\"apply_lag_max_us\": %.2f,\n"
+               "    \"checkpoints_shipped\": %llu, \"bytes_shipped\": %llu, "
+               "\"ops_applied\": %llu, \"converged\": %s},\n",
+               repl.writes, repl.ack_p50_us, repl.lag_p50_us, repl.lag_p99_us,
+               repl.lag_max_us,
+               static_cast<unsigned long long>(repl.checkpoints_shipped),
+               static_cast<unsigned long long>(repl.bytes_shipped),
+               static_cast<unsigned long long>(repl.ops_applied),
+               repl.ok ? "true" : "false");
+  std::fprintf(json,
                "  \"sync_over_background_worst_burst_stall\": %.3f,\n"
                "  \"default_shards\": %zu,\n"
                "  \"background_s1_over_default_update_seconds\": %.3f,\n"

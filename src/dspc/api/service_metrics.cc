@@ -109,6 +109,23 @@ std::string MetricsSnapshot::ToString() const {
                 " truncated_tail_bytes=%" PRIu64 "\n",
                 recovery_replayed, recovery_truncated_bytes);
   out += buf;
+
+  std::snprintf(buf, sizeof(buf),
+                "  replication: ckpts_shipped=%" PRIu64
+                " segments_shipped=%" PRIu64 " bytes_shipped=%" PRIu64
+                " ops_applied=%" PRIu64 "\n",
+                repl_checkpoints_shipped, repl_segments_shipped,
+                repl_bytes_shipped, repl_ops_applied);
+  out += buf;
+
+  std::snprintf(buf, sizeof(buf),
+                "  replication_health: reconnects=%" PRIu64
+                " backoff_sleeps=%" PRIu64 " rebootstraps=%" PRIu64
+                " failovers=%" PRIu64 " applied_gen=%" PRIu64 " lag=%" PRIu64
+                "\n",
+                repl_reconnects, repl_backoff_sleeps, repl_rebootstraps,
+                repl_failovers, replica_applied_generation, replica_lag);
+  out += buf;
   return out;
 }
 
@@ -177,6 +194,28 @@ void ServiceMetrics::RecordRecovery(uint64_t replayed,
       truncated_tail_bytes, std::memory_order_relaxed);
 }
 
+void ServiceMetrics::RecordCheckpointShipped() {
+  Add(kReplCheckpointsShipped, 1);
+}
+
+void ServiceMetrics::RecordSegmentShipped() { Add(kReplSegmentsShipped, 1); }
+
+void ServiceMetrics::RecordShippedBytes(uint64_t bytes) {
+  Add(kReplBytesShipped, bytes);
+}
+
+void ServiceMetrics::RecordReplReconnect() { Add(kReplReconnects, 1); }
+
+void ServiceMetrics::RecordReplBackoffSleep() { Add(kReplBackoffSleeps, 1); }
+
+void ServiceMetrics::RecordRebootstrap() { Add(kReplRebootstraps, 1); }
+
+void ServiceMetrics::RecordReplApplied(uint64_t ops) {
+  if (ops > 0) Add(kReplOpsApplied, ops);
+}
+
+void ServiceMetrics::RecordFailover() { Add(kReplFailovers, 1); }
+
 MetricsSnapshot ServiceMetrics::Snapshot() const {
   std::array<uint64_t, kNumCounters> sum{};
   for (const Shard& shard : shards_) {
@@ -222,6 +261,14 @@ MetricsSnapshot ServiceMetrics::Snapshot() const {
   snap.checkpoints = sum[kCheckpoints];
   snap.recovery_replayed = sum[kRecoveryReplayed];
   snap.recovery_truncated_bytes = sum[kRecoveryTruncatedBytes];
+  snap.repl_checkpoints_shipped = sum[kReplCheckpointsShipped];
+  snap.repl_segments_shipped = sum[kReplSegmentsShipped];
+  snap.repl_bytes_shipped = sum[kReplBytesShipped];
+  snap.repl_ops_applied = sum[kReplOpsApplied];
+  snap.repl_reconnects = sum[kReplReconnects];
+  snap.repl_backoff_sleeps = sum[kReplBackoffSleeps];
+  snap.repl_rebootstraps = sum[kReplRebootstraps];
+  snap.repl_failovers = sum[kReplFailovers];
   return snap;
 }
 

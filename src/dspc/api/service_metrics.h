@@ -104,6 +104,23 @@ struct MetricsSnapshot {
   uint64_t recovery_replayed = 0;   ///< committed WAL ops replayed at Open
   uint64_t recovery_truncated_bytes = 0;  ///< torn tail bytes repaired
 
+  // --- replication (persist/replication.h + api/replica_service.h,
+  // DESIGN.md §13; all zero without a shipper/replica attached) -------------
+  uint64_t repl_checkpoints_shipped = 0;  ///< checkpoint images shipped
+  uint64_t repl_segments_shipped = 0;     ///< WAL segments started shipping
+  uint64_t repl_bytes_shipped = 0;        ///< segment bytes shipped
+  uint64_t repl_ops_applied = 0;          ///< replica: replay ops applied
+  uint64_t repl_reconnects = 0;    ///< transport recoveries after faults
+  uint64_t repl_backoff_sleeps = 0;  ///< retry backoff sleeps taken
+  uint64_t repl_rebootstraps = 0;  ///< replica restarts from a checkpoint
+  uint64_t repl_failovers = 0;     ///< Promote() calls completed
+
+  /// Replica-only gauges, filled in by ReplicaService::Metrics() (zero in
+  /// a snapshot taken directly from ServiceMetrics::Snapshot(), which
+  /// only aggregates monotone counters).
+  uint64_t replica_applied_generation = 0;  ///< generation the replica serves
+  uint64_t replica_lag = 0;  ///< primary durable generation minus applied
+
   /// Served queries across all modes (equals the staleness histogram's
   /// total population).
   uint64_t TotalQueries() const {
@@ -193,6 +210,34 @@ class ServiceMetrics {
   /// Recovery results, folded in once at SpcService::Open.
   void RecordRecovery(uint64_t replayed, uint64_t truncated_tail_bytes);
 
+  // --- replication (persist/replication.h; never called without a
+  // shipper or replica attached) --------------------------------------------
+
+  /// One checkpoint image shipped through the transport.
+  void RecordCheckpointShipped();
+
+  /// One WAL segment started shipping (first byte reached the store).
+  void RecordSegmentShipped();
+
+  /// `bytes` of segment data shipped through the transport.
+  void RecordShippedBytes(uint64_t bytes);
+
+  /// Shipping or tailing resumed after transport faults.
+  void RecordReplReconnect();
+
+  /// One retry backoff sleep (shipper pump or replica tailer).
+  void RecordReplBackoffSleep();
+
+  /// A replica threw away its state and re-bootstrapped from a shipped
+  /// checkpoint (fell behind retention, or its image was unreadable).
+  void RecordRebootstrap();
+
+  /// `ops` committed replay ops applied by a replica.
+  void RecordReplApplied(uint64_t ops);
+
+  /// One Promote() completed (the replica became a writable primary).
+  void RecordFailover();
+
   /// Sums all shards into one consistent-enough view (monotone counters;
   /// see the file comment).
   MetricsSnapshot Snapshot() const;
@@ -226,6 +271,14 @@ class ServiceMetrics {
     kCheckpoints,
     kRecoveryReplayed,
     kRecoveryTruncatedBytes,
+    kReplCheckpointsShipped,
+    kReplSegmentsShipped,
+    kReplBytesShipped,
+    kReplOpsApplied,
+    kReplReconnects,
+    kReplBackoffSleeps,
+    kReplRebootstraps,
+    kReplFailovers,
     kNumCounters,
   };
 

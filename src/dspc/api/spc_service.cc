@@ -126,6 +126,90 @@ StatusOr<std::unique_ptr<SpcService>> SpcService::Open(
   return service;
 }
 
+StatusOr<std::unique_ptr<SpcService>> SpcService::OpenWithState(
+    Graph graph, SpcIndex index, uint64_t generation,
+    const DurabilityOptions& durability, const DynamicSpcOptions& options) {
+  if (durability.dir.empty()) {
+    return Status::InvalidArgument("DurabilityOptions::dir must be set");
+  }
+  if (options.rebuild_after_updates != 0 ||
+      options.rebuild_growth_factor != 0.0) {
+    return Status::NotSupported(
+        "durable serving requires the lazy rebuild policy disabled: a "
+        "policy rebuild advances the generation outside the WAL, which "
+        "would break replay determinism");
+  }
+  FileSystem* fs =
+      durability.fs != nullptr ? durability.fs : FileSystem::Default();
+  if (Status st = fs->CreateDir(durability.dir); !st.ok()) return st;
+  RecoveryPlan plan;
+  if (Status st = PlanRecovery(fs, durability.dir, &plan); !st.ok()) {
+    return st;
+  }
+  // Adopting external state over an existing durable lineage would
+  // silently discard whatever that lineage acknowledged. PlanRecovery
+  // already refuses the dangerous MANIFEST-less shapes with kDataLoss;
+  // anything it would recover (a MANIFEST) is equally off limits here.
+  if (plan.has_checkpoint) {
+    return Status::InvalidArgument(
+        "target directory already holds durable state (recover it with "
+        "SpcService::Open, or point OpenWithState at a fresh directory): " +
+        durability.dir);
+  }
+  DynamicSpcOptions engine_options = options;
+  engine_options.initial_generation = generation;
+  std::unique_ptr<SpcService> service(
+      new SpcService(std::move(graph), std::move(index), engine_options));
+  service->recovery_report_ = plan.report;
+  service->recovery_report_.recovered_generation = generation;
+  service->fs_ = fs;
+  if (Status st = service->StartDurability(durability, plan); !st.ok()) {
+    return st;
+  }
+  return service;
+}
+
+StatusOr<std::unique_ptr<WalShipper>> SpcService::NewShipper(
+    Transport* transport, WalShipper::Options base) {
+  if (fs_ == nullptr) {
+    return Status::NotSupported(
+        "WAL shipping needs a durable service (SpcService::Open)");
+  }
+  if (transport == nullptr) {
+    return Status::InvalidArgument("NewShipper requires a transport");
+  }
+  WalShipper::Options options = std::move(base);
+  options.transport = transport;
+  options.retention = checkpointer_.get();
+  options.synced_tip = [this] { return WalSyncedTip(); };
+  if (!options.on_checkpoint_shipped) {
+    options.on_checkpoint_shipped = [this] {
+      metrics_.RecordCheckpointShipped();
+    };
+  }
+  if (!options.on_segment_started) {
+    options.on_segment_started = [this] { metrics_.RecordSegmentShipped(); };
+  }
+  if (!options.on_bytes_shipped) {
+    options.on_bytes_shipped = [this](uint64_t bytes) {
+      metrics_.RecordShippedBytes(bytes);
+    };
+  }
+  if (!options.on_reconnect) {
+    options.on_reconnect = [this] { metrics_.RecordReplReconnect(); };
+  }
+  if (!options.on_backoff_sleep) {
+    options.on_backoff_sleep = [this] { metrics_.RecordReplBackoffSleep(); };
+  }
+  return std::make_unique<WalShipper>(fs_, dur_options_.dir, options);
+}
+
+std::pair<uint64_t, uint64_t> SpcService::WalSyncedTip() {
+  std::lock_guard<std::mutex> lock(dur_mu_);
+  if (!wal_) return {0, 0};
+  return {wal_->seq(), wal_->SyncedBytes()};
+}
+
 Status SpcService::StartDurability(const DurabilityOptions& durability,
                                    const RecoveryPlan& plan) {
   const uint64_t wal_seq = plan.next_wal_seq;

@@ -84,6 +84,7 @@
 #include "dspc/persist/checkpointer.h"
 #include "dspc/persist/env.h"
 #include "dspc/persist/recovery.h"
+#include "dspc/persist/replication.h"
 #include "dspc/persist/wal.h"
 
 namespace dspc {
@@ -287,6 +288,23 @@ class SpcService {
       Graph bootstrap, const DurabilityOptions& durability,
       const DynamicSpcOptions& options = {});
 
+  /// Opens a DURABLE service adopting externally reconstructed state at
+  /// an exact generation — the failover path (ReplicaService::Promote
+  /// hands in the drained replica's graph + index). `durability.dir`
+  /// must not already hold durable state: bootstrapping over a MANIFEST
+  /// (or over WAL records) would silently discard it, so that case is
+  /// kInvalidArgument — recover such a directory with Open instead. The
+  /// new service starts a fresh WAL/checkpoint lineage whose first
+  /// checkpoint is the adopted state at `generation`; subsequent writes
+  /// continue the generation chain from there, so read-your-writes
+  /// tokens issued by the old primary stay valid against the promoted
+  /// one. Same option restrictions as Open (lazy rebuild policies are
+  /// kNotSupported).
+  static StatusOr<std::unique_ptr<SpcService>> OpenWithState(
+      Graph graph, SpcIndex index, uint64_t generation,
+      const DurabilityOptions& durability,
+      const DynamicSpcOptions& options = {});
+
   /// Stops the background checkpointer and closes the WAL (a clean close
   /// syncs it — shutdown is not a crash). No-op for non-durable services.
   ~SpcService();
@@ -378,6 +396,21 @@ class SpcService {
   /// kNotSupported on a non-durable service; after a failure the
   /// durability path is fail-stop.
   Status Checkpoint();
+
+  // --- replication ---------------------------------------------------------
+
+  /// Creates a WAL shipper pumping this durable service's directory into
+  /// `transport` (DESIGN.md §13), fully wired: the service's filesystem
+  /// and directory, its checkpointer as the retention pin (GC never
+  /// deletes a segment the shipper still tails), its fsync horizon as
+  /// the shipping cap (replicas never see a write the primary could
+  /// still lose), and its ServiceMetrics as the default metric hooks
+  /// (`base` hooks win where set; other `base` fields pass through).
+  /// The shipper is returned stopped — call Start() for the background
+  /// pump or drive ShipOnce() manually — and must not outlive the
+  /// service. kNotSupported on a non-durable service.
+  StatusOr<std::unique_ptr<WalShipper>> NewShipper(
+      Transport* transport, WalShipper::Options base = {});
 
   // --- freshness barriers -------------------------------------------------
 
@@ -487,6 +520,10 @@ class SpcService {
 
   /// Checkpoint body; caller holds dur_mu_.
   Status CheckpointLocked();
+
+  /// (current segment seq, synced bytes of it) under dur_mu_ — the
+  /// shipper's fsync horizon (WalShipper::Options::synced_tip).
+  std::pair<uint64_t, uint64_t> WalSyncedTip();
 
   /// Wakes the background checkpointer when the current segment crossed
   /// a threshold. Caller holds dur_mu_.

@@ -1,5 +1,6 @@
 #include "dspc/persist/checkpointer.h"
 
+#include <algorithm>
 #include <utility>
 #include <vector>
 
@@ -35,13 +36,13 @@ Status WriteFramedFileAtomic(FileSystem* fs, const std::string& dir,
   return fs->RenameFile(tmp, Join(dir, name));
 }
 
-/// Reads a CRC32C-framed file into a BinaryReader over its payload.
-Status ReadFramedFile(FileSystem* fs, const std::string& path,
-                      BinaryReader* out) {
-  std::vector<uint8_t> data;
-  if (Status st = fs->ReadFile(path, &data); !st.ok()) return st;
+/// Verifies a CRC32C trailer over raw framed bytes and hands back a
+/// BinaryReader over the payload. `context` names the source (a path, or
+/// a transport artifact) in error messages.
+Status FrameIntoReader(std::vector<uint8_t> data, const std::string& context,
+                       BinaryReader* out) {
   if (data.size() < 4) {
-    return Status::DataLoss("framed file too small: " + path);
+    return Status::DataLoss("framed file too small: " + context);
   }
   const size_t payload = data.size() - 4;
   const uint32_t stored = static_cast<uint32_t>(data[payload]) |
@@ -49,11 +50,19 @@ Status ReadFramedFile(FileSystem* fs, const std::string& path,
                           (static_cast<uint32_t>(data[payload + 2]) << 16) |
                           (static_cast<uint32_t>(data[payload + 3]) << 24);
   if (Crc32c(data.data(), payload) != stored) {
-    return Status::DataLoss("checksum mismatch: " + path);
+    return Status::DataLoss("checksum mismatch: " + context);
   }
   data.resize(payload);
   *out = BinaryReader(std::move(data));
   return Status::OK();
+}
+
+/// Reads a CRC32C-framed file into a BinaryReader over its payload.
+Status ReadFramedFile(FileSystem* fs, const std::string& path,
+                      BinaryReader* out) {
+  std::vector<uint8_t> data;
+  if (Status st = fs->ReadFile(path, &data); !st.ok()) return st;
+  return FrameIntoReader(std::move(data), path, out);
 }
 
 }  // namespace
@@ -117,8 +126,21 @@ StatusOr<CheckpointManifest> ReadManifest(FileSystem* fs,
 Status LoadCheckpoint(FileSystem* fs, const std::string& dir,
                       uint64_t generation, LoadedCheckpoint* out) {
   const std::string path = Join(dir, CheckpointFileName(generation));
+  std::vector<uint8_t> data;
+  if (Status st = fs->ReadFile(path, &data); !st.ok()) return st;
+  return ParseCheckpointBytes(std::move(data), generation, path, out);
+}
+
+Status ParseCheckpointBytes(std::vector<uint8_t> bytes,
+                            uint64_t expected_generation,
+                            const std::string& context,
+                            LoadedCheckpoint* out) {
+  const uint64_t generation = expected_generation;
+  const std::string& path = context;
   BinaryReader r(std::vector<uint8_t>{});
-  if (Status st = ReadFramedFile(fs, path, &r); !st.ok()) return st;
+  if (Status st = FrameIntoReader(std::move(bytes), path, &r); !st.ok()) {
+    return st;
+  }
   if (r.GetU32() != kCheckpointMagic) {
     return Status::DataLoss("checkpoint bad magic: " + path);
   }
@@ -233,14 +255,43 @@ Status Checkpointer::Publish(const Graph& graph, const FlatSpcIndex& index,
   return GarbageCollect();
 }
 
+uint64_t Checkpointer::RegisterConsumer(const CheckpointRef& pins) {
+  std::lock_guard<std::mutex> lock(consumers_mu_);
+  const uint64_t handle = ++next_consumer_handle_;
+  consumers_.emplace(handle, pins);
+  return handle;
+}
+
+void Checkpointer::UpdateConsumer(uint64_t handle, const CheckpointRef& pins) {
+  std::lock_guard<std::mutex> lock(consumers_mu_);
+  auto it = consumers_.find(handle);
+  if (it != consumers_.end()) it->second = pins;
+}
+
+void Checkpointer::UnregisterConsumer(uint64_t handle) {
+  std::lock_guard<std::mutex> lock(consumers_mu_);
+  consumers_.erase(handle);
+}
+
 Status Checkpointer::GarbageCollect() {
   if (!fs_->FileExists(Join(dir_, ManifestFileName()))) return Status::OK();
   auto manifest = ReadManifest(fs_, dir_);
   if (!manifest.ok()) return manifest.status();
   auto names = fs_->ListDir(dir_);
   if (!names.ok()) return names.status();
-  const uint64_t min_wal_seq =
+  uint64_t min_wal_seq =
       manifest->has_previous ? manifest->prev_wal_seq : manifest->wal_seq;
+  // Consumer pins lower the segment horizon and spare pinned checkpoint
+  // generations (a tailing shipper or replica feed still reads them).
+  std::vector<uint64_t> pinned_checkpoints;
+  {
+    std::lock_guard<std::mutex> lock(consumers_mu_);
+    for (const auto& [handle, pins] : consumers_) {
+      (void)handle;
+      min_wal_seq = std::min(min_wal_seq, pins.wal_seq);
+      if (pins.generation != 0) pinned_checkpoints.push_back(pins.generation);
+    }
+  }
   bool removed = false;
   for (const std::string& name : *names) {
     bool drop = false;
@@ -250,7 +301,9 @@ Status Checkpointer::GarbageCollect() {
       drop = true;  // orphan of an interrupted publish
     } else if (ParseCheckpointFileName(name, &value)) {
       drop = value != manifest->generation &&
-             !(manifest->has_previous && value == manifest->prev_generation);
+             !(manifest->has_previous && value == manifest->prev_generation) &&
+             std::find(pinned_checkpoints.begin(), pinned_checkpoints.end(),
+                       value) == pinned_checkpoints.end();
     } else if (ParseWalSegmentFileName(name, &value)) {
       drop = value < min_wal_seq;
     }

@@ -22,7 +22,10 @@
 #define DSPC_PERSIST_CHECKPOINTER_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "dspc/common/status.h"
 #include "dspc/core/flat_spc_index.h"
@@ -89,6 +92,18 @@ StatusOr<CheckpointManifest> ReadManifest(FileSystem* fs,
 Status LoadCheckpoint(FileSystem* fs, const std::string& dir,
                       uint64_t generation, LoadedCheckpoint* out);
 
+/// Verifies and parses raw checkpoint-file bytes (CRC32C trailer
+/// included) that arrived from somewhere other than the durability
+/// directory — a replica bootstrapping from a shipped image (DESIGN.md
+/// §13). Same validation as LoadCheckpoint; `context` names the source
+/// in error messages. kDataLoss on any checksum or structural failure —
+/// for a replica that means "re-fetch", since a transport fault and real
+/// corruption look identical from the receiving end.
+Status ParseCheckpointBytes(std::vector<uint8_t> bytes,
+                            uint64_t expected_generation,
+                            const std::string& context,
+                            LoadedCheckpoint* out);
+
 /// Owns the publish + retention protocol for one durability directory.
 class Checkpointer {
  public:
@@ -113,15 +128,41 @@ class Checkpointer {
 
   /// Deletes everything the current MANIFEST no longer needs: checkpoint
   /// files other than current/previous, WAL segments below the oldest
-  /// still-needed replay point, and orphaned .tmp files. Missing
-  /// MANIFEST is a no-op. Best-effort: stops at the first error.
+  /// still-needed replay point, and orphaned .tmp files — EXCEPT state a
+  /// registered consumer still pins (below). Missing MANIFEST is a
+  /// no-op. Best-effort: stops at the first error.
   Status GarbageCollect();
+
+  // --- retention consumers (DESIGN.md §13) --------------------------------
+  //
+  // A consumer is anything still reading the directory's history behind
+  // the manifest's back — a WAL shipper mid-tail, a replica feed. Its
+  // CheckpointRef pins the GC horizon: segment wal_seq and later are
+  // kept (0 = pin everything), and the checkpoint at `generation` is
+  // kept (generation 0 = no checkpoint pinned). Without registration GC
+  // keeps only current + previous and drops covered segments
+  // unconditionally — exactly what a tailing reader cannot survive.
+  // Thread-safe against Publish/GarbageCollect (consumers update from
+  // the shipper thread while the service checkpoints).
+
+  /// Registers a consumer needing `pins`; returns its handle.
+  uint64_t RegisterConsumer(const CheckpointRef& pins);
+
+  /// Moves `handle`'s pin forward (or backward; GC simply honors it).
+  void UpdateConsumer(uint64_t handle, const CheckpointRef& pins);
+
+  /// Drops the pin. Unknown handles are ignored.
+  void UnregisterConsumer(uint64_t handle);
 
   const std::string& dir() const { return dir_; }
 
  private:
   FileSystem* const fs_;
   const std::string dir_;
+
+  mutable std::mutex consumers_mu_;
+  uint64_t next_consumer_handle_ = 0;          ///< under consumers_mu_
+  std::unordered_map<uint64_t, CheckpointRef> consumers_;  ///< under consumers_mu_
 };
 
 }  // namespace dspc

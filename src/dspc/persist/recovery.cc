@@ -1,10 +1,10 @@
 #include "dspc/persist/recovery.h"
 
 #include <algorithm>
-#include <unordered_map>
 #include <utility>
 
 #include "dspc/core/dynamic_spc.h"
+#include "dspc/persist/replication.h"
 #include "dspc/persist/wal.h"
 
 namespace dspc {
@@ -165,83 +165,24 @@ Status PlanRecovery(FileSystem* fs, const std::string& dir,
         WalSegmentFileName(run.front()));
   }
 
-  // Pair intents with commits. An intent whose commit never made it to
-  // the log was never acknowledged — dropped, wherever it sits.
-  std::unordered_map<uint64_t, WalRecord> pending;
-  std::vector<ReplayOp> committed;
+  // Pair intents with commits, chain the committed generations, and
+  // filter ops the checkpoint already covers — all ReplayCursor's job,
+  // shared verbatim with replica tailing (replication.h) so recovery and
+  // a hot standby agree on what the log means. An intent whose commit
+  // never made it to the log was never acknowledged — it stays pending
+  // in the cursor and is dropped with it.
+  ReplayCursor cursor(plan.checkpoint.generation);
   for (WalSegment& seg : segments) {
     for (WalRecord& rec : seg.records) {
-      switch (rec.kind) {
-        case WalRecord::Kind::kBatch:
-        case WalRecord::Kind::kRemoveVertex: {
-          if (!pending.emplace(rec.seq, std::move(rec)).second) {
-            return Status::DataLoss("duplicate wal intent seq " +
-                                    std::to_string(rec.seq));
-          }
-          break;
-        }
-        case WalRecord::Kind::kCommit: {
-          auto it = pending.find(rec.seq);
-          if (it == pending.end()) {
-            return Status::DataLoss("wal commit without intent, seq " +
-                                    std::to_string(rec.seq));
-          }
-          WalRecord intent = std::move(it->second);
-          pending.erase(it);
-          ReplayOp op;
-          if (intent.kind == WalRecord::Kind::kBatch) {
-            if (rec.outcomes.size() != intent.updates.size()) {
-              return Status::DataLoss(
-                  "wal commit outcome count contradicts its intent, seq " +
-                  std::to_string(rec.seq));
-            }
-            op.kind = ReplayOp::Kind::kBatch;
-            op.base_generation = intent.generation;
-            op.updates = std::move(intent.updates);
-            op.outcomes = std::move(rec.outcomes);
-          } else {
-            op.kind = ReplayOp::Kind::kRemoveVertex;
-            op.vertex = intent.vertex;
-          }
-          op.end_generation = rec.generation;
-          committed.push_back(std::move(op));
-          break;
-        }
-        case WalRecord::Kind::kAddVertex: {
-          ReplayOp op;
-          op.kind = ReplayOp::Kind::kAddVertex;
-          op.vertex = rec.vertex;
-          op.end_generation = rec.generation;
-          committed.push_back(std::move(op));
-          break;
-        }
+      if (Status st = cursor.Feed(std::move(rec), &plan.ops); !st.ok()) {
+        return st;
       }
     }
   }
-
-  // Keep only ops the checkpoint does not already cover, and make sure
-  // the committed generations chain: each op starts exactly where the
-  // previous one ended.
-  uint64_t gen = plan.checkpoint.generation;
-  for (ReplayOp& op : committed) {
-    if (op.end_generation <= plan.checkpoint.generation) {
-      ++plan.report.skipped;
-      continue;
-    }
-    if (op.kind == ReplayOp::Kind::kBatch && op.base_generation != gen) {
-      return Status::DataLoss("wal replay chain broken at generation " +
-                              std::to_string(op.base_generation) +
-                              ", expected " + std::to_string(gen));
-    }
-    if (op.end_generation < gen) {
-      return Status::DataLoss("wal commit generations not monotonic");
-    }
-    gen = op.end_generation;
-    plan.ops.push_back(std::move(op));
-  }
+  plan.report.skipped = cursor.skipped();
   plan.report.replayed = plan.ops.size();
-  plan.target_generation = gen;
-  plan.report.recovered_generation = gen;
+  plan.target_generation = cursor.generation();
+  plan.report.recovered_generation = cursor.generation();
   plan.next_wal_seq = max_seq + 1;
   *out = std::move(plan);
   return Status::OK();

@@ -354,16 +354,25 @@ uint64_t ReadLE64(const uint8_t* p) {
 }  // namespace
 
 Status ReadWalSegment(FileSystem* fs, const std::string& path,
-                      uint64_t expected_seq, WalSegment* out) {
+                      uint64_t expected_seq, WalSegment* out,
+                      WalTailPolicy tail) {
+  const bool live = tail == WalTailPolicy::kLiveTail;
   std::vector<uint8_t> data;
   if (Status st = fs->ReadFile(path, &data); !st.ok()) return st;
 
   WalSegment seg;
   seg.seq = expected_seq;
   if (data.size() < kWalHeaderBytes) {
-    // Created but never flushed: an empty segment, all of it torn tail.
+    // Created but never flushed: an empty segment. Post-crash that is all
+    // torn tail; under a live writer the header append is simply still in
+    // flight.
     seg.valid_bytes = 0;
-    seg.truncated_tail_bytes = data.size();
+    seg.resume_offset = 0;
+    if (live) {
+      seg.tail_in_flight = true;
+    } else {
+      seg.truncated_tail_bytes = data.size();
+    }
     *out = std::move(seg);
     return Status::OK();
   }
@@ -384,11 +393,19 @@ Status ReadWalSegment(FileSystem* fs, const std::string& path,
 
   size_t pos = kWalHeaderBytes;
   seg.valid_bytes = pos;
+  // Distinguishes how the scan stopped: a frame the file simply does not
+  // hold all of yet (a live writer's in-flight append is always a byte
+  // prefix of one frame) vs bytes no writer appends — an oversized
+  // length prefix or a COMPLETE frame failing its payload CRC — which is
+  // damage under either policy.
+  bool incomplete_frame = false;
   while (data.size() - pos >= 8) {
     const uint32_t len = ReadLE32(data.data() + pos);
     const uint32_t crc = ReadLE32(data.data() + pos + 4);
-    if (len > kWalMaxRecordBytes || len > data.size() - pos - 8) {
-      break;  // torn length prefix or torn payload
+    if (len > kWalMaxRecordBytes) break;  // never appended: torn/corrupt
+    if (len > data.size() - pos - 8) {
+      incomplete_frame = true;  // torn payload — or one still being written
+      break;
     }
     const uint8_t* payload = data.data() + pos + 8;
     if (Crc32c(payload, len) != crc) break;  // torn or flipped payload
@@ -402,7 +419,13 @@ Status ReadWalSegment(FileSystem* fs, const std::string& path,
     pos += 8 + len;
     seg.valid_bytes = pos;
   }
-  seg.truncated_tail_bytes = data.size() - seg.valid_bytes;
+  if (data.size() - pos < 8 && data.size() != pos) incomplete_frame = true;
+  seg.resume_offset = seg.valid_bytes;
+  if (live && (incomplete_frame || data.size() == seg.valid_bytes)) {
+    seg.tail_in_flight = data.size() != seg.valid_bytes;
+  } else {
+    seg.truncated_tail_bytes = data.size() - seg.valid_bytes;
+  }
   *out = std::move(seg);
   return Status::OK();
 }

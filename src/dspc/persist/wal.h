@@ -222,6 +222,20 @@ class WalWriter {
   std::thread flusher_;
 };
 
+/// How ReadWalSegment classifies an incomplete final frame. Recovery
+/// reads a post-crash file, where a short tail IS the interrupted write
+/// (kCrashTorn: count it as truncated_tail_bytes for RepairWalTail). A
+/// tailing reader — the WAL shipper, a replica catching up — reads a
+/// file whose writer is still alive, where the same bytes are an
+/// in-flight append that the next poll will complete (kLiveTail: report
+/// tail_in_flight with the frame-aligned resume offset instead of
+/// misclassifying it as damage). The two cases are byte-identical at the
+/// tail; only the reader knows whether the writer is dead.
+enum class WalTailPolicy : unsigned char {
+  kCrashTorn,  ///< short tail = interrupted write, repairable
+  kLiveTail,   ///< short tail = append in flight, retry from resume_offset
+};
+
 /// One scanned segment: its header fields, every valid record in order,
 /// and how the file ends.
 struct WalSegment {
@@ -231,8 +245,16 @@ struct WalSegment {
   /// Offset one past the last valid record (kWalHeaderBytes for an empty
   /// segment; 0 when even the header was torn).
   uint64_t valid_bytes = 0;
-  /// Bytes past valid_bytes — a torn tail to repair. 0 for a clean file.
+  /// Bytes past valid_bytes — a torn tail to repair. 0 for a clean file
+  /// and under kLiveTail whenever the tail is classified in-flight.
   uint64_t truncated_tail_bytes = 0;
+  /// Frame-aligned offset a tailing reader resumes from (== valid_bytes;
+  /// carried explicitly so shipping code never re-derives it).
+  uint64_t resume_offset = 0;
+  /// kLiveTail only: the file ends in an incomplete frame (or an
+  /// incomplete header) that the live writer has not finished appending —
+  /// retryable, not corruption. Never set under kCrashTorn.
+  bool tail_in_flight = false;
 };
 
 /// Scans one segment file. `expected_seq` is the sequence number implied
@@ -240,8 +262,17 @@ struct WalSegment {
 /// own CRC with a fully-written file body after it) is kDataLoss. A
 /// header shorter than kWalHeaderBytes is a file created but never
 /// flushed: the segment parses as empty with everything in the tail.
+///
+/// `tail` picks how a short final frame is reported (see WalTailPolicy).
+/// The distinction is precise about what a live writer CAN produce: its
+/// appends grow the file by whole frames, so an in-flight tail is always
+/// a byte-prefix of one frame. A complete frame whose payload fails its
+/// CRC is therefore never in-flight — it stays a (crash-)torn tail under
+/// both policies, so a tailing reader still detects real damage instead
+/// of polling it forever.
 Status ReadWalSegment(FileSystem* fs, const std::string& path,
-                      uint64_t expected_seq, WalSegment* out);
+                      uint64_t expected_seq, WalSegment* out,
+                      WalTailPolicy tail = WalTailPolicy::kCrashTorn);
 
 /// Truncates `path` to the segment's valid prefix (no-op when clean).
 Status RepairWalTail(FileSystem* fs, const std::string& path,
