@@ -8,7 +8,10 @@
 // machine-readable JSON (BENCH_query_throughput.json, override with
 // argv[1]) for the repo's benchmark trajectory.
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <numeric>
 #include <string>
 #include <thread>
 #include <utility>
@@ -41,11 +44,77 @@ double MeasureQps(size_t queries, int reps, Fn&& driver) {
   return best;
 }
 
+/// Zipf(s) sampler over the graph's vertices, hottest id = highest
+/// degree: P(rank i) proportional to 1/(i+1)^s, so real-workload skew
+/// (a few celebrity endpoints, a long cold tail) hits the arena's dense
+/// hub directory the way production traffic would. Exact inverse-CDF
+/// sampling — the table is n doubles, built once.
+class ZipfVertexSampler {
+ public:
+  ZipfVertexSampler(const Graph& graph, double s) {
+    const size_t n = graph.NumVertices();
+    by_rank_.resize(n);
+    std::iota(by_rank_.begin(), by_rank_.end(), Vertex{0});
+    std::sort(by_rank_.begin(), by_rank_.end(), [&](Vertex a, Vertex b) {
+      const size_t da = graph.Degree(a), db = graph.Degree(b);
+      return da != db ? da > db : a < b;
+    });
+    cdf_.resize(n);
+    double acc = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[i] = acc;
+    }
+    total_ = acc;
+  }
+
+  Vertex Sample(Rng& rng) {
+    // 53-bit mantissa uniform in [0, total).
+    const double u =
+        static_cast<double>(rng.Next() >> 11) * 0x1.0p-53 * total_;
+    const size_t i = static_cast<size_t>(
+        std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+    return by_rank_[i < by_rank_.size() ? i : by_rank_.size() - 1];
+  }
+
+ private:
+  std::vector<Vertex> by_rank_;
+  std::vector<double> cdf_;
+  double total_ = 1.0;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string json_path =
-      argc > 1 ? argv[1] : "BENCH_query_throughput.json";
+  std::string json_path = "BENCH_query_throughput.json";
+  std::string query_dist = "uniform";
+  double zipf_s = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--query-dist=", 0) == 0) {
+      query_dist = arg.substr(13);
+      if (query_dist.rfind("zipf:", 0) == 0) {
+        zipf_s = std::stod(query_dist.substr(5));
+        if (!(zipf_s > 0.0)) {
+          std::fprintf(stderr, "zipf exponent must be > 0: %s\n",
+                       arg.c_str());
+          return 2;
+        }
+      } else if (query_dist != "uniform") {
+        std::fprintf(stderr,
+                     "unknown --query-dist (want uniform or zipf:<s>): %s\n",
+                     arg.c_str());
+        return 2;
+      }
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr,
+                   "usage: %s [json-path] [--query-dist=uniform|zipf:<s>]\n",
+                   argv[0]);
+      return 2;
+    } else {
+      json_path = arg;
+    }
+  }
   const size_t f = bench::ScaleFactor();
 
   // Mid-size heavy-tailed graph, matching the bench_micro fixture recipe.
@@ -104,10 +173,21 @@ int main(int argc, char** argv) {
   const size_t queries = 200000 * f;
   Rng rng(7);
   std::vector<VertexPair> pairs(queries);
-  for (auto& p : pairs) {
-    p.first = static_cast<Vertex>(rng.NextBounded(graph.NumVertices()));
-    p.second = static_cast<Vertex>(rng.NextBounded(graph.NumVertices()));
+  if (zipf_s > 0.0) {
+    // Skewed endpoints (satellite of DESIGN.md §14's serving story):
+    // both sides of every pair drawn Zipf over degree-ranked vertices.
+    ZipfVertexSampler zipf(graph, zipf_s);
+    for (auto& p : pairs) {
+      p.first = zipf.Sample(rng);
+      p.second = zipf.Sample(rng);
+    }
+  } else {
+    for (auto& p : pairs) {
+      p.first = static_cast<Vertex>(rng.NextBounded(graph.NumVertices()));
+      p.second = static_cast<Vertex>(rng.NextBounded(graph.NumVertices()));
+    }
   }
+  std::printf("query distribution: %s\n", query_dist.c_str());
 
   // Results accumulate into a sink so the loops cannot be optimized away.
   uint64_t sink = 0;
@@ -282,6 +362,8 @@ int main(int argc, char** argv) {
                "            \"build_seconds\": %.4f, "
                "\"snapshot_seconds\": %.6f},\n"
                "  \"queries\": %zu,\n"
+               "  \"query_dist\": \"%s\",\n"
+               "  \"zipf_s\": %.3f,\n"
                "  \"threads\": %u,\n"
                "  \"legacy_qps\": %.0f,\n"
                "  \"flat_qps\": %.0f,\n"
@@ -302,7 +384,8 @@ int main(int argc, char** argv) {
                "  \"build_thread_sweep\": [\n",
                scale, graph.NumVertices(), graph.NumEdges(),
                stats.total_entries, stats.wide_bytes, flat.ArenaBytes(),
-               flat.OverflowEntries(), build_s, snapshot_s, queries, threads,
+               flat.OverflowEntries(), build_s, snapshot_s, queries,
+               query_dist.c_str(), zipf_s, threads,
                legacy_qps, flat_qps, batch_qps, parallel_qps, facade_qps,
                service_qps, service_overhead_pct, facade_single_qps,
                service_single_qps, flat_qps / legacy_qps,

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "dspc/api/mapped_reader_service.h"
 #include "dspc/api/replica_service.h"
 #include "dspc/api/spc_service.h"
 #include "dspc/common/rng.h"
@@ -46,6 +47,8 @@
 #include "dspc/graph/update_stream.h"
 #include "dspc/persist/env.h"
 #include "dspc/persist/replication.h"
+#include "dspc/persist/snapshot_arena.h"
+#include "dspc/persist/snapshot_publisher.h"
 #include "dspc/persist/wal.h"
 
 namespace {
@@ -392,6 +395,91 @@ ReplicationRow MeasureReplicaApplyLag(const Graph& graph,
   return row;
 }
 
+// --- multi-process publish adoption (DESIGN.md §14) --------------------------
+
+struct AdoptionRow {
+  size_t publishes = 0;
+  double publish_p50_us = 0.0;  // writer: snapshot + arena write + rename
+  double lag_p50_us = 0.0;      // publish visible -> reader serving it
+  double lag_p99_us = 0.0;
+  double lag_max_us = 0.0;
+  uint64_t arena_bytes = 0;     // size of the last published arena
+  bool ok = false;
+};
+
+/// Prices the mmap serving tier's freshness gap: a writer publishing
+/// generation-numbered arenas through SnapshotPublisher, a
+/// MappedReaderService adopting each by remap. Each round applies a
+/// burst of updates, times PublishSnapshot (the writer-side cost:
+/// freeze + flatten + tmp/fsync/rename), then times how long until the
+/// reader *serves* the new generation (PUBSTATE read + pin + mmap +
+/// validation + swap) — the publish-to-reader-visible adoption lag a
+/// kSnapshot reader process experiences.
+AdoptionRow MeasurePublishAdoptionLag(const Graph& graph, const SpcIndex& base,
+                                      const std::vector<Update>& stream) {
+  AdoptionRow row;
+  const std::string dir = FreshWalDir("publish");
+  DynamicSpcOptions options;
+  options.snapshot.refresh = RefreshPolicy::kManual;  // pure update path
+  SpcService service(graph, base, options);
+  auto pub = SnapshotPublisher::Open(dir);
+  if (!pub.ok()) {
+    std::fprintf(stderr, "adoption row: publisher open failed: %s\n",
+                 pub.status().ToString().c_str());
+    return row;
+  }
+  if (Status st = service.PublishSnapshot(pub->get()); !st.ok()) {
+    std::fprintf(stderr, "adoption row: first publish failed: %s\n",
+                 st.ToString().c_str());
+    return row;
+  }
+  auto reader = MappedReaderService::Open(dir);
+  if (!reader.ok()) {
+    std::fprintf(stderr, "adoption row: reader open failed: %s\n",
+                 reader.status().ToString().c_str());
+    return row;
+  }
+
+  SampleStats publish;
+  SampleStats lag;
+  constexpr size_t kUpdatesPerPublish = 10;
+  for (size_t i = 0; i + kUpdatesPerPublish <= stream.size();
+       i += kUpdatesPerPublish) {
+    if (!service.ApplyUpdates({&stream[i], kUpdatesPerPublish}).ok()) {
+      std::fprintf(stderr, "adoption row: updates failed\n");
+      return row;
+    }
+    Stopwatch pw;
+    if (Status st = service.PublishSnapshot(pub->get()); !st.ok()) {
+      std::fprintf(stderr, "adoption row: publish failed: %s\n",
+                   st.ToString().c_str());
+      return row;
+    }
+    publish.Add(pw.ElapsedMicros());
+    const uint64_t target = (*pub)->CurrentGeneration();
+    Stopwatch lw;
+    while ((*reader)->Generation() < target && lw.ElapsedSeconds() < 10.0) {
+      (void)(*reader)->Refresh();
+    }
+    lag.Add(lw.ElapsedMicros());
+  }
+
+  row.publishes = publish.count();
+  row.publish_p50_us = publish.Percentile(50.0);
+  row.lag_p50_us = lag.Percentile(50.0);
+  row.lag_p99_us = lag.Percentile(99.0);
+  row.lag_max_us = lag.Max();
+  row.ok = (*reader)->Generation() == service.Generation();
+  if (auto state = ReadPubState(FileSystem::Default(), dir); state.ok()) {
+    if (auto arena = MappedArena::Map(FileSystem::Default(),
+                                      dir + "/" + state->file_name);
+        arena.ok()) {
+      row.arena_bytes = arena->file_bytes();
+    }
+  }
+  return row;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -565,6 +653,21 @@ int main(int argc, char** argv) {
               repl.ok ? "converged" : "NOT CONVERGED",
               static_cast<unsigned long long>(repl.ops_applied));
 
+  // Multi-process serving row: publish-to-reader-visible adoption lag
+  // through the shared-directory arena protocol (DESIGN.md §14).
+  const std::vector<Update> pub_stream = MakeHybridStream(graph, 240, 60, 29);
+  const AdoptionRow adoption = MeasurePublishAdoptionLag(graph, base,
+                                                         pub_stream);
+  std::printf("\n%-12s %9s %11s %11s %11s %11s %11s\n", "mmap serving",
+              "publishes", "pub p50 us", "lag p50 us", "lag p99 us",
+              "lag max us", "arena B");
+  bench::PrintRule(7);
+  std::printf("%-12s %9zu %11.1f %11.1f %11.1f %11.1f %11llu  (%s)\n",
+              "publish", adoption.publishes, adoption.publish_p50_us,
+              adoption.lag_p50_us, adoption.lag_p99_us, adoption.lag_max_us,
+              static_cast<unsigned long long>(adoption.arena_bytes),
+              adoption.ok ? "converged" : "NOT CONVERGED");
+
   std::FILE* json = std::fopen(json_path.c_str(), "w");
   if (json == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
@@ -634,6 +737,15 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(repl.bytes_shipped),
                static_cast<unsigned long long>(repl.ops_applied),
                repl.ok ? "true" : "false");
+  std::fprintf(json,
+               "  \"publish_adoption\": {\"publishes\": %zu, "
+               "\"publish_p50_us\": %.2f, \"adoption_lag_p50_us\": %.2f, "
+               "\"adoption_lag_p99_us\": %.2f, \"adoption_lag_max_us\": %.2f, "
+               "\"arena_bytes\": %llu, \"converged\": %s},\n",
+               adoption.publishes, adoption.publish_p50_us,
+               adoption.lag_p50_us, adoption.lag_p99_us, adoption.lag_max_us,
+               static_cast<unsigned long long>(adoption.arena_bytes),
+               adoption.ok ? "true" : "false");
   std::fprintf(json,
                "  \"sync_over_background_worst_burst_stall\": %.3f,\n"
                "  \"default_shards\": %zu,\n"

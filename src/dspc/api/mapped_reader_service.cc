@@ -1,0 +1,283 @@
+#include "dspc/api/mapped_reader_service.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <utility>
+
+#include "dspc/persist/snapshot_arena.h"
+
+namespace dspc {
+
+namespace {
+
+[[gnu::cold, gnu::noinline]] Status BadVertex(const char* what, Vertex v,
+                                              size_t n) {
+  return Status::InvalidArgument(std::string(what) + " vertex id " +
+                                 std::to_string(v) + " outside [0, " +
+                                 std::to_string(n) + ")");
+}
+
+[[gnu::cold, gnu::noinline]] Status NoLiveIndex() {
+  return Status::NotSupported(
+      "kFresh is not servable by a mapped reader (no live index in this "
+      "process); use kSnapshot or kBoundedStaleness");
+}
+
+uint64_t SelfPid() { return static_cast<uint64_t>(::getpid()); }
+
+}  // namespace
+
+MappedReaderService::MappedReaderService(std::string dir,
+                                         MappedReaderOptions options)
+    : fs_(options.fs != nullptr ? options.fs : FileSystem::Default()),
+      dir_(std::move(dir)),
+      options_(std::move(options)) {}
+
+StatusOr<std::unique_ptr<MappedReaderService>> MappedReaderService::Open(
+    const std::string& dir, MappedReaderOptions options) {
+  auto svc = std::unique_ptr<MappedReaderService>(
+      new MappedReaderService(dir, std::move(options)));
+  svc->pin_owner_ = svc->options_.pin_owner.empty()
+                        ? "pid" + std::to_string(SelfPid())
+                        : svc->options_.pin_owner;
+  if (Status st = svc->RefreshNow(); !st.ok()) return st;
+  if (svc->options_.poll_interval.count() > 0) {
+    svc->poll_thread_ = std::thread([s = svc.get()] { s->PollLoop(); });
+  }
+  return svc;
+}
+
+MappedReaderService::~MappedReaderService() {
+  if (poll_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(poll_mu_);
+      stop_poll_ = true;
+    }
+    poll_cv_.notify_all();
+    poll_thread_.join();
+  }
+  // Clean shutdown releases the retention hold; a killed reader's pin is
+  // swept by the publisher's pid-liveness probe instead.
+  if (options_.write_pins && !pin_owner_.empty()) {
+    (void)RemoveSnapshotPin(fs_, dir_, pin_owner_);
+  }
+}
+
+std::shared_ptr<const MappedReaderService::Adopted>
+MappedReaderService::Current() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+uint64_t MappedReaderService::Generation() const {
+  const auto cur = Current();
+  return cur ? cur->generation : 0;
+}
+
+uint64_t MappedReaderService::WalSeq() const {
+  const auto cur = Current();
+  return cur ? cur->wal_seq : 0;
+}
+
+size_t MappedReaderService::NumVertices() const {
+  const auto cur = Current();
+  return cur ? cur->index->NumVertices() : 0;
+}
+
+Status MappedReaderService::Refresh() { return RefreshNow(); }
+
+Status MappedReaderService::RefreshNow() const {
+  std::lock_guard<std::mutex> lock(refresh_mu_);
+  return RefreshLocked();
+}
+
+Status MappedReaderService::RefreshLocked() const {
+  const std::shared_ptr<const Adopted> cur = Current();
+  Status last = Status::OK();
+  // The pin-vs-GC adoption race (file comment) is closed by retrying
+  // against a fresh PUBSTATE when the arena vanished under us; two
+  // retries outlast any single concurrent publish+GC cycle, and a writer
+  // fast enough to lap us twice leaves `last` telling the caller why.
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    auto state = ReadPubState(fs_, dir_);
+    if (!state.ok()) return state.status();
+    publisher_generation_.store(state->generation,
+                                std::memory_order_relaxed);
+    if (cur && state->generation <= cur->generation) return Status::OK();
+    if (options_.write_pins) {
+      if (Status st = WriteSnapshotPin(fs_, dir_, pin_owner_,
+                                       state->generation, SelfPid());
+          !st.ok()) {
+        return st;
+      }
+    }
+    const std::string path = dir_ + "/" + state->file_name;
+    if (!fs_->FileExists(path)) {
+      last = Status::Unavailable("arena " + state->file_name +
+                                 " reclaimed before adoption could pin it");
+      continue;
+    }
+    auto arena = MappedArena::Map(fs_, path);
+    if (!arena.ok()) {
+      // Leave the pin naming the generation actually served.
+      if (cur && options_.write_pins) {
+        (void)WriteSnapshotPin(fs_, dir_, pin_owner_, cur->generation,
+                               SelfPid());
+      }
+      return arena.status();
+    }
+    auto adopted = std::make_shared<Adopted>();
+    adopted->index = arena->snapshot();
+    adopted->generation = arena->generation();
+    adopted->wal_seq = arena->wal_seq();
+    {
+      std::lock_guard<std::mutex> swap_lock(mu_);
+      current_ = std::move(adopted);
+    }
+    // The old mapping is now unreferenced by the service; it unmaps when
+    // the last in-flight query's snapshot pointer drops.
+    return Status::OK();
+  }
+  if (cur && options_.write_pins) {
+    (void)WriteSnapshotPin(fs_, dir_, pin_owner_, cur->generation,
+                           SelfPid());
+  }
+  return last;
+}
+
+Status MappedReaderService::RouteMapped(
+    const ReadOptions& options, std::shared_ptr<const Adopted>* cur,
+    uint64_t* staleness) const {
+  switch (options.consistency) {
+    case Consistency::kFresh:
+      metrics_.RecordRejected(Status::Code::kNotSupported);
+      return NoLiveIndex();
+
+    case Consistency::kSnapshot: {
+      // No I/O: serve the mapping, report lag against the publisher
+      // generation last observed. The served generation is exact; the
+      // staleness can understate between polls — never overstate
+      // freshness of the *answer*, which is pinned to (*cur)->generation.
+      if ((*cur)->generation < options.min_generation) {
+        metrics_.RecordRejected(Status::Code::kUnavailable);
+        return Status::Unavailable(
+            "mapped snapshot at generation " +
+            std::to_string((*cur)->generation) +
+            " is older than min_generation " +
+            std::to_string(options.min_generation) +
+            " (kSnapshot never remaps inline; Refresh() and retry)");
+      }
+      const uint64_t pub = PublisherGeneration();
+      *staleness =
+          pub > (*cur)->generation ? pub - (*cur)->generation : 0;
+      return Status::OK();
+    }
+
+    case Consistency::kBoundedStaleness: {
+      // The bound must hold against the *current* publisher generation,
+      // so the manifest is re-read — a bounded answer is never issued
+      // off a stale cached bound.
+      auto state = ReadPubState(fs_, dir_);
+      if (!state.ok()) {
+        metrics_.RecordRejected(Status::Code::kUnavailable);
+        return Status::Unavailable(
+            "cannot establish the staleness bound: " +
+            state.status().message());
+      }
+      publisher_generation_.store(state->generation,
+                                  std::memory_order_relaxed);
+      const uint64_t pub = state->generation;
+      auto behind = [&](const Adopted& a) {
+        return a.generation < options.min_generation ||
+               (pub > a.generation && pub - a.generation > options.max_lag);
+      };
+      if (behind(**cur)) {
+        // One inline adoption attempt — the closest a reader gets to
+        // SpcService's escalate-to-live.
+        (void)RefreshNow();
+        *cur = Current();
+        if (behind(**cur)) {
+          metrics_.RecordRejected(Status::Code::kUnavailable);
+          return Status::Unavailable(
+              "mapped snapshot at generation " +
+              std::to_string((*cur)->generation) +
+              " cannot satisfy max_lag " + std::to_string(options.max_lag) +
+              " / min_generation " + std::to_string(options.min_generation) +
+              " against publisher generation " + std::to_string(pub));
+        }
+      }
+      *staleness =
+          pub > (*cur)->generation ? pub - (*cur)->generation : 0;
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument("unknown consistency mode");
+}
+
+StatusOr<QueryResponse> MappedReaderService::Query(
+    Vertex s, Vertex t, const ReadOptions& options) const {
+  std::shared_ptr<const Adopted> cur = Current();
+  const size_t n = cur->index->NumVertices();
+  if (static_cast<size_t>(s) >= n || static_cast<size_t>(t) >= n)
+      [[unlikely]] {
+    metrics_.RecordRejected(Status::Code::kInvalidArgument);
+    return BadVertex(static_cast<size_t>(s) >= n ? "source" : "target",
+                     static_cast<size_t>(s) >= n ? s : t, n);
+  }
+  uint64_t staleness = 0;
+  if (Status st = RouteMapped(options, &cur, &staleness); !st.ok()) {
+    return st;
+  }
+  metrics_.RecordRead(options.consistency, ServedFrom::kSnapshot, staleness,
+                      1, false);
+  return StatusOr<QueryResponse>(std::in_place, cur->index->Query(s, t),
+                                 cur->generation, staleness,
+                                 ServedFrom::kSnapshot);
+}
+
+StatusOr<BatchQueryResponse> MappedReaderService::QueryBatch(
+    std::span<const VertexPair> pairs, const ReadOptions& options) const {
+  std::shared_ptr<const Adopted> cur = Current();
+  const size_t n = cur->index->NumVertices();
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    const auto [s, t] = pairs[i];
+    if (static_cast<size_t>(s) >= n || static_cast<size_t>(t) >= n) {
+      metrics_.RecordRejected(Status::Code::kInvalidArgument);
+      const Status bad =
+          BadVertex(static_cast<size_t>(s) >= n ? "source" : "target",
+                    static_cast<size_t>(s) >= n ? s : t, n);
+      return Status::InvalidArgument("pair " + std::to_string(i) + ": " +
+                                     bad.message());
+    }
+  }
+  uint64_t staleness = 0;
+  if (Status st = RouteMapped(options, &cur, &staleness); !st.ok()) {
+    return st;
+  }
+  StatusOr<BatchQueryResponse> out(std::in_place);
+  out->results = cur->index->QueryManyParallel(pairs, options.threads);
+  out->generation = cur->generation;
+  out->staleness = staleness;
+  out->served_from = ServedFrom::kSnapshot;
+  metrics_.RecordRead(options.consistency, ServedFrom::kSnapshot, staleness,
+                      pairs.size(), true);
+  return out;
+}
+
+void MappedReaderService::PollLoop() {
+  std::unique_lock<std::mutex> lock(poll_mu_);
+  while (!stop_poll_) {
+    if (poll_cv_.wait_for(lock, options_.poll_interval,
+                          [&] { return stop_poll_; })) {
+      return;
+    }
+    lock.unlock();
+    // Transient failures (writer mid-publish, racing GC) are retried on
+    // the next tick; queries keep serving the adopted generation.
+    (void)RefreshNow();
+    lock.lock();
+  }
+}
+
+}  // namespace dspc

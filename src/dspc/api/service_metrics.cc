@@ -1,6 +1,7 @@
 #include "dspc/api/service_metrics.h"
 
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 
 #include "dspc/api/spc_service.h"
@@ -30,6 +31,41 @@ uint64_t MetricsSnapshot::StalenessSamples() const {
   uint64_t total = 0;
   for (const uint64_t b : staleness_hist) total += b;
   return total;
+}
+
+uint64_t MetricsSnapshot::LatencySamples(size_t mode) const {
+  uint64_t total = 0;
+  for (const uint64_t b : read_latency_hist[mode]) total += b;
+  return total;
+}
+
+uint64_t MetricsSnapshot::ReadLatencyQuantileNs(size_t mode, double q) const {
+  const uint64_t total = LatencySamples(mode);
+  if (total == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // Rank of the wanted sample (1-based, ceil), then walk the buckets.
+  uint64_t rank =
+      static_cast<uint64_t>(std::ceil(q * static_cast<double>(total)));
+  if (rank == 0) rank = 1;
+  if (rank > total) rank = total;
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kLatencyBuckets; ++b) {
+    const uint64_t n = read_latency_hist[mode][b];
+    if (seen + n < rank) {
+      seen += n;
+      continue;
+    }
+    // Linear interpolation inside the winning bucket.
+    const uint64_t upper = LatencyBucketUpperNs(b);
+    const uint64_t lower = b == 0 ? 0 : LatencyBucketUpperNs(b - 1);
+    const double frac =
+        n == 0 ? 1.0
+               : static_cast<double>(rank - seen) / static_cast<double>(n);
+    return lower +
+           static_cast<uint64_t>(frac * static_cast<double>(upper - lower));
+  }
+  return LatencyBucketUpperNs(kLatencyBuckets - 1);
 }
 
 std::string MetricsSnapshot::ToString() const {
@@ -65,6 +101,21 @@ std::string MetricsSnapshot::ToString() const {
   if (StalenessSamples() == 0) out += " (none)";
   out += "\n";
 
+  static const char* kModeNames[kModes] = {"fresh", "snapshot", "bounded"};
+  for (size_t m = 0; m < kModes; ++m) {
+    const uint64_t n = LatencySamples(m);
+    if (n == 0) continue;
+    std::snprintf(buf, sizeof(buf),
+                  "  read_latency[%s]: samples=%" PRIu64 " mean=%.1fus"
+                  " p50=%.1fus p99=%.1fus\n",
+                  kModeNames[m], n,
+                  static_cast<double>(read_latency_sum_ns[m]) /
+                      static_cast<double>(n) / 1e3,
+                  static_cast<double>(ReadLatencyQuantileNs(m, 0.5)) / 1e3,
+                  static_cast<double>(ReadLatencyQuantileNs(m, 0.99)) / 1e3);
+    out += buf;
+  }
+
   std::snprintf(buf, sizeof(buf),
                 "  deadline_misses: reads=%" PRIu64
                 " wait_for_snapshot=%" PRIu64 "\n",
@@ -99,9 +150,11 @@ std::string MetricsSnapshot::ToString() const {
   std::snprintf(buf, sizeof(buf),
                 "  durability: wal_appends=%" PRIu64 " wal_bytes=%" PRIu64
                 " wal_syncs=%" PRIu64 " durable_waits=%" PRIu64
-                " failures=%" PRIu64 " checkpoints=%" PRIu64 "\n",
+                " failures=%" PRIu64 " checkpoints=%" PRIu64
+                " snapshot_publishes=%" PRIu64 "\n",
                 wal_appends, wal_appended_bytes, wal_syncs,
-                wal_durable_waits, wal_failures, checkpoints);
+                wal_durable_waits, wal_failures, checkpoints,
+                snapshot_publishes);
   out += buf;
 
   std::snprintf(buf, sizeof(buf),
@@ -126,6 +179,187 @@ std::string MetricsSnapshot::ToString() const {
                 repl_reconnects, repl_backoff_sleeps, repl_rebootstraps,
                 repl_failovers, replica_applied_generation, replica_lag);
   out += buf;
+  return out;
+}
+
+namespace {
+
+void PromCounter(std::string* out, const char* name, const char* help,
+                 uint64_t value, const char* labels = nullptr) {
+  char buf[256];
+  if (help != nullptr) {
+    std::snprintf(buf, sizeof(buf), "# HELP %s %s\n# TYPE %s counter\n",
+                  name, help, name);
+    *out += buf;
+  }
+  std::snprintf(buf, sizeof(buf), "%s%s %" PRIu64 "\n", name,
+                labels != nullptr ? labels : "", value);
+  *out += buf;
+}
+
+void PromGauge(std::string* out, const char* name, const char* help,
+               uint64_t value) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "# HELP %s %s\n# TYPE %s gauge\n%s %" PRIu64 "\n", name,
+                help, name, name, value);
+  *out += buf;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::PrometheusText() const {
+  static const char* kModeNames[kModes] = {"fresh", "snapshot", "bounded"};
+  std::string out;
+  char buf[256];
+
+  out +=
+      "# HELP dspc_queries_total Served queries by consistency mode.\n"
+      "# TYPE dspc_queries_total counter\n";
+  for (size_t m = 0; m < kModes; ++m) {
+    std::snprintf(buf, sizeof(buf),
+                  "dspc_queries_total{mode=\"%s\"} %" PRIu64 "\n",
+                  kModeNames[m], queries_by_mode[m]);
+    out += buf;
+  }
+
+  out +=
+      "# HELP dspc_served_from_total Served queries by serving source.\n"
+      "# TYPE dspc_served_from_total counter\n";
+  std::snprintf(buf, sizeof(buf),
+                "dspc_served_from_total{source=\"snapshot\"} %" PRIu64
+                "\ndspc_served_from_total{source=\"live\"} %" PRIu64 "\n",
+                served_from_snapshot, served_from_live);
+  out += buf;
+
+  // Staleness as a native Prometheus histogram: cumulative buckets keyed
+  // by each bucket's inclusive upper bound in generations.
+  out +=
+      "# HELP dspc_read_staleness_generations Serving-source staleness per"
+      " served query, in generations.\n"
+      "# TYPE dspc_read_staleness_generations histogram\n";
+  {
+    static const char* kUpper[kStalenessBuckets] = {"0",  "1",  "2",  "4",
+                                                    "8",  "16", "64", "+Inf"};
+    uint64_t cum = 0;
+    for (size_t b = 0; b < kStalenessBuckets; ++b) {
+      cum += staleness_hist[b];
+      std::snprintf(
+          buf, sizeof(buf),
+          "dspc_read_staleness_generations_bucket{le=\"%s\"} %" PRIu64 "\n",
+          kUpper[b], cum);
+      out += buf;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "dspc_read_staleness_generations_count %" PRIu64 "\n",
+                  cum);
+    out += buf;
+  }
+
+  out +=
+      "# HELP dspc_read_latency_seconds Sampled read-call latency by"
+      " consistency mode.\n"
+      "# TYPE dspc_read_latency_seconds histogram\n";
+  for (size_t m = 0; m < kModes; ++m) {
+    uint64_t cum = 0;
+    for (size_t b = 0; b < kLatencyBuckets; ++b) {
+      cum += read_latency_hist[m][b];
+      if (b + 1 == kLatencyBuckets) {
+        std::snprintf(buf, sizeof(buf),
+                      "dspc_read_latency_seconds_bucket{mode=\"%s\","
+                      "le=\"+Inf\"} %" PRIu64 "\n",
+                      kModeNames[m], cum);
+      } else {
+        std::snprintf(buf, sizeof(buf),
+                      "dspc_read_latency_seconds_bucket{mode=\"%s\","
+                      "le=\"%.9g\"} %" PRIu64 "\n",
+                      kModeNames[m],
+                      static_cast<double>(LatencyBucketUpperNs(b)) / 1e9,
+                      cum);
+      }
+      out += buf;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "dspc_read_latency_seconds_sum{mode=\"%s\"} %.9g\n"
+                  "dspc_read_latency_seconds_count{mode=\"%s\"} %" PRIu64
+                  "\n",
+                  kModeNames[m],
+                  static_cast<double>(read_latency_sum_ns[m]) / 1e9,
+                  kModeNames[m], cum);
+    out += buf;
+  }
+
+  PromCounter(&out, "dspc_read_deadline_misses_total",
+              "Reads that returned kDeadlineExceeded.",
+              deadline_misses_read);
+  PromCounter(&out, "dspc_wait_deadline_misses_total",
+              "WaitForSnapshot timeouts.", deadline_misses_wait);
+  out +=
+      "# HELP dspc_rejected_total Calls refused at admission, by code.\n"
+      "# TYPE dspc_rejected_total counter\n";
+  std::snprintf(buf, sizeof(buf),
+                "dspc_rejected_total{code=\"invalid_argument\"} %" PRIu64
+                "\ndspc_rejected_total{code=\"unavailable\"} %" PRIu64
+                "\ndspc_rejected_total{code=\"not_supported\"} %" PRIu64
+                "\n",
+                rejected_invalid_argument, rejected_unavailable,
+                rejected_not_supported);
+  out += buf;
+
+  PromCounter(&out, "dspc_read_batches_total", "QueryBatch calls served.",
+              read_batches);
+  PromCounter(&out, "dspc_read_batch_queries_total",
+              "Queries across served batches.", read_batch_queries);
+  PromCounter(&out, "dspc_write_batches_total", "Admitted write calls.",
+              write_batches);
+  out +=
+      "# HELP dspc_updates_total Per-update write outcomes.\n"
+      "# TYPE dspc_updates_total counter\n";
+  std::snprintf(buf, sizeof(buf),
+                "dspc_updates_total{outcome=\"applied\"} %" PRIu64
+                "\ndspc_updates_total{outcome=\"noop\"} %" PRIu64
+                "\ndspc_updates_total{outcome=\"rejected\"} %" PRIu64 "\n",
+                updates_applied, updates_noop, updates_rejected);
+  out += buf;
+
+  PromCounter(&out, "dspc_wal_appends_total", "WAL records appended.",
+              wal_appends);
+  PromCounter(&out, "dspc_wal_appended_bytes_total",
+              "Framed WAL bytes appended.", wal_appended_bytes);
+  PromCounter(&out, "dspc_wal_syncs_total", "WAL fsyncs.", wal_syncs);
+  PromCounter(&out, "dspc_wal_durable_waits_total",
+              "Writes that waited on group commit.", wal_durable_waits);
+  PromCounter(&out, "dspc_wal_failures_total",
+              "Durability fail-stop trips.", wal_failures);
+  PromCounter(&out, "dspc_checkpoints_total", "Checkpoints published.",
+              checkpoints);
+  PromCounter(&out, "dspc_snapshot_publishes_total",
+              "Mmap snapshot arenas published.", snapshot_publishes);
+  PromCounter(&out, "dspc_recovery_replayed_total",
+              "Committed WAL ops replayed at Open.", recovery_replayed);
+  PromCounter(&out, "dspc_recovery_truncated_bytes_total",
+              "Torn WAL tail bytes repaired.", recovery_truncated_bytes);
+
+  PromCounter(&out, "dspc_repl_checkpoints_shipped_total",
+              "Checkpoint images shipped.", repl_checkpoints_shipped);
+  PromCounter(&out, "dspc_repl_segments_shipped_total",
+              "WAL segments started shipping.", repl_segments_shipped);
+  PromCounter(&out, "dspc_repl_bytes_shipped_total",
+              "Segment bytes shipped.", repl_bytes_shipped);
+  PromCounter(&out, "dspc_repl_ops_applied_total",
+              "Replica replay ops applied.", repl_ops_applied);
+  PromCounter(&out, "dspc_repl_reconnects_total",
+              "Transport recoveries after faults.", repl_reconnects);
+  PromCounter(&out, "dspc_repl_backoff_sleeps_total",
+              "Retry backoff sleeps taken.", repl_backoff_sleeps);
+  PromCounter(&out, "dspc_repl_rebootstraps_total",
+              "Replica restarts from a checkpoint.", repl_rebootstraps);
+  PromCounter(&out, "dspc_repl_failovers_total", "Promote() completions.",
+              repl_failovers);
+  PromGauge(&out, "dspc_replica_applied_generation",
+            "Generation the replica serves.", replica_applied_generation);
+  PromGauge(&out, "dspc_replica_lag_generations",
+            "Primary durable generation minus applied.", replica_lag);
   return out;
 }
 
@@ -184,6 +418,19 @@ void ServiceMetrics::RecordWalDurableWait() { Add(kWalDurableWaits, 1); }
 void ServiceMetrics::RecordWalFailure() { Add(kWalFailures, 1); }
 
 void ServiceMetrics::RecordCheckpoint() { Add(kCheckpoints, 1); }
+
+void ServiceMetrics::RecordSnapshotPublish() { Add(kSnapshotPublishes, 1); }
+
+void ServiceMetrics::RecordReadLatency(Consistency mode, uint64_t ns) {
+  const size_t m = static_cast<size_t>(mode);
+  Shard& shard = Local();
+  shard.counters[kReadLatencyHist +
+                 m * MetricsSnapshot::kLatencyBuckets +
+                 MetricsSnapshot::LatencyBucket(ns)]
+      .fetch_add(1, std::memory_order_relaxed);
+  shard.counters[kReadLatencySumNs + m].fetch_add(ns,
+                                                  std::memory_order_relaxed);
+}
 
 void ServiceMetrics::RecordRecovery(uint64_t replayed,
                                     uint64_t truncated_tail_bytes) {
@@ -259,6 +506,7 @@ MetricsSnapshot ServiceMetrics::Snapshot() const {
   snap.wal_durable_waits = sum[kWalDurableWaits];
   snap.wal_failures = sum[kWalFailures];
   snap.checkpoints = sum[kCheckpoints];
+  snap.snapshot_publishes = sum[kSnapshotPublishes];
   snap.recovery_replayed = sum[kRecoveryReplayed];
   snap.recovery_truncated_bytes = sum[kRecoveryTruncatedBytes];
   snap.repl_checkpoints_shipped = sum[kReplCheckpointsShipped];
@@ -269,6 +517,13 @@ MetricsSnapshot ServiceMetrics::Snapshot() const {
   snap.repl_backoff_sleeps = sum[kReplBackoffSleeps];
   snap.repl_rebootstraps = sum[kReplRebootstraps];
   snap.repl_failovers = sum[kReplFailovers];
+  for (size_t m = 0; m < MetricsSnapshot::kModes; ++m) {
+    for (size_t b = 0; b < MetricsSnapshot::kLatencyBuckets; ++b) {
+      snap.read_latency_hist[m][b] =
+          sum[kReadLatencyHist + m * MetricsSnapshot::kLatencyBuckets + b];
+    }
+    snap.read_latency_sum_ns[m] = sum[kReadLatencySumNs + m];
+  }
   return snap;
 }
 

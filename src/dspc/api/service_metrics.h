@@ -36,6 +36,7 @@
 
 #include <array>
 #include <atomic>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -64,6 +65,14 @@ struct MetricsSnapshot {
   /// write batch): 1 | 2-4 | 5-16 | 17-64 | 65-256 | 257-1K | 1K-4K | >4K
   static constexpr size_t kBatchBuckets = 8;
 
+  /// Read-latency histogram buckets, per consistency mode. Log-spaced:
+  /// bucket b covers [256<<(b-1), 256<<b) ns (bucket 0 holds everything
+  /// below 256 ns; the top bucket is unbounded, reaching past 100 ms).
+  /// Populated by sampled timings (SpcService times 1-in-64 single
+  /// queries and every batch), so counts are samples, not call totals —
+  /// percentiles are unaffected by the uniform sampling.
+  static constexpr size_t kLatencyBuckets = 20;
+
   // --- reads (served) ----------------------------------------------------
   /// Served queries per consistency mode (a batch adds its size), indexed
   /// by static_cast<size_t>(Consistency).
@@ -73,6 +82,13 @@ struct MetricsSnapshot {
   /// Per served *query* (a batch adds its size): generation-lag bucket
   /// of the serving source at admission. Sums to TotalQueries().
   std::array<uint64_t, kStalenessBuckets> staleness_hist{};
+
+  /// Sampled wall-clock latency of served read calls, bucketed per
+  /// consistency mode (see kLatencyBuckets). A batch contributes one
+  /// sample for the whole call.
+  std::array<std::array<uint64_t, kLatencyBuckets>, kModes>
+      read_latency_hist{};
+  std::array<uint64_t, kModes> read_latency_sum_ns{};  ///< sum of samples
 
   // --- misses and rejections ---------------------------------------------
   uint64_t deadline_misses_read = 0;  ///< reads that hit their deadline
@@ -101,6 +117,7 @@ struct MetricsSnapshot {
   uint64_t wal_durable_waits = 0;   ///< writes that waited on group commit
   uint64_t wal_failures = 0;        ///< fail-stop trips (sticky: stays 1)
   uint64_t checkpoints = 0;         ///< checkpoints published
+  uint64_t snapshot_publishes = 0;  ///< mmap arenas published (§14)
   uint64_t recovery_replayed = 0;   ///< committed WAL ops replayed at Open
   uint64_t recovery_truncated_bytes = 0;  ///< torn tail bytes repaired
 
@@ -131,8 +148,23 @@ struct MetricsSnapshot {
   /// tests asserting no sample is lost).
   uint64_t StalenessSamples() const;
 
+  /// Total latency samples recorded for `mode`.
+  uint64_t LatencySamples(size_t mode) const;
+
+  /// Approximate quantile (q in [0,1]) of the sampled read latency for
+  /// `mode`, in nanoseconds, interpolated linearly within the winning
+  /// log bucket. 0 when no samples were recorded.
+  uint64_t ReadLatencyQuantileNs(size_t mode, double q) const;
+
   /// Human-readable multi-line dump for logs, examples, and benches.
   std::string ToString() const;
+
+  /// Prometheus text exposition (version 0.0.4) of every counter in this
+  /// snapshot: the read cube aggregates, staleness and latency
+  /// histograms (cumulative `le` buckets), durability and replication
+  /// counters, and the replica gauges. Scrape-ready: serve it verbatim
+  /// from a /metrics endpoint.
+  std::string PrometheusText() const;
 
   /// Bucket index helpers (shared by recording and by tests asserting on
   /// specific buckets). Header-inline: StalenessBucket runs per served
@@ -154,6 +186,16 @@ struct MetricsSnapshot {
     if (size <= 1024) return 5;
     if (size <= 4096) return 6;
     return 7;
+  }
+  static size_t LatencyBucket(uint64_t ns) {
+    if (ns < 256) return 0;
+    const size_t b = static_cast<size_t>(std::bit_width(ns >> 7)) - 1;
+    return b < kLatencyBuckets ? b : kLatencyBuckets - 1;
+  }
+  /// Exclusive upper bound of latency bucket `b` in ns (the top bucket
+  /// reports its nominal bound but is unbounded).
+  static uint64_t LatencyBucketUpperNs(size_t b) {
+    return uint64_t{256} << b;
   }
 };
 
@@ -206,6 +248,14 @@ class ServiceMetrics {
 
   /// One checkpoint published.
   void RecordCheckpoint();
+
+  /// One mmap snapshot arena published (SpcService::PublishSnapshot).
+  void RecordSnapshotPublish();
+
+  /// One sampled read-call timing under `mode`. Out-of-line: callers
+  /// sample (1-in-64 single queries; every batch), so this is off the
+  /// per-query hot path by construction.
+  void RecordReadLatency(Consistency mode, uint64_t ns);
 
   /// Recovery results, folded in once at SpcService::Open.
   void RecordRecovery(uint64_t replayed, uint64_t truncated_tail_bytes);
@@ -269,6 +319,7 @@ class ServiceMetrics {
     kWalDurableWaits,
     kWalFailures,
     kCheckpoints,
+    kSnapshotPublishes,
     kRecoveryReplayed,
     kRecoveryTruncatedBytes,
     kReplCheckpointsShipped,
@@ -279,7 +330,11 @@ class ServiceMetrics {
     kReplBackoffSleeps,
     kReplRebootstraps,
     kReplFailovers,
-    kNumCounters,
+    kReadLatencyHist,  // kModes * kLatencyBuckets entries
+    kReadLatencySumNs = kReadLatencyHist + MetricsSnapshot::kModes *
+                                               MetricsSnapshot::kLatencyBuckets,
+    // kModes entries
+    kNumCounters = kReadLatencySumNs + MetricsSnapshot::kModes,
   };
 
   /// Concurrency stripe count. Threads are assigned round-robin by a

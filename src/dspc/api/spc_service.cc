@@ -57,6 +57,35 @@ std::chrono::steady_clock::time_point DeadlineFor(
   return now + timeout;
 }
 
+/// Sampled read-latency timing (DESIGN.md §10). Two steady_clock reads
+/// per timed call would blow the service's ~2% overhead budget on the
+/// per-query hot path, so single queries time 1-in-64 calls (a
+/// thread_local counter decides; uniform sampling leaves percentiles
+/// unbiased) while batches — whose work amortizes the clocks — always
+/// time. Armed==false costs one increment and one predictable branch.
+struct LatencyTimer {
+  explicit LatencyTimer(bool arm) : armed(arm) {
+    if (armed) [[unlikely]] {
+      start = std::chrono::steady_clock::now();
+    }
+  }
+  void Finish(ServiceMetrics* metrics, Consistency mode) const {
+    if (!armed) [[likely]] {
+      return;
+    }
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        std::chrono::steady_clock::now() - start);
+    metrics->RecordReadLatency(mode, static_cast<uint64_t>(ns.count()));
+  }
+  bool armed;
+  std::chrono::steady_clock::time_point start;
+};
+
+bool SampleReadLatency() {
+  thread_local uint32_t tick = 0;
+  return (++tick & 63u) == 0;
+}
+
 }  // namespace
 
 SpcService::SpcService(Graph graph, const DynamicSpcOptions& options)
@@ -378,6 +407,7 @@ StatusOr<QueryResponse> SpcService::Query(Vertex s, Vertex t,
                      static_cast<size_t>(s) >= n ? s : t, n);
   }
 
+  const LatencyTimer timer(SampleReadLatency());
   uint64_t generation = 0;
   SnapshotManager::Pinned pin;
   if (Status st = RouteRead(options, 1, std::max(s, t), &generation, &pin);
@@ -392,9 +422,11 @@ StatusOr<QueryResponse> SpcService::Query(Vertex s, Vertex t,
         generation > pin.generation ? generation - pin.generation : 0;
     metrics_.RecordRead(options.consistency, ServedFrom::kSnapshot,
                         staleness, 1, false);
-    return StatusOr<QueryResponse>(std::in_place, pin->Query(s, t),
-                                   pin.generation, staleness,
-                                   ServedFrom::kSnapshot);
+    StatusOr<QueryResponse> out(std::in_place, pin->Query(s, t),
+                                pin.generation, staleness,
+                                ServedFrom::kSnapshot);
+    timer.Finish(&metrics_, options.consistency);
+    return out;
   }
   // Live serving — the one read path that can wait on a writer, so the
   // one place the per-call deadline binds. The response generation is
@@ -409,12 +441,14 @@ StatusOr<QueryResponse> SpcService::Query(Vertex s, Vertex t,
     }
     metrics_.RecordRead(options.consistency, ServedFrom::kLiveIndex, 0, 1,
                         false);
+    timer.Finish(&metrics_, options.consistency);
     return StatusOr<QueryResponse>(std::in_place, result, generation,
                                    uint64_t{0}, ServedFrom::kLiveIndex);
   }
   const SpcResult live = engine_.QueryLive(s, t, &generation);
   metrics_.RecordRead(options.consistency, ServedFrom::kLiveIndex, 0, 1,
                       false);
+  timer.Finish(&metrics_, options.consistency);
   return StatusOr<QueryResponse>(std::in_place, live, generation,
                                  uint64_t{0}, ServedFrom::kLiveIndex);
 }
@@ -436,6 +470,8 @@ StatusOr<BatchQueryResponse> SpcService::QueryBatch(
     max_vertex = std::max({max_vertex, s, t});
   }
 
+  // Batches always time: the call amortizes the two clock reads.
+  const LatencyTimer timer(true);
   uint64_t generation = 0;
   SnapshotManager::Pinned pin;
   if (Status st =
@@ -476,6 +512,7 @@ StatusOr<BatchQueryResponse> SpcService::QueryBatch(
   }
   metrics_.RecordRead(options.consistency, out->served_from, out->staleness,
                       pairs.size(), true);
+  timer.Finish(&metrics_, options.consistency);
   return out;
 }
 
@@ -808,6 +845,27 @@ Status SpcService::WaitDurableOffset(const std::shared_ptr<WalWriter>& wal,
     std::lock_guard<std::mutex> lock(dur_mu_);
     return FailDurabilityLocked(std::move(st));
   }
+  return st;
+}
+
+Status SpcService::PublishSnapshot(SnapshotPublisher* publisher) {
+  if (publisher == nullptr) {
+    return Status::InvalidArgument("PublishSnapshot: null publisher");
+  }
+  // Same capture discipline as CheckpointLocked, minus the WAL rotation:
+  // FreezeWrites blocks engine writers only, so reads keep serving while
+  // the (generation, index) pair is copied; the arena write then happens
+  // outside every lock.
+  uint64_t gen = 0;
+  std::unique_ptr<FlatSpcIndex> flat;
+  {
+    auto freeze = engine_.FreezeWrites();
+    gen = engine_.Generation();
+    flat = std::make_unique<FlatSpcIndex>(engine_.index());
+  }
+  const uint64_t wal_seq = Durable() ? WalSyncedTip().first : 0;
+  Status st = publisher->Publish(*flat, gen, wal_seq);
+  if (st.ok()) metrics_.RecordSnapshotPublish();
   return st;
 }
 

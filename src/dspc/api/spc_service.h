@@ -85,6 +85,7 @@
 #include "dspc/persist/env.h"
 #include "dspc/persist/recovery.h"
 #include "dspc/persist/replication.h"
+#include "dspc/persist/snapshot_publisher.h"
 #include "dspc/persist/wal.h"
 
 namespace dspc {
@@ -411,6 +412,20 @@ class SpcService {
   /// service. kNotSupported on a non-durable service.
   StatusOr<std::unique_ptr<WalShipper>> NewShipper(
       Transport* transport, WalShipper::Options base = {});
+
+  // --- multi-process serving ----------------------------------------------
+
+  /// Publishes the current state into `publisher`'s shared directory as a
+  /// generation-numbered mmap-servable arena (DESIGN.md §14), making it
+  /// adoptable by MappedReaderService processes. Captures a consistent
+  /// (generation, index) pair under a write freeze — readers keep serving
+  /// throughout — then writes outside any engine lock. The PUBSTATE
+  /// manifest records the WAL segment the service had open at capture
+  /// (0 on a non-durable service). Works on durable and non-durable
+  /// services alike; the publisher refuses generation regressions, so
+  /// republishing the same generation (e.g. after crash recovery) is the
+  /// only way to "repeat" a publish.
+  Status PublishSnapshot(SnapshotPublisher* publisher);
 
   // --- freshness barriers -------------------------------------------------
 

@@ -69,8 +69,7 @@ std::shared_ptr<const FlatSpcIndex::Shard> FlatSpcIndex::PackShard(
     shard->wide_entries.reserve(total);
     for (size_t lv = 0; lv < labels.size(); ++lv) {
       const LabelSet& set = labels[lv];
-      shard->wide_entries.insert(shard->wide_entries.end(), set.begin(),
-                                 set.end());
+      shard->wide_entries.append(set.begin(), set.end());
       shard->offsets[lv + 1] = shard->wide_entries.size();
     }
     return shard;
@@ -257,13 +256,17 @@ size_t FlatSpcIndex::ArenaBytes() const {
 }
 
 void FlatSpcIndex::BuildDenseDirectory(Shard* shard) {
-  const size_t width = shard->end - shard->begin;
+  // Read through a const ref: offsets/entries may be mmap views, where
+  // only the const ArenaVec accessors see the data (the mutating
+  // overloads address the owning vector, empty in view mode).
+  const Shard& sh = *shard;
+  const size_t width = sh.end - sh.begin;
   shard->hub_bits.assign(width * kDenseWords, 0);
   shard->word_base.assign(width * kDenseWords, 0);
   for (size_t lv = 0; lv < width; ++lv) {
     uint64_t* bits = shard->hub_bits.data() + lv * kDenseWords;
-    for (uint64_t i = shard->offsets[lv]; i < shard->offsets[lv + 1]; ++i) {
-      const Rank h = FlatHub(shard->entries[i]);
+    for (uint64_t i = sh.offsets[lv]; i < sh.offsets[lv + 1]; ++i) {
+      const Rank h = FlatHub(sh.entries[i]);
       if (h >= kDenseRanks) break;  // sorted ascending: the rest is tail
       bits[h / 64] |= 1ULL << (h % 64);
     }
@@ -625,11 +628,14 @@ void FlatSpcIndex::SaveImage(BinaryWriter* writer) const {
   // onto one global side table.
   std::vector<uint64_t> offsets(num_vertices_ + 1, 0);
   uint64_t off = 0;
-  for (const auto& shard : shards_) {
-    const size_t width = shard->end - shard->begin;
+  // Shards are read via const refs throughout: mmap-view shards expose
+  // their bytes only through the const ArenaVec accessors.
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    const size_t width = shard.end - shard.begin;
     for (size_t lv = 0; lv < width; ++lv) {
-      off += shard->offsets[lv + 1] - shard->offsets[lv];
-      offsets[shard->begin + lv + 1] = off;
+      off += shard.offsets[lv + 1] - shard.offsets[lv];
+      offsets[shard.begin + lv + 1] = off;
     }
   }
   w.PutU64Array(offsets.data(), offsets.size());
@@ -645,13 +651,14 @@ void FlatSpcIndex::SaveImage(BinaryWriter* writer) const {
     }
   } else {
     uint64_t overflow_base = 0;
-    for (const auto& shard : shards_) {
-      if (shard->overflow.empty()) {
+    for (const auto& shard_ptr : shards_) {
+      const Shard& shard = *shard_ptr;
+      if (shard.overflow.empty()) {
         // No slots to rebase: the arena serializes at memory speed.
-        w.PutU64Array(shard->entries.data(), shard->entries.size());
+        w.PutU64Array(shard.entries.data(), shard.entries.size());
         continue;
       }
-      for (const uint64_t word : shard->entries) {
+      for (const uint64_t word : shard.entries) {
         if (IsFlatOverflowRef(word)) [[unlikely]] {
           w.PutU64(PackFlatOverflowRef(FlatHub(word),
                                        overflow_base + FlatOverflowSlot(word)));
@@ -659,7 +666,7 @@ void FlatSpcIndex::SaveImage(BinaryWriter* writer) const {
           w.PutU64(word);
         }
       }
-      overflow_base += shard->overflow.size();
+      overflow_base += shard.overflow.size();
     }
     w.PutU64(overflow_base);
     for (const auto& shard : shards_) {
@@ -758,6 +765,54 @@ Status FlatSpcIndex::LoadFromReader(BinaryReader* reader, FlatSpcIndex* out) {
   if (n > 0 && !flat.wide_mode_) BuildDenseDirectory(shard.get());
   *out = std::move(flat);
   return Status::OK();
+}
+
+StatusOr<FlatSpcIndex> FlatSpcIndex::FromArenaView(ArenaView view) {
+  FlatSpcIndex flat;
+  const size_t n = view.num_vertices;
+  flat.num_vertices_ = n;
+  flat.wide_mode_ = view.wide;
+  flat.InitLayout(1);
+  if (n == 0) return flat;
+
+  // The ordering is the one arena section adopted by copy, not by view:
+  // it is shared repo-wide as owned vectors (and vertex_of is derived
+  // from rank_of anyway). One O(n) pass per adoption, zero per query.
+  auto ordering = std::make_shared<VertexOrdering>();
+  ordering->rank_of.assign(view.rank_of, view.rank_of + n);
+  ordering->vertex_of.assign(n, 0);
+  for (size_t v = 0; v < n; ++v) {
+    const Rank rank = ordering->rank_of[v];
+    if (rank >= n) return Status::Corruption("mapped arena rank out of range");
+    ordering->vertex_of[rank] = static_cast<Vertex>(v);
+  }
+  flat.ordering_ = std::move(ordering);
+
+  // Label words and offsets are views straight into the mapped bytes —
+  // the zero-copy contract of the mmap serving tier. The shard holds the
+  // backing region, so any pin of this snapshot (and thus any in-flight
+  // query) keeps the mapping alive after a newer generation is adopted.
+  auto shard = std::make_shared<Shard>();
+  shard->begin = 0;
+  shard->end = static_cast<Vertex>(n);
+  shard->generation = view.generation;
+  shard->offsets = ArenaVec<uint64_t>::View(view.offsets, n + 1);
+  const uint64_t total = view.offsets[n];
+  if (view.wide) {
+    shard->wide_entries = ArenaVec<LabelEntry>::View(view.wide_entries, total);
+  } else {
+    shard->entries = ArenaVec<uint64_t>::View(view.entries, total);
+    shard->overflow =
+        ArenaVec<LabelEntry>::View(view.overflow, view.overflow_count);
+  }
+  shard->backing = std::move(view.backing);
+  flat.shards_[0] = shard;
+  // Same discipline as the file loader: the bytes are untrusted until
+  // ValidateArena accepts them, and the dense directory (derived, owned
+  // state) is only built over validated offsets/entries.
+  if (Status s = flat.ValidateArena(); !s.ok()) return s;
+  if (!flat.wide_mode_) BuildDenseDirectory(shard.get());
+  return flat;
 }
 
 }  // namespace dspc

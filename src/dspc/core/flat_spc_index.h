@@ -72,6 +72,67 @@ inline constexpr uint32_t kSpcIndexFormatV2 = 2;
 /// A query pair, as consumed by the batched drivers.
 using VertexPair = std::pair<Vertex, Vertex>;
 
+/// An arena array that either owns its storage (a std::vector built by
+/// the packers/loaders) or is a read-only view over externally owned
+/// memory (an mmap'ed snapshot arena, persist/snapshot_arena.h). The hot
+/// query path reads through a cached {pointer, size} pair either way, so
+/// view shards and owning shards run the exact same code at the exact
+/// same cost. Mutating methods are only legal in owning mode; whoever
+/// installs a view is responsible for keeping the bytes alive (Shard
+/// carries a shared_ptr backing handle for exactly that).
+template <typename T>
+class ArenaVec {
+ public:
+  ArenaVec() = default;
+  ArenaVec(const ArenaVec&) = delete;
+  ArenaVec& operator=(const ArenaVec&) = delete;
+  // Member-wise move is correct in both modes: moving the vector
+  // transfers its buffer, so a data_ that pointed into it still does.
+  ArenaVec(ArenaVec&&) noexcept = default;
+  ArenaVec& operator=(ArenaVec&&) noexcept = default;
+
+  /// A non-owning view over [data, data + n). The caller guarantees the
+  /// bytes outlive this ArenaVec.
+  static ArenaVec View(const T* data, size_t n) {
+    ArenaVec v;
+    v.data_ = data;
+    v.size_ = n;
+    return v;
+  }
+
+  // --- read side (both modes; the query hot path) ------------------------
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  const T& back() const { return data_[size_ - 1]; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+  // --- write side (owning mode only) -------------------------------------
+  T* data() { return own_.data(); }
+  T& operator[](size_t i) { return own_[i]; }
+  void assign(size_t n, const T& v) { own_.assign(n, v); Refresh(); }
+  void resize(size_t n) { own_.resize(n); Refresh(); }
+  void reserve(size_t n) { own_.reserve(n); }
+  void push_back(const T& v) { own_.push_back(v); Refresh(); }
+  template <typename It>
+  void append(It first, It last) {
+    own_.insert(own_.end(), first, last);
+    Refresh();
+  }
+
+ private:
+  void Refresh() {
+    data_ = own_.data();
+    size_ = own_.size();
+  }
+
+  std::vector<T> own_;
+  const T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
 class FlatSpcIndex {
  public:
   /// The shard layout for n vertices at a requested shard count: widths
@@ -247,6 +308,36 @@ class FlatSpcIndex {
   /// read from disk exactly once; most callers want Load().
   static Status LoadFromReader(BinaryReader* r, FlatSpcIndex* out);
 
+  /// Raw single-shard arena sections for constructing a snapshot as a
+  /// *view* over externally owned memory — the mmap serving path
+  /// (persist/snapshot_arena.h). All pointers must stay valid for as
+  /// long as `backing` is alive; the constructed snapshot holds
+  /// `backing` through its shard, so in-flight queries keep the mapping
+  /// alive even after the index itself is replaced. Label words
+  /// (entries / overflow / wide_entries) and offsets are served directly
+  /// from the viewed bytes — no per-query copy or decode buffer; only
+  /// the rank array is copied once at adoption (the ordering is shared
+  /// repo-wide as owned vectors) and the dense directory is derived.
+  struct ArenaView {
+    size_t num_vertices = 0;
+    bool wide = false;
+    uint64_t generation = 0;
+    const Rank* rank_of = nullptr;      ///< [num_vertices]
+    const uint64_t* offsets = nullptr;  ///< [num_vertices + 1], global CSR
+    const uint64_t* entries = nullptr;  ///< [offsets[n]] (packed mode)
+    const LabelEntry* overflow = nullptr;  ///< [overflow_count] (packed)
+    uint64_t overflow_count = 0;
+    const LabelEntry* wide_entries = nullptr;  ///< [offsets[n]] (wide mode)
+    std::shared_ptr<const void> backing;  ///< keep-alive for the bytes
+  };
+
+  /// Builds a single-shard snapshot whose arenas are views into
+  /// `view.backing`'s memory. Runs the same structural validation as the
+  /// file loader (ValidateArena) before any query can touch the bytes;
+  /// the caller must already have bounds-checked the section sizes
+  /// against the region (the arena loader's CRC/layout validation).
+  static StatusOr<FlatSpcIndex> FromArenaView(ArenaView view);
+
   /// Minimum pairs per worker before QueryManyParallel adds a thread.
   static constexpr size_t kMinPairsPerThread = 2048;
 
@@ -262,25 +353,30 @@ class FlatSpcIndex {
  private:
   /// One vertex-range arena, immutable once built and shared across
   /// snapshot generations by shared_ptr. All CSR offsets are local to
-  /// the shard (offsets[v - begin]).
+  /// the shard (offsets[v - begin]). Each array either owns its storage
+  /// (packed by the builders/loaders) or views externally owned memory
+  /// (the mmap path; `backing` then keeps the mapping alive for the
+  /// shard's lifetime, so pinned queries can outlive an index swap).
   struct Shard {
     Vertex begin = 0;
     Vertex end = 0;
     uint64_t generation = 0;
     /// offsets[lv]..offsets[lv+1] delimit local vertex lv's entries.
-    std::vector<uint64_t> offsets;
+    ArenaVec<uint64_t> offsets;
     /// Packed arena words, sorted ascending by hub within each vertex.
-    std::vector<uint64_t> entries;
+    ArenaVec<uint64_t> entries;
     /// Wide side table for packed-mode overflow entries (slots local).
-    std::vector<LabelEntry> overflow;
+    ArenaVec<LabelEntry> overflow;
     /// Dense top-rank directory (packed mode): kDenseWords bitmap words
-    /// per local vertex.
-    std::vector<uint64_t> hub_bits;
+    /// per local vertex. Always owned — derived state, never mapped.
+    ArenaVec<uint64_t> hub_bits;
     /// word_base[lv*kDenseWords + w]: dense entries of lv in bitmap words
     /// [0, w) — the prefix-popcount base for positional lookup.
-    std::vector<uint16_t> word_base;
+    ArenaVec<uint16_t> word_base;
     /// Wide arena (wide mode only), same local CSR layout as entries.
-    std::vector<LabelEntry> wide_entries;
+    ArenaVec<LabelEntry> wide_entries;
+    /// Keep-alive for view-mode arrays (e.g. a persist::MappedRegion).
+    std::shared_ptr<const void> backing;
 
     size_t NumEntries() const {
       return offsets.empty() ? 0 : static_cast<size_t>(offsets.back());

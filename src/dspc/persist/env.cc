@@ -2,6 +2,7 @@
 
 #include <dirent.h>
 #include <fcntl.h>
+#include <sys/mman.h>
 #include <sys/stat.h>
 #include <sys/types.h>
 #include <unistd.h>
@@ -56,6 +57,41 @@ class PosixWritableFile : public WritableFile {
  private:
   int fd_;
   const std::string path_;
+};
+
+/// The generic-fallback region: owns a copy of the file bytes. Also what
+/// FaultInjectingEnv hands out (its MapReadOnly inherits the base
+/// implementation, whose reads pass through), keeping crash tests
+/// deterministic — no page cache, no kernel mapping state.
+class BufferRegion : public MappedRegion {
+ public:
+  explicit BufferRegion(std::vector<uint8_t> bytes)
+      : bytes_(std::move(bytes)) {
+    data_ = bytes_.data();
+    size_ = bytes_.size();
+  }
+
+ private:
+  const std::vector<uint8_t> bytes_;
+};
+
+/// A real mmap: the pages are shared with every other process mapping
+/// the same file, and survive an unlink of the path (posix inode
+/// semantics) — the property the snapshot GC protocol leans on.
+class PosixMappedRegion : public MappedRegion {
+ public:
+  PosixMappedRegion(const void* addr, size_t size) {
+    data_ = static_cast<const uint8_t*>(addr);
+    size_ = size;
+  }
+  ~PosixMappedRegion() override {
+    if (data_ != nullptr) {
+      ::munmap(const_cast<uint8_t*>(data_), size_);
+    }
+  }
+
+  PosixMappedRegion(const PosixMappedRegion&) = delete;
+  PosixMappedRegion& operator=(const PosixMappedRegion&) = delete;
 };
 
 class PosixFileSystem : public FileSystem {
@@ -151,6 +187,31 @@ class PosixFileSystem : public FileSystem {
   bool FileExists(const std::string& path) override {
     return ::access(path.c_str(), F_OK) == 0;
   }
+
+  StatusOr<std::shared_ptr<const MappedRegion>> MapReadOnly(
+      const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) return Errno("open for mapping", path);
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+      ::close(fd);
+      return Errno("stat", path);
+    }
+    const size_t size = static_cast<size_t>(st.st_size);
+    if (size == 0) {
+      // mmap rejects zero-length maps; an empty region is still valid.
+      ::close(fd);
+      return std::shared_ptr<const MappedRegion>(
+          std::make_shared<PosixMappedRegion>(nullptr, 0));
+    }
+    void* addr = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+    // The fd is only needed to establish the mapping; the mapping itself
+    // keeps the inode alive from here on.
+    ::close(fd);
+    if (addr == MAP_FAILED) return Errno("mmap", path);
+    return std::shared_ptr<const MappedRegion>(
+        std::make_shared<PosixMappedRegion>(addr, size));
+  }
 };
 
 [[gnu::cold]] Status InjectedFault() {
@@ -158,6 +219,17 @@ class PosixFileSystem : public FileSystem {
 }
 
 }  // namespace
+
+StatusOr<std::shared_ptr<const MappedRegion>> FileSystem::MapReadOnly(
+    const std::string& path) {
+  // Generic fallback: a private copy of the bytes behaves exactly like a
+  // mapping as far as callers can tell (read-only, stable, outlives the
+  // file). Virtual ReadFile keeps wrapper envs' read semantics intact.
+  std::vector<uint8_t> bytes;
+  if (Status st = ReadFile(path, &bytes); !st.ok()) return st;
+  return std::shared_ptr<const MappedRegion>(
+      std::make_shared<BufferRegion>(std::move(bytes)));
+}
 
 FileSystem* FileSystem::Default() {
   static PosixFileSystem* fs = new PosixFileSystem();  // never destroyed

@@ -43,12 +43,44 @@ class WritableFile {
   virtual Status Close() = 0;
 };
 
+/// A read-only byte region backed either by a real mmap (the posix
+/// implementation) or by an owned buffer (the generic fallback any
+/// FileSystem gets for free). Destroying the region unmaps/frees the
+/// bytes, so holders keep it alive via shared_ptr for as long as any
+/// view into it may be dereferenced — the mmap serving tier threads this
+/// handle through FlatSpcIndex shards so in-flight queries finish on the
+/// old mapping after a newer generation is adopted. Immutable after
+/// construction; safe to read from any number of threads.
+class MappedRegion {
+ public:
+  virtual ~MappedRegion() = default;
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+
+ protected:
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
 /// The filesystem operations the persistence layer needs. All paths are
 /// plain strings (absolute or cwd-relative); implementations are
 /// thread-safe. `Default()` returns the process-wide posix instance.
 class FileSystem {
  public:
   virtual ~FileSystem() = default;
+
+  /// Maps `path` read-only. The base implementation reads the whole file
+  /// into an owned buffer (correct for any FileSystem, including test
+  /// envs); the posix implementation overrides with a real MAP_SHARED
+  /// mmap so N processes mapping the same snapshot share page-cache
+  /// pages. The region's length is the file's length at map time —
+  /// callers validate internal structure before trusting any byte.
+  /// Concurrent unlink of a mapped file is harmless on posix (the inode
+  /// survives until the last mapping drops); published snapshot files
+  /// are never truncated or rewritten in place, which is what makes
+  /// mapped reads SIGBUS-free by design.
+  virtual StatusOr<std::shared_ptr<const MappedRegion>> MapReadOnly(
+      const std::string& path);
 
   /// Creates (truncating any existing file at) `path` for appending.
   virtual StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(

@@ -1,0 +1,297 @@
+#include "dspc/persist/snapshot_arena.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+#include "dspc/common/binary_io.h"
+#include "dspc/core/spc_index.h"
+
+namespace dspc {
+
+namespace {
+
+// The arena views label words straight out of the file, so the on-disk
+// byte layout must BE the in-memory layout. LabelEntry's members mirror
+// the v2 stream's u32 hub / u32 dist / u64 count triple exactly, and
+// the format is little-endian like every other file this repo writes.
+static_assert(sizeof(LabelEntry) == 16);
+static_assert(offsetof(LabelEntry, hub) == 0);
+static_assert(offsetof(LabelEntry, dist) == 4);
+static_assert(offsetof(LabelEntry, count) == 8);
+static_assert(std::is_trivially_copyable_v<LabelEntry>);
+
+/// One section descriptor in the header: placement plus a CRC32C over
+/// exactly [offset, offset + length) of the file.
+struct ArenaSection {
+  uint64_t offset = 0;
+  uint64_t length = 0;
+  uint32_t crc = 0;
+  uint32_t reserved = 0;
+};
+
+/// Fixed section order. Packed files have all four; wide files stop at
+/// kSecEntries (the entries section then holds 16-byte LabelEntry
+/// records instead of packed words).
+enum : uint32_t {
+  kSecRanks = 0,
+  kSecOffsets = 1,
+  kSecEntries = 2,
+  kSecOverflow = 3,
+  kMaxSections = 4,
+};
+
+inline constexpr uint32_t kFlagWide = 1u << 0;
+
+/// The fixed-size header at file offset 0, occupying the first page
+/// alone. header_crc covers every preceding byte; the trailing struct
+/// padding and the rest of the page are written (and verified) zero.
+struct ArenaHeader {
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  uint64_t generation = 0;
+  uint64_t wal_seq = 0;
+  uint64_t num_vertices = 0;
+  uint32_t flags = 0;
+  uint32_t section_count = 0;
+  ArenaSection sections[kMaxSections];
+  uint32_t header_crc = 0;
+};
+static_assert(sizeof(ArenaSection) == 24);
+static_assert(offsetof(ArenaHeader, sections) == 40);
+static_assert(offsetof(ArenaHeader, header_crc) == 136);
+static_assert(sizeof(ArenaHeader) == 144);
+static_assert(std::is_trivially_copyable_v<ArenaHeader>);
+
+uint64_t AlignUp(uint64_t v) {
+  return (v + kSnapshotArenaAlign - 1) & ~(kSnapshotArenaAlign - 1);
+}
+
+[[gnu::cold]] Status ArenaCorruption(const std::string& what,
+                                     const std::string& path) {
+  return Status::Corruption("snapshot arena " + path + ": " + what);
+}
+
+Status AppendZeros(WritableFile* f, uint64_t n) {
+  static const std::vector<uint8_t> kZeros(kSnapshotArenaAlign, 0);
+  while (n > 0) {
+    const uint64_t chunk = std::min<uint64_t>(n, kZeros.size());
+    if (Status st = f->Append(kZeros.data(), chunk); !st.ok()) return st;
+    n -= chunk;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteSnapshotArena(FileSystem* fs, const std::string& path,
+                          const FlatSpcIndex& index, uint64_t generation,
+                          uint64_t wal_seq) {
+  if constexpr (std::endian::native != std::endian::little) {
+    return Status::NotSupported("snapshot arenas require a little-endian host");
+  }
+  // The v2 checkpoint image already flattens the sharded snapshot into
+  // the monolithic single-shard payload the arena wants — global CSR
+  // offsets, overflow slots rebased onto one side table — so reuse it
+  // and carve the sections out of the stream instead of duplicating the
+  // flattening logic against FlatSpcIndex internals. Stream layout
+  // (SaveImage): magic u32, version u32, n u64, rank u32[n], wide u8,
+  // offsets u64[n+1], then entries (+ overflow count/table in packed
+  // mode) — triples byte-identical to LabelEntry.
+  BinaryWriter image;
+  index.SaveImage(&image);
+  const uint8_t* buf = image.buffer().data();
+  const uint64_t n = index.NumVertices();
+
+  uint64_t pos = 16;  // past magic/version/n
+  const uint8_t* rank_bytes = buf + pos;
+  pos += n * sizeof(Rank);
+  const bool wide = buf[pos] != 0;
+  pos += 1;
+  const uint8_t* offset_bytes = buf + pos;
+  uint64_t total = 0;  // offsets[n]: entries in the arena
+  std::memcpy(&total, offset_bytes + n * sizeof(uint64_t), sizeof(total));
+  pos += (n + 1) * sizeof(uint64_t);
+  const uint8_t* entry_bytes = buf + pos;
+  const uint64_t entry_len = total * (wide ? sizeof(LabelEntry) : 8);
+  pos += entry_len;
+  uint64_t overflow_count = 0;
+  const uint8_t* overflow_bytes = nullptr;
+  if (!wide) {
+    std::memcpy(&overflow_count, buf + pos, sizeof(overflow_count));
+    pos += sizeof(uint64_t);
+    overflow_bytes = buf + pos;
+    pos += overflow_count * sizeof(LabelEntry);
+  }
+
+  ArenaHeader h;
+  h.magic = kSnapshotArenaMagic;
+  h.version = kSnapshotArenaVersion;
+  h.generation = generation;
+  h.wal_seq = wal_seq;
+  h.num_vertices = n;
+  h.flags = wide ? kFlagWide : 0;
+  h.section_count = wide ? 3 : 4;
+  const uint8_t* section_bytes[kMaxSections] = {rank_bytes, offset_bytes,
+                                                entry_bytes, overflow_bytes};
+  const uint64_t section_lens[kMaxSections] = {
+      n * sizeof(Rank), (n + 1) * sizeof(uint64_t), entry_len,
+      overflow_count * sizeof(LabelEntry)};
+  uint64_t cursor = kSnapshotArenaAlign;  // header owns the first page
+  for (uint32_t i = 0; i < h.section_count; ++i) {
+    cursor = AlignUp(cursor);
+    h.sections[i].offset = cursor;
+    h.sections[i].length = section_lens[i];
+    h.sections[i].crc = Crc32c(section_bytes[i], section_lens[i]);
+    cursor += section_lens[i];
+  }
+  h.header_crc = Crc32c(&h, offsetof(ArenaHeader, header_crc));
+
+  auto file = fs->NewWritableFile(path);
+  if (!file.ok()) return file.status();
+  WritableFile* f = file->get();
+  if (Status st = f->Append(&h, sizeof(h)); !st.ok()) return st;
+  uint64_t written = sizeof(h);
+  for (uint32_t i = 0; i < h.section_count; ++i) {
+    if (Status st = AppendZeros(f, h.sections[i].offset - written); !st.ok()) {
+      return st;
+    }
+    if (Status st = f->Append(section_bytes[i], section_lens[i]); !st.ok()) {
+      return st;
+    }
+    written = h.sections[i].offset + section_lens[i];
+  }
+  if (Status st = f->Sync(); !st.ok()) return st;
+  return f->Close();
+}
+
+StatusOr<MappedArena> MappedArena::Map(FileSystem* fs,
+                                       const std::string& path) {
+  if constexpr (std::endian::native != std::endian::little) {
+    return Status::NotSupported("snapshot arenas require a little-endian host");
+  }
+  auto mapped = fs->MapReadOnly(path);
+  if (!mapped.ok()) return mapped.status();
+  std::shared_ptr<const MappedRegion> region = std::move(*mapped);
+  const uint8_t* base = region->data();
+  const uint64_t size = region->size();
+
+  // Every check below runs before any byte is trusted, and length checks
+  // run before the bytes they gate are dereferenced — a truncated or
+  // flipped file fails with a typed Status instead of faulting.
+  if (size < sizeof(ArenaHeader)) {
+    return ArenaCorruption("short file (" + std::to_string(size) + " bytes)",
+                           path);
+  }
+  ArenaHeader h;
+  std::memcpy(&h, base, sizeof(h));
+  if (h.magic != kSnapshotArenaMagic) return ArenaCorruption("bad magic", path);
+  if (h.version != kSnapshotArenaVersion) {
+    return ArenaCorruption("unsupported version " + std::to_string(h.version),
+                           path);
+  }
+  if (Crc32c(base, offsetof(ArenaHeader, header_crc)) != h.header_crc) {
+    return ArenaCorruption("header checksum mismatch", path);
+  }
+  const bool wide = (h.flags & kFlagWide) != 0;
+  if ((h.flags & ~kFlagWide) != 0) return ArenaCorruption("bad flags", path);
+  const uint32_t expect_sections = wide ? 3 : 4;
+  if (h.section_count != expect_sections) {
+    return ArenaCorruption("bad section count", path);
+  }
+  const uint64_t n = h.num_vertices;
+  if (n > (uint64_t{1} << 40)) return ArenaCorruption("absurd vertex count", path);
+
+  // The layout is canonical — each section at the next page boundary —
+  // so placement is fully determined by the lengths; verifying it pins
+  // every padding byte to a known range (checked zero below).
+  uint64_t cursor = kSnapshotArenaAlign;
+  for (uint32_t i = 0; i < h.section_count; ++i) {
+    const ArenaSection& s = h.sections[i];
+    cursor = AlignUp(cursor);
+    if (s.offset != cursor) return ArenaCorruption("bad section offset", path);
+    if (s.length > size || s.offset > size - s.length) {
+      return ArenaCorruption("section exceeds file", path);
+    }
+    cursor += s.length;
+  }
+  if (cursor != size) return ArenaCorruption("bad file length", path);
+  if (h.sections[kSecRanks].length != n * sizeof(Rank)) {
+    return ArenaCorruption("bad rank section length", path);
+  }
+  if (h.sections[kSecOffsets].length != (n + 1) * sizeof(uint64_t)) {
+    return ArenaCorruption("bad offsets section length", path);
+  }
+
+  // All padding (header-page tail + inter-section gaps) must be zero:
+  // with the CRCs this makes every byte of the file checked, so the
+  // corruption sweep cannot find a flippable bit that goes unnoticed.
+  auto zeros = [&](uint64_t from, uint64_t to) {
+    for (uint64_t i = from; i < to; ++i) {
+      if (base[i] != 0) return false;
+    }
+    return true;
+  };
+  uint64_t checked = offsetof(ArenaHeader, header_crc) + sizeof(uint32_t);
+  for (uint32_t i = 0; i < h.section_count; ++i) {
+    if (!zeros(checked, h.sections[i].offset)) {
+      return ArenaCorruption("nonzero padding", path);
+    }
+    checked = h.sections[i].offset + h.sections[i].length;
+  }
+
+  for (uint32_t i = 0; i < h.section_count; ++i) {
+    const ArenaSection& s = h.sections[i];
+    if (Crc32c(base + s.offset, s.length) != s.crc) {
+      return ArenaCorruption("section " + std::to_string(i) +
+                                 " checksum mismatch",
+                             path);
+    }
+  }
+
+  // Only now (offsets CRC-verified) is offsets[n] trustworthy enough to
+  // size the entry sections against.
+  FlatSpcIndex::ArenaView view;
+  view.num_vertices = n;
+  view.wide = wide;
+  view.generation = h.generation;
+  view.rank_of =
+      reinterpret_cast<const Rank*>(base + h.sections[kSecRanks].offset);
+  view.offsets = reinterpret_cast<const uint64_t*>(
+      base + h.sections[kSecOffsets].offset);
+  const uint64_t total = view.offsets[n];
+  const uint64_t want_entries = total * (wide ? sizeof(LabelEntry) : 8);
+  if (h.sections[kSecEntries].length != want_entries) {
+    return ArenaCorruption("entries/offsets length mismatch", path);
+  }
+  if (wide) {
+    view.wide_entries = reinterpret_cast<const LabelEntry*>(
+        base + h.sections[kSecEntries].offset);
+  } else {
+    view.entries = reinterpret_cast<const uint64_t*>(
+        base + h.sections[kSecEntries].offset);
+    if (h.sections[kSecOverflow].length % sizeof(LabelEntry) != 0) {
+      return ArenaCorruption("bad overflow section length", path);
+    }
+    view.overflow = reinterpret_cast<const LabelEntry*>(
+        base + h.sections[kSecOverflow].offset);
+    view.overflow_count = h.sections[kSecOverflow].length / sizeof(LabelEntry);
+  }
+  view.backing = region;
+
+  auto flat = FlatSpcIndex::FromArenaView(std::move(view));
+  if (!flat.ok()) {
+    return ArenaCorruption(flat.status().message(), path);
+  }
+  MappedArena out;
+  out.snapshot_ = std::make_shared<const FlatSpcIndex>(std::move(*flat));
+  out.generation_ = h.generation;
+  out.wal_seq_ = h.wal_seq;
+  out.file_bytes_ = size;
+  return out;
+}
+
+}  // namespace dspc

@@ -1,0 +1,104 @@
+// Snapshot arena files: the page-aligned, mmap-servable on-disk form of
+// a FlatSpcIndex (DESIGN.md §14).
+//
+// The checkpoint/v2 image (flat_spc_index.cc) is a *stream*: a loader
+// parses it front to back into owned vectors. The arena format stores
+// the same monolithic single-shard payload as *sections* — rank array,
+// CSR offsets, label words, overflow side table — each placed at a
+// page-aligned offset and individually CRC32C-summed, so a reader
+// process can construct FlatSpcIndex shards as views straight into a
+// read-only mmap of the file: zero per-query deserialization or copying
+// of label words, and the OS page cache shares the bytes across every
+// reader mapping the same generation.
+//
+// Safety contract (how mapped serving avoids SIGBUS and torn reads):
+//
+//   - Map() validates before any query can touch the mapping: file size
+//     covers the header page and every section's [offset, offset+length),
+//     the header and every section check out against their CRCs, and all
+//     padding bytes between sections are zero (so a bit flip *anywhere*
+//     in the file is detected, not just inside a summed range). Every
+//     failure is a typed Status — kCorruption for bad bytes, kIOError
+//     from the env — never a crash, never a partially adopted snapshot.
+//   - Published arena files are immutable: the publisher writes a tmp
+//     file, fsyncs, renames, and only ever *unlinks* old generations —
+//     never truncates or rewrites in place. A posix mapping survives
+//     unlink (the inode lives until the last mapping drops), so a
+//     validated map can never see its bytes disappear: SIGBUS-free by
+//     design, not by handler.
+//
+// WriteSnapshotArena produces the file through the persist::Env seam
+// (create → append → fdatasync); atomic publication (tmp → rename →
+// dir-fsync) and generation naming belong to the publisher
+// (snapshot_publisher.h), which owns the directory protocol.
+
+#ifndef DSPC_PERSIST_SNAPSHOT_ARENA_H_
+#define DSPC_PERSIST_SNAPSHOT_ARENA_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "dspc/common/status.h"
+#include "dspc/core/flat_spc_index.h"
+#include "dspc/persist/env.h"
+
+namespace dspc {
+
+inline constexpr uint32_t kSnapshotArenaMagic = 0x44535041;  // "DSPA"
+inline constexpr uint32_t kSnapshotArenaVersion = 1;
+
+/// Section placement granularity. Page alignment keeps every viewed
+/// array naturally aligned at any mmap base and lets the kernel fault
+/// sections independently.
+inline constexpr uint64_t kSnapshotArenaAlign = 4096;
+
+/// Serializes `index` into the arena format at `path` via `fs`:
+/// create/truncate, append, fdatasync, close. No rename — callers that
+/// need atomic visibility write to a tmp path and rename (the
+/// publisher's discipline). `generation` and `wal_seq` are stamped into
+/// the header so a mapped file is self-describing.
+Status WriteSnapshotArena(FileSystem* fs, const std::string& path,
+                          const FlatSpcIndex& index, uint64_t generation,
+                          uint64_t wal_seq);
+
+/// A fully validated read-only mapping of an arena file, presented as a
+/// FlatSpcIndex whose label arenas are views into the mapped bytes. The
+/// snapshot holds the mapping alive through its shard backing handle, so
+/// the MappedArena object itself may be discarded after adoption —
+/// pinned queries keep the region mapped until the last one finishes.
+class MappedArena {
+ public:
+  /// Maps and validates `path`. Typed failures: kIOError from the env
+  /// (missing file, mmap failure), kCorruption for any structural or
+  /// checksum mismatch (short file, truncated section, bit flip,
+  /// nonzero padding, arena that fails FlatSpcIndex validation).
+  static StatusOr<MappedArena> Map(FileSystem* fs, const std::string& path);
+
+  /// The snapshot, serving views over the mapped region.
+  const std::shared_ptr<const FlatSpcIndex>& snapshot() const {
+    return snapshot_;
+  }
+
+  /// Generation stamped by the publisher at write time.
+  uint64_t generation() const { return generation_; }
+
+  /// WAL sequence the writer had durably synced when this snapshot was
+  /// taken (0 for non-durable writers).
+  uint64_t wal_seq() const { return wal_seq_; }
+
+  /// Mapped file size in bytes (observability).
+  uint64_t file_bytes() const { return file_bytes_; }
+
+ private:
+  MappedArena() = default;
+
+  std::shared_ptr<const FlatSpcIndex> snapshot_;
+  uint64_t generation_ = 0;
+  uint64_t wal_seq_ = 0;
+  uint64_t file_bytes_ = 0;
+};
+
+}  // namespace dspc
+
+#endif  // DSPC_PERSIST_SNAPSHOT_ARENA_H_

@@ -521,6 +521,63 @@ TEST(SpcServiceTest, MetricsBucketHelpers) {
   EXPECT_EQ(MetricsSnapshot::BatchBucket(5000), 7u);
 }
 
+TEST(SpcServiceTest, MetricsLatencyBucketsAndQuantiles) {
+  // Log buckets: [0, 256), [256, 512), [512, 1024), ... capped at the top.
+  EXPECT_EQ(MetricsSnapshot::LatencyBucket(0), 0u);
+  EXPECT_EQ(MetricsSnapshot::LatencyBucket(255), 0u);
+  EXPECT_EQ(MetricsSnapshot::LatencyBucket(256), 1u);
+  EXPECT_EQ(MetricsSnapshot::LatencyBucket(511), 1u);
+  EXPECT_EQ(MetricsSnapshot::LatencyBucket(512), 2u);
+  EXPECT_EQ(MetricsSnapshot::LatencyBucket(uint64_t{1} << 40),
+            MetricsSnapshot::kLatencyBuckets - 1);
+  EXPECT_EQ(MetricsSnapshot::LatencyBucketUpperNs(0), 256u);
+  EXPECT_EQ(MetricsSnapshot::LatencyBucketUpperNs(1), 512u);
+
+  ServiceMetrics metrics;
+  const auto mode = static_cast<size_t>(Consistency::kFresh);
+  // 99 fast reads (~1us) and one slow outlier (~100ms): the median must
+  // land in the microsecond bucket and the tail quantile in the top end.
+  for (int i = 0; i < 99; ++i) {
+    metrics.RecordReadLatency(Consistency::kFresh, 1000);
+  }
+  metrics.RecordReadLatency(Consistency::kFresh, 100'000'000);
+  const MetricsSnapshot snap = metrics.Snapshot();
+  EXPECT_EQ(snap.LatencySamples(mode), 100u);
+  EXPECT_EQ(snap.read_latency_sum_ns[mode], 99u * 1000u + 100'000'000u);
+  const uint64_t p50 = snap.ReadLatencyQuantileNs(mode, 0.50);
+  EXPECT_GE(p50, 512u);
+  EXPECT_LE(p50, 2048u);
+  const uint64_t p999 = snap.ReadLatencyQuantileNs(mode, 0.999);
+  EXPECT_GE(p999, 1u << 20);
+  // Untouched modes report zero.
+  EXPECT_EQ(snap.LatencySamples(static_cast<size_t>(Consistency::kSnapshot)),
+            0u);
+}
+
+TEST(SpcServiceTest, MetricsPrometheusExposition) {
+  ServiceMetrics metrics;
+  metrics.RecordRead(Consistency::kSnapshot, ServedFrom::kSnapshot,
+                     /*staleness=*/2, /*queries=*/1, /*batch=*/false);
+  metrics.RecordReadLatency(Consistency::kSnapshot, 5000);
+  metrics.RecordSnapshotPublish();
+  metrics.RecordRejected(Status::Code::kUnavailable);
+  const std::string text = metrics.Snapshot().PrometheusText();
+  EXPECT_NE(text.find("# TYPE dspc_queries_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("dspc_queries_total{mode=\"snapshot\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("dspc_snapshot_publishes_total 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE dspc_read_latency_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
+  EXPECT_NE(text.find("dspc_read_latency_seconds_count{mode=\"snapshot\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("dspc_rejected_total"), std::string::npos);
+  // Exposition format 0.0.4: every line is a comment or `name{labels} value`.
+  EXPECT_EQ(text.back(), '\n');
+}
+
 TEST(SpcServiceTest, MetricsCountServingOutcomes) {
   SpcService service(GenerateBarabasiAlbert(50, 2, 53), BackgroundOptions(8));
   ASSERT_TRUE(service.WaitForSnapshot({service.Generation()}).ok());

@@ -1,0 +1,153 @@
+// dspc_reader: a stateless read-only serving process over a snapshot
+// publish directory (DESIGN.md §14).
+//
+// Wraps MappedReaderService in a line protocol on stdin/stdout so the
+// multi-process integration test (tests/multiprocess_serving_test.cc)
+// — and a curious operator with a pipe — can drive real separate-process
+// readers:
+//
+//   q <s> <t>                  kSnapshot query
+//   mq <min_gen> <s> <t>       kSnapshot query with a min_generation floor
+//   bq <max_lag> <min_gen> <s> <t>
+//                              kBoundedStaleness query
+//     reply: a <generation> <staleness> <dist> <count>
+//            (dist = -1 for unreachable)
+//     error: e <status-code> <message...>
+//   refresh                    poll PUBSTATE, adopt a newer generation
+//     reply: ok <generation>   (or e ...)
+//   gen                        report serving state
+//     reply: gen <adopted> <publisher> <wal_seq>
+//   prom                       Prometheus exposition of the reader's
+//                              metrics, terminated by a lone "." line
+//   quit                       exit 0
+//
+// Every reply is a single line (except prom) flushed immediately, so a
+// parent process can pipeline commands without deadlocking.
+//
+// Usage: dspc_reader <publish-dir> [--owner=NAME] [--poll-ms=N] [--no-pins]
+
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "dspc/api/mapped_reader_service.h"
+#include "dspc/common/status.h"
+#include "dspc/common/types.h"
+
+namespace {
+
+using dspc::Consistency;
+using dspc::MappedReaderService;
+using dspc::ReadOptions;
+
+void ReplyError(const dspc::Status& st) {
+  std::cout << "e " << static_cast<int>(st.code()) << " " << st.message()
+            << "\n"
+            << std::flush;
+}
+
+void RunQuery(const MappedReaderService& reader, dspc::Vertex s,
+              dspc::Vertex t, const ReadOptions& options) {
+  auto resp = reader.Query(s, t, options);
+  if (!resp.ok()) {
+    ReplyError(resp.status());
+    return;
+  }
+  const long long dist = resp->result.dist == dspc::kInfDistance
+                             ? -1
+                             : static_cast<long long>(resp->result.dist);
+  std::cout << "a " << resp->generation << " " << resp->staleness << " "
+            << dist << " " << resp->result.count << "\n"
+            << std::flush;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir;
+  dspc::MappedReaderOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--owner=", 0) == 0) {
+      options.pin_owner = arg.substr(8);
+    } else if (arg.rfind("--poll-ms=", 0) == 0) {
+      options.poll_interval =
+          std::chrono::milliseconds(std::stol(arg.substr(10)));
+    } else if (arg == "--no-pins") {
+      options.write_pins = false;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    } else if (dir.empty()) {
+      dir = arg;
+    } else {
+      std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (dir.empty()) {
+    std::fprintf(
+        stderr,
+        "usage: dspc_reader <publish-dir> [--owner=NAME] [--poll-ms=N] "
+        "[--no-pins]\n");
+    return 2;
+  }
+
+  auto reader = MappedReaderService::Open(dir, std::move(options));
+  if (!reader.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 reader.status().ToString().c_str());
+    return 1;
+  }
+  // The parent knows the reader is serving when this line appears.
+  std::cout << "ready " << (*reader)->Generation() << "\n" << std::flush;
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd.empty()) continue;
+    if (cmd == "quit") break;
+    if (cmd == "q") {
+      dspc::Vertex s = 0, t = 0;
+      in >> s >> t;
+      RunQuery(**reader, s, t,
+               {.consistency = Consistency::kSnapshot});
+    } else if (cmd == "mq") {
+      uint64_t min_gen = 0;
+      dspc::Vertex s = 0, t = 0;
+      in >> min_gen >> s >> t;
+      RunQuery(**reader, s, t,
+               {.consistency = Consistency::kSnapshot,
+                .min_generation = min_gen});
+    } else if (cmd == "bq") {
+      uint64_t max_lag = 0, min_gen = 0;
+      dspc::Vertex s = 0, t = 0;
+      in >> max_lag >> min_gen >> s >> t;
+      RunQuery(**reader, s, t,
+               {.consistency = Consistency::kBoundedStaleness,
+                .max_lag = max_lag,
+                .min_generation = min_gen});
+    } else if (cmd == "refresh") {
+      if (dspc::Status st = (*reader)->Refresh(); !st.ok()) {
+        ReplyError(st);
+      } else {
+        std::cout << "ok " << (*reader)->Generation() << "\n" << std::flush;
+      }
+    } else if (cmd == "gen") {
+      std::cout << "gen " << (*reader)->Generation() << " "
+                << (*reader)->PublisherGeneration() << " "
+                << (*reader)->WalSeq() << "\n"
+                << std::flush;
+    } else if (cmd == "prom") {
+      std::cout << (*reader)->Metrics().PrometheusText() << ".\n"
+                << std::flush;
+    } else {
+      std::cout << "e 3 unknown command: " << cmd << "\n" << std::flush;
+    }
+  }
+  return 0;
+}
