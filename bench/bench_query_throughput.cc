@@ -4,14 +4,17 @@
 // (1/4/16 vertex-range shards) quantifying what the sharded serving
 // layout costs the query path, and facade-vs-SpcService rows pricing the
 // typed serving API (validation + consistency routing, DESIGN.md §9)
-// against direct facade calls. Emits a human table on stdout and
-// machine-readable JSON (BENCH_query_throughput.json, override with
-// argv[1]) for the repo's benchmark trajectory.
+// against direct facade calls. Two performance-layer sweeps ride along
+// (DESIGN.md §15): a merge-kernel tier sweep (scalar / SWAR / AVX2, each
+// forced explicitly, on full queries and on a synthetic tail-only
+// intersection) and a hot-pair-cache row measured under Zipf-skewed
+// pairs regardless of --query-dist, so the checked-in JSON always
+// carries the cache hit rate skewed traffic would see. Emits a human
+// table on stdout and machine-readable JSON (BENCH_query_throughput.json,
+// override with argv[1]) for the repo's benchmark trajectory.
 
 #include <algorithm>
-#include <cmath>
 #include <cstdio>
-#include <numeric>
 #include <string>
 #include <thread>
 #include <utility>
@@ -19,13 +22,16 @@
 
 #include "bench_util.h"
 #include "dspc/api/spc_service.h"
+#include "dspc/common/label_codec.h"
 #include "dspc/common/rng.h"
 #include "dspc/common/stopwatch.h"
 #include "dspc/core/dynamic_spc.h"
 #include "dspc/core/flat_spc_index.h"
 #include "dspc/core/hp_spc.h"
+#include "dspc/core/merge_kernel.h"
 #include "dspc/core/parallel_build.h"
 #include "dspc/graph/generators.h"
+#include "dspc/graph/zipf_sampler.h"
 
 namespace {
 
@@ -44,43 +50,44 @@ double MeasureQps(size_t queries, int reps, Fn&& driver) {
   return best;
 }
 
-/// Zipf(s) sampler over the graph's vertices, hottest id = highest
-/// degree: P(rank i) proportional to 1/(i+1)^s, so real-workload skew
-/// (a few celebrity endpoints, a long cold tail) hits the arena's dense
-/// hub directory the way production traffic would. Exact inverse-CDF
-/// sampling — the table is n doubles, built once.
-class ZipfVertexSampler {
- public:
-  ZipfVertexSampler(const Graph& graph, double s) {
-    const size_t n = graph.NumVertices();
-    by_rank_.resize(n);
-    std::iota(by_rank_.begin(), by_rank_.end(), Vertex{0});
-    std::sort(by_rank_.begin(), by_rank_.end(), [&](Vertex a, Vertex b) {
-      const size_t da = graph.Degree(a), db = graph.Degree(b);
-      return da != db ? da > db : a < b;
-    });
-    cdf_.resize(n);
-    double acc = 0.0;
-    for (size_t i = 0; i < n; ++i) {
-      acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
-      cdf_[i] = acc;
+// ZipfVertexSampler moved to dspc/graph/zipf_sampler.h (PR 10) so its
+// inverse CDF is unit-tested instead of shipping untested in a bench.
+
+/// Synthetic tail-only intersection workload for the per-tier merge
+/// kernels: two packed word ranges shaped like the low-rank tail the
+/// dense directory does NOT absorb (hubs >= 512), with a controlled
+/// overlap. Isolates the kernel the tier sweep is about — full queries
+/// dilute it behind the bitmap-AND dense part.
+struct TailWorkload {
+  std::vector<uint64_t> a;
+  std::vector<uint64_t> b;
+
+  TailWorkload(size_t per_side, double overlap, Rng& rng) {
+    std::vector<Rank> hubs_a;
+    std::vector<Rank> hubs_b;
+    Rank hub = 512;
+    for (size_t i = 0; i < per_side; ++i) {
+      hub += 1 + static_cast<Rank>(rng.NextBounded(7));
+      hubs_a.push_back(hub);
+      if (rng.NextDouble() < overlap) {
+        hubs_b.push_back(hub);
+      } else {
+        // Non-matching b hubs land either just past the a hub or far
+        // away (bimodal), so the kernel sees both dense interleaving
+        // and window-skip stretches. The +1 keeps them non-matching.
+        hubs_b.push_back(hub + 1u +
+                         (rng.NextBounded(2) != 0 ? 1u : 0u) * 4096u);
+      }
     }
-    total_ = acc;
+    std::sort(hubs_b.begin(), hubs_b.end());
+    hubs_b.erase(std::unique(hubs_b.begin(), hubs_b.end()), hubs_b.end());
+    for (const Rank h : hubs_a) {
+      a.push_back(PackLabel(h, 1 + h % 6, 1 + h % 9));
+    }
+    for (const Rank h : hubs_b) {
+      b.push_back(PackLabel(h, 1 + h % 5, 1 + h % 7));
+    }
   }
-
-  Vertex Sample(Rng& rng) {
-    // 53-bit mantissa uniform in [0, total).
-    const double u =
-        static_cast<double>(rng.Next() >> 11) * 0x1.0p-53 * total_;
-    const size_t i = static_cast<size_t>(
-        std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
-    return by_rank_[i < by_rank_.size() ? i : by_rank_.size() - 1];
-  }
-
- private:
-  std::vector<Vertex> by_rank_;
-  std::vector<double> cdf_;
-  double total_ = 1.0;
 };
 
 }  // namespace
@@ -207,6 +214,50 @@ int main(int argc, char** argv) {
     }
   });
 
+  // Merge-kernel tier sweep (DESIGN.md §15): every tier forced
+  // explicitly — not just whatever the host dispatches — on (a) the full
+  // flat single-query driver and (b) a synthetic tail-only intersection
+  // that isolates the kernel from the dense bitmap part. Unsupported
+  // tiers (AVX2 on older hosts) report supported=false and no numbers.
+  struct KernelRow {
+    MergeKernelTier tier;
+    bool supported;
+    double flat_qps;
+    double tail_merges_per_sec;
+  };
+  std::vector<KernelRow> kernel_sweep;
+  {
+    Rng tail_rng(19);
+    const TailWorkload tail(192, 0.25, tail_rng);
+    const size_t tail_reps = 200000 * f;
+    for (const MergeKernelTier tier :
+         {MergeKernelTier::kScalar, MergeKernelTier::kSwar,
+          MergeKernelTier::kAvx2}) {
+      KernelRow row{tier, false, 0.0, 0.0};
+      if (MergeKernelTierSupported(tier) && SetMergeKernelTier(tier)) {
+        row.supported = true;
+        row.flat_qps = MeasureQps(queries, reps, [&] {
+          for (const auto& [s, t] : pairs) {
+            const SpcResult r = flat.Query(s, t);
+            sink += r.dist + r.count;
+          }
+        });
+        const PackedMergeFn kernel = PackedMergeForTier(tier);
+        row.tail_merges_per_sec = MeasureQps(tail_reps, reps, [&] {
+          for (size_t i = 0; i < tail_reps; ++i) {
+            SpcResult r;
+            kernel(tail.a.data(), tail.a.data() + tail.a.size(), nullptr,
+                   tail.b.data(), tail.b.data() + tail.b.size(), nullptr,
+                   &r);
+            sink += r.dist + r.count;
+          }
+        });
+      }
+      kernel_sweep.push_back(row);
+    }
+    ResetMergeKernelTier();  // headline rows ran at the auto tier
+  }
+
   std::vector<SpcResult> batch_out(pairs.size());
   const double batch_qps = MeasureQps(queries, reps, [&] {
     flat.QueryMany(pairs, batch_out.data());
@@ -294,6 +345,58 @@ int main(int argc, char** argv) {
     }
   });
 
+  // Hot-pair cache row (DESIGN.md §15): always measured under
+  // Zipf-skewed pairs — even when the headline rows ran uniform — so the
+  // checked-in JSON carries the hit rate skewed production traffic would
+  // see. Snapshot-consistency single reads, cache on vs off, answers
+  // cross-checked against the raw index.
+  const double cache_zipf_s = zipf_s > 0.0 ? zipf_s : 1.1;
+  std::vector<VertexPair> zipf_pairs(queries);
+  {
+    ZipfVertexSampler zipf(graph, cache_zipf_s);
+    Rng zipf_rng(11);
+    for (auto& p : zipf_pairs) {
+      p.first = zipf.Sample(zipf_rng);
+      p.second = zipf.Sample(zipf_rng);
+    }
+  }
+  DynamicSpcOptions cached_options = facade_options;
+  cached_options.pair_cache.enabled = true;
+  cached_options.pair_cache.capacity = 1 << 16;
+  SpcService cached_service(graph, index, cached_options);
+  ReadOptions snap_read;
+  snap_read.consistency = Consistency::kSnapshot;
+  size_t cache_mismatches = 0;
+  for (size_t i = 0; i < zipf_pairs.size(); i += 97) {
+    const auto resp =
+        cached_service.Query(zipf_pairs[i].first, zipf_pairs[i].second,
+                             snap_read);
+    if (!resp.ok() ||
+        !(resp->result ==
+          index.Query(zipf_pairs[i].first, zipf_pairs[i].second))) {
+      ++cache_mismatches;
+    }
+  }
+  const double uncached_single_qps = MeasureQps(queries, reps, [&] {
+    for (const auto& [s, t] : zipf_pairs) {
+      const auto resp = service.Query(s, t, snap_read);
+      sink += resp.ok() ? resp->result.dist + resp->result.count : 0;
+    }
+  });
+  const double cached_single_qps = MeasureQps(queries, reps, [&] {
+    for (const auto& [s, t] : zipf_pairs) {
+      const auto resp = cached_service.Query(s, t, snap_read);
+      sink += resp.ok() ? resp->result.dist + resp->result.count : 0;
+    }
+  });
+  const MetricsSnapshot cache_metrics = cached_service.Metrics();
+  const uint64_t cache_lookups =
+      cache_metrics.pair_cache_hits + cache_metrics.pair_cache_misses;
+  const double cache_hit_rate =
+      cache_lookups != 0 ? static_cast<double>(cache_metrics.pair_cache_hits) /
+                               static_cast<double>(cache_lookups)
+                         : 0.0;
+
   // Sanity: the drivers must agree on the whole query set.
   size_t mismatches = 0;
   for (size_t i = 0; i < pairs.size(); ++i) {
@@ -328,6 +431,41 @@ int main(int argc, char** argv) {
                 "sharded arena", row.shards, row.flat_qps,
                 row.flat_qps / legacy_qps, row.batch_qps, row.parallel_qps);
   }
+
+  const double scalar_tail = kernel_sweep[0].tail_merges_per_sec;
+  const double scalar_flat = kernel_sweep[0].flat_qps;
+  std::printf("\n%-22s %14s %10s %14s %10s\n", "merge kernel",
+              "queries/s", "speedup", "tail merges/s", "speedup");
+  bench::PrintRule(5);
+  for (const KernelRow& row : kernel_sweep) {
+    if (!row.supported) {
+      std::printf("%-22s %14s\n", MergeKernelTierName(row.tier),
+                  "(unsupported)");
+      continue;
+    }
+    std::printf("%-22s %14.0f %9.2fx %14.0f %9.2fx\n",
+                MergeKernelTierName(row.tier), row.flat_qps,
+                scalar_flat > 0.0 ? row.flat_qps / scalar_flat : 0.0,
+                row.tail_merges_per_sec,
+                scalar_tail > 0.0 ? row.tail_merges_per_sec / scalar_tail
+                                  : 0.0);
+  }
+  std::printf("(active tier: %s)\n",
+              MergeKernelTierName(ActiveMergeKernelTier()));
+
+  std::printf("\n%-22s %14s %10s\n", "pair cache (zipf)", "queries/s",
+              "speedup");
+  bench::PrintRule(4);
+  std::printf("%-22s %14.0f %9.2fx\n", "service single (off)",
+              uncached_single_qps, 1.0);
+  std::printf("%-22s %14.0f %9.2fx  (hit rate %.1f%%, evictions %llu)\n",
+              "service single (on)", cached_single_qps,
+              uncached_single_qps > 0.0
+                  ? cached_single_qps / uncached_single_qps
+                  : 0.0,
+              100.0 * cache_hit_rate,
+              static_cast<unsigned long long>(
+                  cache_metrics.pair_cache_evictions));
   const unsigned hardware_threads = std::thread::hardware_concurrency();
   std::printf("\n%-22s %14s %10s\n", "build threads", "seconds", "speedup");
   bench::PrintRule(4);
@@ -338,8 +476,9 @@ int main(int argc, char** argv) {
   std::printf("(hardware threads: %u; parallel builds label-identical: %s)\n",
               hardware_threads, build_mismatches == 0 ? "yes" : "NO");
 
-  std::printf("\nequivalence: %zu mismatches on %zu queries (sink %llu)\n",
-              mismatches, queries,
+  std::printf("\nequivalence: %zu mismatches on %zu queries, %zu cached-read "
+              "mismatches (sink %llu)\n",
+              mismatches, queries, cache_mismatches,
               static_cast<unsigned long long>(sink));
 
   // The SLO counter surface the service accumulated over the runs above
@@ -411,8 +550,44 @@ int main(int argc, char** argv) {
                  i == 0 ? "" : ",", row.shards, row.effective, row.flat_qps,
                  row.batch_qps, row.parallel_qps);
   }
-  std::fprintf(json, "  ]\n}\n");
+  std::fprintf(json,
+               "  ],\n"
+               "  \"kernel_tier_sweep\": [\n");
+  for (size_t i = 0; i < kernel_sweep.size(); ++i) {
+    const KernelRow& row = kernel_sweep[i];
+    std::fprintf(
+        json,
+        "    %s{\"tier\": \"%s\", \"supported\": %s, \"flat_qps\": %.0f, "
+        "\"tail_merges_per_sec\": %.0f, \"tail_speedup_vs_scalar\": %.3f}\n",
+        i == 0 ? "" : ",", MergeKernelTierName(row.tier),
+        row.supported ? "true" : "false", row.flat_qps,
+        row.tail_merges_per_sec,
+        row.supported && scalar_tail > 0.0
+            ? row.tail_merges_per_sec / scalar_tail
+            : 0.0);
+  }
+  std::fprintf(
+      json,
+      "  ],\n"
+      "  \"pair_cache\": {\"zipf_s\": %.3f, \"capacity\": %zu, "
+      "\"hits\": %llu, \"misses\": %llu, \"hit_rate\": %.4f,\n"
+      "                 \"insertions\": %llu, \"evictions\": %llu, "
+      "\"cached_single_qps\": %.0f, \"uncached_single_qps\": %.0f,\n"
+      "                 \"speedup\": %.3f, \"mismatches\": %zu}\n"
+      "}\n",
+      cache_zipf_s, static_cast<size_t>(cached_options.pair_cache.capacity),
+      static_cast<unsigned long long>(cache_metrics.pair_cache_hits),
+      static_cast<unsigned long long>(cache_metrics.pair_cache_misses),
+      cache_hit_rate,
+      static_cast<unsigned long long>(cache_metrics.pair_cache_insertions),
+      static_cast<unsigned long long>(cache_metrics.pair_cache_evictions),
+      cached_single_qps, uncached_single_qps,
+      uncached_single_qps > 0.0 ? cached_single_qps / uncached_single_qps
+                                : 0.0,
+      cache_mismatches);
   std::fclose(json);
   std::printf("wrote %s\n", json_path.c_str());
-  return mismatches == 0 && build_mismatches == 0 ? 0 : 1;
+  return mismatches == 0 && build_mismatches == 0 && cache_mismatches == 0
+             ? 0
+             : 1;
 }

@@ -179,6 +179,19 @@ std::string MetricsSnapshot::ToString() const {
                 repl_reconnects, repl_backoff_sleeps, repl_rebootstraps,
                 repl_failovers, replica_applied_generation, replica_lag);
   out += buf;
+
+  const uint64_t pair_cache_lookups = pair_cache_hits + pair_cache_misses;
+  std::snprintf(buf, sizeof(buf),
+                "  pair_cache: hits=%" PRIu64 " misses=%" PRIu64
+                " (hit %.1f%%) insertions=%" PRIu64 " evictions=%" PRIu64
+                "\n",
+                pair_cache_hits, pair_cache_misses,
+                pair_cache_lookups != 0
+                    ? 100.0 * static_cast<double>(pair_cache_hits) /
+                          static_cast<double>(pair_cache_lookups)
+                    : 0.0,
+                pair_cache_insertions, pair_cache_evictions);
+  out += buf;
   return out;
 }
 
@@ -360,6 +373,17 @@ std::string MetricsSnapshot::PrometheusText() const {
             "Generation the replica serves.", replica_applied_generation);
   PromGauge(&out, "dspc_replica_lag_generations",
             "Primary durable generation minus applied.", replica_lag);
+
+  PromCounter(&out, "dspc_pair_cache_lookups_total",
+              "Hot-pair cache lookups by outcome.", pair_cache_hits,
+              "{outcome=\"hit\"}");
+  PromCounter(&out, "dspc_pair_cache_lookups_total", nullptr,
+              pair_cache_misses, "{outcome=\"miss\"}");
+  PromCounter(&out, "dspc_pair_cache_insertions_total",
+              "Hot-pair cache entries written.", pair_cache_insertions);
+  PromCounter(&out, "dspc_pair_cache_evictions_total",
+              "Live same-generation entries displaced.",
+              pair_cache_evictions);
   return out;
 }
 

@@ -138,6 +138,15 @@ struct MetricsSnapshot {
   uint64_t replica_applied_generation = 0;  ///< generation the replica serves
   uint64_t replica_lag = 0;  ///< primary durable generation minus applied
 
+  // --- hot-pair cache (core/pair_cache.h, DESIGN.md §15; all zero unless
+  // DynamicSpcOptions::pair_cache.enabled). Filled in by
+  // SpcService::Metrics() from the cache's own counters — the same
+  // overlay pattern as the replica gauges above. ---------------------------
+  uint64_t pair_cache_hits = 0;        ///< exact-generation lookup hits
+  uint64_t pair_cache_misses = 0;      ///< lookups that computed + cached
+  uint64_t pair_cache_insertions = 0;  ///< entries written (incl. upserts)
+  uint64_t pair_cache_evictions = 0;   ///< live same-generation displacements
+
   /// Served queries across all modes (equals the staleness histogram's
   /// total population).
   uint64_t TotalQueries() const {

@@ -89,11 +89,19 @@ bool SampleReadLatency() {
 }  // namespace
 
 SpcService::SpcService(Graph graph, const DynamicSpcOptions& options)
-    : engine_(std::move(graph), options) {}
+    : engine_(std::move(graph), options) {
+  if (engine_.options().pair_cache.enabled) {
+    pair_cache_ = std::make_unique<PairCache>(engine_.options().pair_cache);
+  }
+}
 
 SpcService::SpcService(Graph graph, SpcIndex index,
                        const DynamicSpcOptions& options)
-    : engine_(std::move(graph), std::move(index), options) {}
+    : engine_(std::move(graph), std::move(index), options) {
+  if (engine_.options().pair_cache.enabled) {
+    pair_cache_ = std::make_unique<PairCache>(engine_.options().pair_cache);
+  }
+}
 
 SpcService::~SpcService() {
   if (fs_ == nullptr) return;
@@ -422,6 +430,22 @@ StatusOr<QueryResponse> SpcService::Query(Vertex s, Vertex t,
         generation > pin.generation ? generation - pin.generation : 0;
     metrics_.RecordRead(options.consistency, ServedFrom::kSnapshot,
                         staleness, 1, false);
+    // Hot-pair cache (DESIGN.md §15): keyed by the generation of the
+    // snapshot that is ABOUT to serve this read, so a hit is by
+    // construction the exact answer that snapshot would compute —
+    // min_generation / token semantics were already enforced by
+    // RouteRead when it picked the pin. A miss computes and caches.
+    if (pair_cache_ != nullptr) {
+      SpcResult cached;
+      if (!pair_cache_->Lookup(s, t, pin.generation, &cached)) {
+        cached = pin->Query(s, t);
+        pair_cache_->Insert(s, t, pin.generation, cached);
+      }
+      StatusOr<QueryResponse> out(std::in_place, cached, pin.generation,
+                                  staleness, ServedFrom::kSnapshot);
+      timer.Finish(&metrics_, options.consistency);
+      return out;
+    }
     StatusOr<QueryResponse> out(std::in_place, pin->Query(s, t),
                                 pin.generation, staleness,
                                 ServedFrom::kSnapshot);
@@ -483,6 +507,11 @@ StatusOr<BatchQueryResponse> SpcService::QueryBatch(
   const bool timed = options.timeout >= std::chrono::nanoseconds::zero();
   StatusOr<BatchQueryResponse> out(std::in_place);
   if (pin) {
+    // Batches bypass the pair cache deliberately: the parallel fan-out
+    // below would serialize on the cache's shard locks, and batch
+    // traffic has none of the single-read repetition the cache exists
+    // for.
+    //
     // Snapshot-served batches hold no lock, so queueing on the shared
     // pool's serialized regions can only delay them, never stall a
     // writer or void the deadline contract (which bounds the
@@ -992,6 +1021,21 @@ Status SpcService::WaitForSnapshot(WriteToken token,
     return WaitForSnapshotUntil(token, /*timed=*/false, {});
   }
   return WaitForSnapshotUntil(token, /*timed=*/true, DeadlineFor(timeout));
+}
+
+MetricsSnapshot SpcService::Metrics() const {
+  MetricsSnapshot snap = metrics_.Snapshot();
+  // Pair-cache counters live in the cache itself (its shard locks
+  // already serialize them); fold them into the snapshot here, the same
+  // overlay pattern the replica gauges use.
+  if (pair_cache_ != nullptr) {
+    const PairCache::Stats stats = pair_cache_->StatsSnapshot();
+    snap.pair_cache_hits = stats.hits;
+    snap.pair_cache_misses = stats.misses;
+    snap.pair_cache_insertions = stats.insertions;
+    snap.pair_cache_evictions = stats.evictions;
+  }
+  return snap;
 }
 
 }  // namespace dspc

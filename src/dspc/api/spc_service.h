@@ -78,6 +78,7 @@
 #include "dspc/common/types.h"
 #include "dspc/core/dynamic_spc.h"
 #include "dspc/core/flat_spc_index.h"
+#include "dspc/core/pair_cache.h"
 #include "dspc/core/update_stats.h"
 #include "dspc/graph/graph.h"
 #include "dspc/graph/update_stream.h"
@@ -457,8 +458,10 @@ class SpcService {
   /// misses, rejections, batch sizes, per-update write outcomes — the
   /// freshness-SLO surface (DESIGN.md §10). Monotone; diff two snapshots
   /// for a rate window, ToString() for a text dump. Thread-safe and
-  /// cheap enough to scrape in a tight monitoring loop.
-  MetricsSnapshot Metrics() const { return metrics_.Snapshot(); }
+  /// cheap enough to scrape in a tight monitoring loop. When the hot-pair
+  /// cache is enabled (DynamicSpcOptions::pair_cache, DESIGN.md §15) its
+  /// hit/miss/insert/evict counters are folded into the snapshot.
+  MetricsSnapshot Metrics() const;
 
   /// The underlying engine, for tooling that needs the raw surface
   /// (graph access, snapshot counters, benches). The engine's documented
@@ -551,6 +554,12 @@ class SpcService {
   /// Aggregate counters (Metrics()); mutable because recording a read is
   /// not a logical mutation of the service.
   mutable ServiceMetrics metrics_;
+
+  /// Hot-pair result cache (null unless options.pair_cache.enabled).
+  /// Consulted only on snapshot-served single reads; mutable for the
+  /// same reason as metrics_ — caching a result is not a logical
+  /// mutation of the service.
+  mutable std::unique_ptr<PairCache> pair_cache_;
 
   FileSystem* fs_ = nullptr;           ///< null ⇔ non-durable
   DurabilityOptions dur_options_;

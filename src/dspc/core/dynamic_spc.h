@@ -48,6 +48,7 @@
 #include "dspc/core/dec_spc.h"
 #include "dspc/core/flat_spc_index.h"
 #include "dspc/core/inc_spc.h"
+#include "dspc/core/pair_cache.h"
 #include "dspc/core/parallel_build.h"
 #include "dspc/core/snapshot_manager.h"
 #include "dspc/core/spc_index.h"
@@ -157,6 +158,13 @@ struct DynamicSpcOptions {
   /// worker pool (kParallelBuildMinVertices) and stays sequential below.
   /// The result is label-identical to the sequential builder either way.
   ParallelBuildOptions build;
+
+  /// Hot-pair result cache consulted by the service layer on
+  /// snapshot-served reads (api/spc_service.h, DESIGN.md §15). The
+  /// engine itself ignores it; it rides these options so every
+  /// SpcService entry point — constructors, Open, OpenWithState — picks
+  /// it up without a signature change.
+  PairCacheOptions pair_cache;
 };
 
 /// A dynamic shortest-path-counting index over an owned graph.

@@ -8,6 +8,7 @@
 #include "dspc/common/binary_io.h"
 #include "dspc/common/label_codec.h"
 #include "dspc/common/thread_pool.h"
+#include "dspc/core/merge_kernel.h"
 
 namespace dspc {
 
@@ -376,31 +377,22 @@ SpcResult FlatSpcIndex::QueryPacked(const PackedSide& A, const PackedSide& B,
     if (limit < kDenseRanks) return result;  // tail hubs all >= limit
   }
 
-  // Tail part: classic merge over the short low-rank remainder.
+  // Tail part: intersection over the short low-rank remainder, routed
+  // through the tiered merge kernel (scalar / SWAR / AVX2 — see
+  // core/merge_kernel.h). A rank limit is applied by truncating both
+  // ranges at the first >=limit word: hubs ascend, so every match below
+  // the limit precedes the truncation point on both sides and the
+  // unlimited kernel finds exactly the match set the historical in-loop
+  // break did.
   const uint64_t* a = A.arena + A.dense_end;
-  const uint64_t* const ae = A.arena + A.hi;
+  const uint64_t* ae = A.arena + A.hi;
   const uint64_t* b = B.arena + B.dense_end;
-  const uint64_t* const be = B.arena + B.hi;
-  while (a != ae && b != be) {
-    const uint64_t wa = *a;
-    const uint64_t wb = *b;
-    const uint64_t ha = wa >> kFlatHubShift;
-    const uint64_t hb = wb >> kFlatHubShift;
-    if constexpr (kLimited) {
-      if (ha >= limit || hb >= limit) break;
-    }
-    if (ha == hb) {
-      accumulate(wa, wb);
-      ++a;
-      ++b;
-    } else {
-      // Branchless advance: which side moves is data-dependent and
-      // unpredictable, so turn the mispredicted branch into two flag
-      // additions (matches stay a — rare — branch).
-      a += ha < hb;
-      b += hb < ha;
-    }
+  const uint64_t* be = B.arena + B.hi;
+  if constexpr (kLimited) {
+    ae = PackedLowerBound(a, ae, limit);
+    be = PackedLowerBound(b, be, limit);
   }
+  MergePackedTail(a, ae, A.overflow, b, be, B.overflow, &result);
   return result;
 }
 
@@ -412,29 +404,16 @@ SpcResult FlatSpcIndex::QueryWide(Vertex s, Vertex t, Rank limit) const {
   const size_t ls = s - sa.begin;
   const size_t lt = t - sb.begin;
   const LabelEntry* a = sa.wide_entries.data() + sa.offsets[ls];
-  const LabelEntry* const ae = sa.wide_entries.data() + sa.offsets[ls + 1];
+  const LabelEntry* ae = sa.wide_entries.data() + sa.offsets[ls + 1];
   const LabelEntry* b = sb.wide_entries.data() + sb.offsets[lt];
-  const LabelEntry* const be = sb.wide_entries.data() + sb.offsets[lt + 1];
-  while (a != ae && b != be) {
-    if constexpr (kLimited) {
-      if (a->hub >= limit || b->hub >= limit) break;
-    }
-    if (a->hub < b->hub) {
-      ++a;
-    } else if (a->hub > b->hub) {
-      ++b;
-    } else {
-      const Distance d = a->dist + b->dist;
-      if (d < result.dist) {
-        result.dist = d;
-        result.count = a->count * b->count;
-      } else if (d == result.dist) {
-        result.count += a->count * b->count;
-      }
-      ++a;
-      ++b;
-    }
+  const LabelEntry* be = sb.wide_entries.data() + sb.offsets[lt + 1];
+  if constexpr (kLimited) {
+    // Truncate-at-limit is equivalent to the in-loop break; see the
+    // packed tail above.
+    ae = WideLowerBound(a, ae, limit);
+    be = WideLowerBound(b, be, limit);
   }
+  MergeWide(a, ae, b, be, &result);
   return result;
 }
 

@@ -1,0 +1,171 @@
+// Runtime-dispatched merge kernels for the label-intersection hot loop
+// (DESIGN.md §15).
+//
+// The tail of every flat query is an intersection of two hub-sorted
+// ranges — packed 64-bit arena words (hub in the top 25 bits, see
+// label_codec.h) in flat mode, 16-byte LabelEntry structs in wide mode —
+// accumulating min-distance + path-count products into an SpcResult.
+// Because the accumulation is order-independent (the minimum of sums and
+// a modular uint64 sum of products over the min-achievers), ANY traversal
+// order over the same match set produces bit-identical {dist, count}.
+// That freedom is what the vector tiers exploit, and what the
+// differential harness (tests/merge_kernel_test.cc) verifies.
+//
+// Three tiers, selected once per process:
+//   kScalar  the classic two-pointer merge (the PR 1 loop, reference tier)
+//   kSwar    portable 64-bit SWAR broadcast-window: four b hubs packed
+//            two per word in 32-bit lanes, each a hub broadcast against
+//            the window with the has-zero-lane trick
+//   kAvx2    broadcast-window with eight b hubs as 32-bit vector lanes
+//            (vpcmpeqd + movemask per a hub), compiled with a
+//            target("avx2") attribute so the baseline -march=x86-64-v2
+//            build still runs everywhere, and only dispatched when
+//            __builtin_cpu_supports("avx2")
+//
+// Both vector tiers fall back to per-element galloping (exponential +
+// binary search) when one side is lopsidedly longer, to the scalar loop
+// below a minimum tail length, and to the scalar loop for the sub-window
+// remainder.
+//
+// Pinning a tier (every CI configuration pins one):
+//   env  DSPC_FORCE_SCALAR_KERNEL=1   scalar everywhere, beats all others
+//   env  DSPC_MERGE_KERNEL=scalar|swar|avx2   clamped to what the host has
+//   code ConfigureQueryKernel({.max_tier = ...}) / SetMergeKernelTier(...)
+
+#ifndef DSPC_CORE_MERGE_KERNEL_H_
+#define DSPC_CORE_MERGE_KERNEL_H_
+
+#include <cstdint>
+
+#include "dspc/baseline/bfs_counting.h"
+#include "dspc/common/types.h"
+#include "dspc/core/spc_index.h"
+
+namespace dspc {
+
+/// Kernel tiers, ordered: a numerically larger tier is never selected
+/// unless the host supports it.
+enum class MergeKernelTier : unsigned char {
+  kScalar = 0,
+  kSwar = 1,
+  kAvx2 = 2,
+};
+
+/// Human-readable tier name ("scalar" / "swar" / "avx2").
+const char* MergeKernelTierName(MergeKernelTier tier);
+
+/// True iff this host can execute `tier`. kScalar and kSwar are always
+/// supported; kAvx2 requires a runtime CPUID check on x86-64.
+bool MergeKernelTierSupported(MergeKernelTier tier);
+
+/// The highest tier this host supports.
+MergeKernelTier MaxMergeKernelTier();
+
+/// The tier queries currently dispatch to, after env knobs and any
+/// programmatic override.
+MergeKernelTier ActiveMergeKernelTier();
+
+/// Pins the dispatch tier. Returns false (and changes nothing) if the
+/// tier is unsupported on this host or DSPC_FORCE_SCALAR_KERNEL is set
+/// and `tier` is not kScalar — the env pin is the CI override of last
+/// resort and always wins.
+bool SetMergeKernelTier(MergeKernelTier tier);
+
+/// Drops any programmatic pin; dispatch reverts to env/auto selection.
+void ResetMergeKernelTier();
+
+/// Process-wide query-kernel configuration — the programmatic twin of the
+/// env knobs. `max_tier` caps dispatch at the given tier (clamped to what
+/// the host supports).
+struct QueryOptions {
+  MergeKernelTier max_tier = MergeKernelTier::kAvx2;
+};
+
+/// Applies `options`: equivalent to SetMergeKernelTier(min(max_tier,
+/// MaxMergeKernelTier())), except a force-scalar env still wins.
+void ConfigureQueryKernel(const QueryOptions& options);
+
+// --- per-tier kernels (exposed for the differential harness) ---------------
+//
+// Packed kernels intersect two hub-ascending half-open ranges of flat
+// arena words [a, ae) and [b, be); overflow-reference words are chased
+// through the per-side overflow tables. Matches accumulate into *result
+// (which the caller seeds — typically with the dense-directory part).
+// Preconditions: hubs strictly ascending within each range (the arena
+// validator enforces this), and any rank limit already applied by
+// truncating the ranges with PackedLowerBound (see below for why that is
+// equivalent to the historical in-loop limit break).
+
+void MergePackedTailScalar(const uint64_t* a, const uint64_t* ae,
+                           const LabelEntry* a_overflow, const uint64_t* b,
+                           const uint64_t* be, const LabelEntry* b_overflow,
+                           SpcResult* result);
+void MergePackedTailSwar(const uint64_t* a, const uint64_t* ae,
+                         const LabelEntry* a_overflow, const uint64_t* b,
+                         const uint64_t* be, const LabelEntry* b_overflow,
+                         SpcResult* result);
+void MergePackedTailAvx2(const uint64_t* a, const uint64_t* ae,
+                         const LabelEntry* a_overflow, const uint64_t* b,
+                         const uint64_t* be, const LabelEntry* b_overflow,
+                         SpcResult* result);
+
+// Wide kernels intersect two hub-ascending LabelEntry ranges (the
+// >2^25-vertex fallback mode). kScalar dispatches to MergeWideScalar,
+// both vector tiers to MergeWideBlocked (no lane tricks pay off on
+// 16-byte entries; blocking + prefetch still do).
+
+void MergeWideScalar(const LabelEntry* a, const LabelEntry* ae,
+                     const LabelEntry* b, const LabelEntry* be,
+                     SpcResult* result);
+void MergeWideBlocked(const LabelEntry* a, const LabelEntry* ae,
+                      const LabelEntry* b, const LabelEntry* be,
+                      SpcResult* result);
+
+/// Function-pointer accessors so the harness can force a tier per call
+/// without touching the process-wide dispatch state.
+using PackedMergeFn = void (*)(const uint64_t*, const uint64_t*,
+                               const LabelEntry*, const uint64_t*,
+                               const uint64_t*, const LabelEntry*, SpcResult*);
+using WideMergeFn = void (*)(const LabelEntry*, const LabelEntry*,
+                             const LabelEntry*, const LabelEntry*, SpcResult*);
+PackedMergeFn PackedMergeForTier(MergeKernelTier tier);
+WideMergeFn WideMergeForTier(MergeKernelTier tier);
+
+/// First word in [first, last) whose hub rank is >= limit. Rank-limited
+/// queries (PreQuery) truncate both ranges here and then run the
+/// unlimited kernel: because hubs ascend, every match below the limit
+/// precedes the first >=limit word on both sides, so truncation finds
+/// exactly the match set the historical in-loop `hub >= limit` break did.
+const uint64_t* PackedLowerBound(const uint64_t* first, const uint64_t* last,
+                                 Rank limit);
+const LabelEntry* WideLowerBound(const LabelEntry* first,
+                                 const LabelEntry* last, Rank limit);
+
+// Out-of-line dispatchers (tier switch + kernel call).
+void MergePackedTailDispatch(const uint64_t* a, const uint64_t* ae,
+                             const LabelEntry* a_overflow, const uint64_t* b,
+                             const uint64_t* be, const LabelEntry* b_overflow,
+                             SpcResult* result);
+void MergeWideDispatch(const LabelEntry* a, const LabelEntry* ae,
+                       const LabelEntry* b, const LabelEntry* be,
+                       SpcResult* result);
+
+/// Hot entry points: empty-range fast path inline, then the dispatcher.
+inline void MergePackedTail(const uint64_t* a, const uint64_t* ae,
+                            const LabelEntry* a_overflow, const uint64_t* b,
+                            const uint64_t* be, const LabelEntry* b_overflow,
+                            SpcResult* result) {
+  if (a == ae || b == be) return;
+  MergePackedTailDispatch(a, ae, a_overflow, b, be, b_overflow, result);
+}
+
+inline void MergeWide(const LabelEntry* a, const LabelEntry* ae,
+                      const LabelEntry* b, const LabelEntry* be,
+                      SpcResult* result) {
+  if (a == ae || b == be) return;
+  MergeWideDispatch(a, ae, b, be, result);
+}
+
+}  // namespace dspc
+
+#endif  // DSPC_CORE_MERGE_KERNEL_H_

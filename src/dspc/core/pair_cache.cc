@@ -1,0 +1,113 @@
+#include "dspc/core/pair_cache.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace dspc {
+namespace {
+
+// splitmix64 finalizer: full-avalanche mix of the pair key. The
+// generation is deliberately NOT hashed — a pair must land on the same
+// set at every generation so a fresh insert naturally supersedes its own
+// stale entry instead of stranding it in another set.
+inline uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+inline uint64_t KeyOf(Vertex u, Vertex v) {
+  const uint64_t lo = std::min(u, v);
+  const uint64_t hi = std::max(u, v);
+  return (hi << 32) | lo;
+}
+
+}  // namespace
+
+PairCache::PairCache(const PairCacheOptions& options) {
+  const size_t capacity = std::max<size_t>(options.capacity, kWays);
+  size_t shards = options.shards;
+  if (shards == 0) {
+    // One shard per ~4K entries, capped: enough striping that concurrent
+    // readers rarely collide, few enough that StatsSnapshot stays cheap.
+    shards = std::clamp<size_t>(capacity >> 12, 1, 64);
+  }
+  num_shards_ = std::bit_ceil(shards);
+  const size_t sets_total =
+      std::max<size_t>(1, (capacity + kWays - 1) / kWays);
+  sets_per_shard_ = std::bit_ceil(
+      std::max<size_t>(1, (sets_total + num_shards_ - 1) / num_shards_));
+  shards_ = std::make_unique<Shard[]>(num_shards_);
+  for (size_t s = 0; s < num_shards_; ++s) {
+    const size_t n = sets_per_shard_ * kWays;
+    shards_[s].entries = std::make_unique<Entry[]>(n);
+    for (size_t i = 0; i < n; ++i) {
+      shards_[s].entries[i] = Entry{kEmptyKey, 0, 0, 0};
+    }
+  }
+}
+
+bool PairCache::Lookup(Vertex u, Vertex v, uint64_t generation,
+                       SpcResult* out) {
+  const uint64_t key = KeyOf(u, v);
+  const uint64_t h = Mix(key);
+  Shard& shard = shards_[h & (num_shards_ - 1)];
+  const size_t set = (h >> 32) & (sets_per_shard_ - 1);
+  Entry* ways = shard.entries.get() + set * kWays;
+  std::lock_guard<std::mutex> lock(shard.mu);
+  for (size_t w = 0; w < kWays; ++w) {
+    if (ways[w].key == key && ways[w].generation == generation) {
+      out->dist = ways[w].dist;
+      out->count = ways[w].count;
+      ++shard.stats.hits;
+      return true;
+    }
+  }
+  ++shard.stats.misses;
+  return false;
+}
+
+void PairCache::Insert(Vertex u, Vertex v, uint64_t generation,
+                       const SpcResult& result) {
+  const uint64_t key = KeyOf(u, v);
+  const uint64_t h = Mix(key);
+  Shard& shard = shards_[h & (num_shards_ - 1)];
+  const size_t set = (h >> 32) & (sets_per_shard_ - 1);
+  Entry* ways = shard.entries.get() + set * kWays;
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Entry* victim = nullptr;
+  for (size_t w = 0; w < kWays && victim == nullptr; ++w) {
+    if (ways[w].key == key) victim = &ways[w];
+  }
+  if (victim == nullptr) {
+    for (size_t w = 0; w < kWays && victim == nullptr; ++w) {
+      if (ways[w].key == kEmptyKey) victim = &ways[w];
+    }
+  }
+  if (victim == nullptr) {
+    for (size_t w = 0; w < kWays && victim == nullptr; ++w) {
+      if (ways[w].generation != generation) victim = &ways[w];
+    }
+  }
+  if (victim == nullptr) {
+    victim = &ways[shard.victim_arm++ % kWays];
+    ++shard.stats.evictions;
+  }
+  *victim = Entry{key, generation, result.dist, result.count};
+  ++shard.stats.insertions;
+}
+
+PairCache::Stats PairCache::StatsSnapshot() const {
+  Stats total;
+  for (size_t s = 0; s < num_shards_; ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s].mu);
+    total.hits += shards_[s].stats.hits;
+    total.misses += shards_[s].stats.misses;
+    total.insertions += shards_[s].stats.insertions;
+    total.evictions += shards_[s].stats.evictions;
+  }
+  return total;
+}
+
+}  // namespace dspc

@@ -1,0 +1,111 @@
+// Generation-keyed hot-pair result cache (DESIGN.md §15).
+//
+// A fixed-budget, sharded, set-associative map of an unordered vertex
+// pair to its {dist, count} at a specific snapshot generation. The
+// service layer consults it on snapshot-served reads (kSnapshot /
+// kBoundedStaleness) where skewed real traffic repeats pairs; kFresh
+// reads bypass it by definition.
+//
+// Invalidation is free and implicit: a lookup hits only when the cached
+// entry's generation equals the generation of the snapshot the read is
+// being served from. A generation uniquely determines snapshot content
+// (rebuilds are label-identical, shard adoption is exact), so
+// (u, v, generation) -> {dist, count} is an immutable fact — entries are
+// never wrong, only superseded, and there is no explicit invalidation
+// path at all. min_generation / write-token semantics are untouched
+// because routing resolves WHICH snapshot serves the read before the
+// cache is consulted.
+//
+// Concurrency: lock striping. Each shard owns a mutex guarding its sets
+// and its counters; lookups and inserts from concurrent readers contend
+// only within a shard (shard count scales with capacity).
+
+#ifndef DSPC_CORE_PAIR_CACHE_H_
+#define DSPC_CORE_PAIR_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "dspc/baseline/bfs_counting.h"
+#include "dspc/common/types.h"
+
+namespace dspc {
+
+/// Knobs for the hot-pair cache. Rides DynamicSpcOptions so every
+/// SpcService entry point (constructors, Open, OpenWithState) picks it
+/// up without a signature change; the engine itself ignores it.
+struct PairCacheOptions {
+  /// Off by default: the cache only pays for itself under skewed
+  /// (repeating-pair) read traffic.
+  bool enabled = false;
+  /// Total entry budget; rounded up so each shard holds a power-of-two
+  /// number of 4-way sets. Memory is ~32 bytes per entry, allocated up
+  /// front.
+  size_t capacity = 1 << 16;
+  /// Lock-striping shard count (rounded up to a power of two);
+  /// 0 = derive from capacity.
+  size_t shards = 0;
+};
+
+class PairCache {
+ public:
+  static constexpr size_t kWays = 4;
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+  };
+
+  explicit PairCache(const PairCacheOptions& options);
+
+  PairCache(const PairCache&) = delete;
+  PairCache& operator=(const PairCache&) = delete;
+
+  /// Looks up the unordered pair {u, v} at exactly `generation`. On hit
+  /// fills *out and returns true; any other generation is a miss.
+  bool Lookup(Vertex u, Vertex v, uint64_t generation, SpcResult* out);
+
+  /// Caches the result of the unordered pair {u, v} computed against the
+  /// snapshot tagged `generation`. Victim preference within the set:
+  /// same pair (supersede), then an empty way, then any stale-generation
+  /// entry; only displacing a live same-generation entry counts as an
+  /// eviction.
+  void Insert(Vertex u, Vertex v, uint64_t generation,
+              const SpcResult& result);
+
+  /// Sums per-shard counters. Counters are monotone; safe to call
+  /// concurrently with readers.
+  Stats StatsSnapshot() const;
+
+  size_t capacity() const { return num_shards_ * sets_per_shard_ * kWays; }
+  size_t shards() const { return num_shards_; }
+
+ private:
+  struct Entry {
+    uint64_t key;  // (max(u,v) << 32) | min(u,v); kEmptyKey = vacant
+    uint64_t generation;
+    Distance dist;
+    PathCount count;
+  };
+  // (0xFFFFFFFF, 0xFFFFFFFF) would collide only for two invalid vertex
+  // ids, which routing rejects before the cache is reached.
+  static constexpr uint64_t kEmptyKey = ~uint64_t{0};
+
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    std::unique_ptr<Entry[]> entries;  // sets_per_shard * kWays
+    uint32_t victim_arm = 0;           // round-robin across forced evictions
+    Stats stats;
+  };
+
+  size_t num_shards_;
+  size_t sets_per_shard_;  // power of two
+  std::unique_ptr<Shard[]> shards_;
+};
+
+}  // namespace dspc
+
+#endif  // DSPC_CORE_PAIR_CACHE_H_

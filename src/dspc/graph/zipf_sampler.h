@@ -1,0 +1,79 @@
+// Zipf(s) sampler over a graph's vertices, hottest id = highest degree:
+// P(rank i) proportional to 1/(i+1)^s, so real-workload skew (a few
+// celebrity endpoints, a long cold tail) hits the serving path the way
+// production traffic would. Exact inverse-CDF sampling — the table is n
+// doubles, built once. Shared by bench_query_throughput and the unit
+// tests (tests/zipf_sampler_test.cc); header-only so the bench target
+// and the test binary pick up the same definition.
+
+#ifndef DSPC_GRAPH_ZIPF_SAMPLER_H_
+#define DSPC_GRAPH_ZIPF_SAMPLER_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "dspc/common/rng.h"
+#include "dspc/common/types.h"
+#include "dspc/graph/graph.h"
+
+namespace dspc {
+
+class ZipfVertexSampler {
+ public:
+  /// Ranks the graph's vertices by degree descending (ties by ascending
+  /// id, so the ranking — and thus every sample stream — is
+  /// deterministic) and builds the partial-sum table of 1/(i+1)^s.
+  ZipfVertexSampler(const Graph& graph, double s) {
+    const size_t n = graph.NumVertices();
+    by_rank_.resize(n);
+    std::iota(by_rank_.begin(), by_rank_.end(), Vertex{0});
+    std::sort(by_rank_.begin(), by_rank_.end(), [&](Vertex a, Vertex b) {
+      const size_t da = graph.Degree(a), db = graph.Degree(b);
+      return da != db ? da > db : a < b;
+    });
+    cdf_.resize(n);
+    double acc = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[i] = acc;
+    }
+    total_ = acc;
+  }
+
+  /// The vertex at quantile u01 in [0, 1) — the exact inverse CDF, with
+  /// no randomness: rank i is returned iff u01 * total lands in
+  /// (cdf[i-1], cdf[i]]. Exposed so tests can probe bucket boundaries
+  /// deterministically; Sample() is exactly this at a uniform quantile.
+  Vertex SampleAt(double u01) const {
+    const double u = u01 * total_;
+    const size_t i = static_cast<size_t>(
+        std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+    return by_rank_[i < by_rank_.size() ? i : by_rank_.size() - 1];
+  }
+
+  Vertex Sample(Rng& rng) {
+    // 53-bit mantissa uniform in [0, 1).
+    return SampleAt(static_cast<double>(rng.Next() >> 11) * 0x1.0p-53);
+  }
+
+  /// Probability mass the inverse-CDF table assigns to rank `i` — the
+  /// exact width of its quantile interval, i.e. what SampleAt realizes.
+  double ProbabilityOfRank(size_t i) const {
+    return (cdf_[i] - (i == 0 ? 0.0 : cdf_[i - 1])) / total_;
+  }
+
+  /// Vertices in sampling order: by_rank()[0] is the hottest.
+  const std::vector<Vertex>& by_rank() const { return by_rank_; }
+
+ private:
+  std::vector<Vertex> by_rank_;
+  std::vector<double> cdf_;
+  double total_ = 1.0;
+};
+
+}  // namespace dspc
+
+#endif  // DSPC_GRAPH_ZIPF_SAMPLER_H_

@@ -23,7 +23,9 @@
 #include "dspc/baseline/bibfs_counting.h"
 #include "dspc/common/rng.h"
 #include "dspc/core/dynamic_spc.h"
+#include "dspc/core/flat_spc_index.h"
 #include "dspc/core/hp_spc.h"
+#include "dspc/core/merge_kernel.h"
 #include "dspc/core/parallel_build.h"
 #include "dspc/graph/generators.h"
 #include "dspc/graph/update_stream.h"
@@ -389,12 +391,19 @@ TEST(SnapshotBoundaryTest, BackgroundPublishesWithoutBlockingQueries) {
 // min_generation / max_lag / freshness constraints.
 class ServiceTokenFuzz {
  public:
-  ServiceTokenFuzz(Graph start, uint64_t seed, size_t shards)
-      : rng_(seed) {
+  ServiceTokenFuzz(Graph start, uint64_t seed, size_t shards,
+                   bool cached = false)
+      : rng_(seed), cached_(cached) {
     DynamicSpcOptions options;
     options.snapshot.refresh = RefreshPolicy::kBackground;
     options.snapshot.rebuild_after_queries = 2;
     options.snapshot.shards = shards;
+    if (cached) {
+      // Small capacity so the stream also exercises eviction and
+      // supersede paths, not just clean hits.
+      options.pair_cache.enabled = true;
+      options.pair_cache.capacity = 512;
+    }
     service_ = std::make_unique<SpcService>(std::move(start), options);
     history_.emplace(service_->Generation(), service_->engine().graph());
     tokens_.push_back({service_->Generation()});
@@ -430,6 +439,7 @@ class ServiceTokenFuzz {
       ASSERT_TRUE(resp.ok()) << resp.status().ToString();
       CheckExact(*resp, s, t, "final barrier");
     }
+    if (cached_) CheckCachedAgainstScalarUncached(snap);
   }
 
  private:
@@ -535,6 +545,52 @@ class ServiceTokenFuzz {
     return tokens_[rng_.NextBounded(tokens_.size())];
   }
 
+  /// Cached-mode epilogue: the stream must actually have exercised the
+  /// cache, and the cached (vector-kernel) service must agree bit for
+  /// bit with a cache-off, scalar-pinned index built for exactly the
+  /// generation the responses claim.
+  void CheckCachedAgainstScalarUncached(const ReadOptions& snap) {
+    const MetricsSnapshot metrics = service_->Metrics();
+    ASSERT_GT(metrics.pair_cache_hits + metrics.pair_cache_misses, 0u)
+        << "cached fuzz stream never reached the pair cache";
+    ASSERT_GT(metrics.pair_cache_insertions, 0u);
+
+    // Reads repeat pairs so both cache outcomes occur on this stream.
+    std::vector<std::pair<Vertex, Vertex>> probes;
+    for (int i = 0; i < 40; ++i) {
+      probes.emplace_back(RandomVertex(), RandomVertex());
+    }
+    probes.insert(probes.end(), probes.begin(), probes.begin() + 20);
+
+    std::vector<QueryResponse> responses;
+    for (const auto& [s, t] : probes) {
+      const auto resp = service_->Query(s, t, snap);
+      ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+      ASSERT_EQ(resp->served_from, ServedFrom::kSnapshot);
+      responses.push_back(*resp);
+    }
+    ASSERT_GT(service_->Metrics().pair_cache_hits, metrics.pair_cache_hits)
+        << "repeated probes produced no cache hits";
+
+    // Scalar, cache-off reference at the claimed generation.
+    const auto it = history_.find(responses.front().generation);
+    ASSERT_NE(it, history_.end());
+    DynamicSpcIndex reference(it->second);
+    const FlatSpcIndex flat(reference.index());
+    const MergeKernelTier pinned = ActiveMergeKernelTier();
+    ASSERT_TRUE(SetMergeKernelTier(MergeKernelTier::kScalar));
+    for (size_t i = 0; i < probes.size(); ++i) {
+      const auto [s, t] = probes[i];
+      ASSERT_EQ(responses[i].generation, responses.front().generation)
+          << "post-barrier snapshot reads changed generation";
+      ASSERT_EQ(responses[i].result, flat.Query(s, t))
+          << "cached/vector vs scalar/uncached mismatch s=" << s
+          << " t=" << t << " gen=" << responses[i].generation;
+    }
+    // Restore the tier the fixture pinned (its TearDown resets fully).
+    SetMergeKernelTier(pinned);
+  }
+
   /// The exactness check: response.generation names the graph the answer
   /// must match, bit for bit.
   void CheckExact(const QueryResponse& resp, Vertex s, Vertex t,
@@ -608,6 +664,7 @@ class ServiceTokenFuzz {
   }
 
   Rng rng_;
+  bool cached_ = false;
   std::unique_ptr<SpcService> service_;
   /// Graph state at every generation the engine has passed through.
   std::unordered_map<uint64_t, Graph> history_;
@@ -640,6 +697,43 @@ INSTANTIATE_TEST_SUITE_P(
       return "Seed" + std::to_string(std::get<0>(info.param)) + "Shards" +
              std::to_string(std::get<1>(info.param));
     });
+
+// The same token fuzz with the hot-pair cache enabled and the host's
+// best vector kernel pinned: every generation-exact BiBFS check above
+// now runs against cache-served answers, and the epilogue cross-checks
+// the stream's final snapshot bit for bit against a cache-off,
+// scalar-kernel index. Suite name keeps the ServiceTokenFuzz prefix so
+// the TSan CI filter runs it too.
+class ServiceTokenFuzzCachedTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    if (!SetMergeKernelTier(MaxMergeKernelTier())) {
+      GTEST_SKIP() << "env pins the scalar kernel; vector+cache fuzz "
+                      "covered on other CI configs";
+    }
+  }
+  void TearDown() override { ResetMergeKernelTier(); }
+};
+
+TEST_P(ServiceTokenFuzzCachedTest, VectorKernelBaStream) {
+  const uint64_t seed = GetParam();
+  ServiceTokenFuzz fuzz(GenerateBarabasiAlbert(48, 2, seed), seed,
+                        /*shards=*/3, /*cached=*/true);
+  fuzz.Run(80);
+}
+
+TEST_P(ServiceTokenFuzzCachedTest, VectorKernelRmatStream) {
+  const uint64_t seed = GetParam();
+  ServiceTokenFuzz fuzz(GenerateRmat(6, 150, seed), seed,
+                        /*shards=*/1, /*cached=*/true);
+  fuzz.Run(80);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ServiceTokenFuzzCachedTest,
+                         ::testing::Values(61u, 89u),
+                         [](const ::testing::TestParamInfo<uint64_t>& info) {
+                           return "Seed" + std::to_string(info.param);
+                         });
 
 }  // namespace
 }  // namespace dspc

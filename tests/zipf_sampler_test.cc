@@ -1,0 +1,124 @@
+// ZipfVertexSampler (graph/zipf_sampler.h): the degree-ranked inverse-CDF
+// sampler the query-throughput bench uses for skewed workloads. Verifies
+// the deterministic degree ranking, the exact inverse-CDF bucket
+// boundaries on a tiny hand-checked universe, the realized frequencies
+// on a fine quantile grid (exact, not statistical: SampleAt is a pure
+// function of the quantile), and that Sample(Rng&) is the documented
+// 53-bit-mantissa transform of the raw stream.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "dspc/common/rng.h"
+#include "dspc/graph/generators.h"
+#include "dspc/graph/graph.h"
+#include "dspc/graph/zipf_sampler.h"
+
+namespace dspc {
+namespace {
+
+/// A 4-vertex path 0-1-2-3 plus edge 1-3: degrees {1:3, 3:2, 2:2, 0:1}.
+/// Ranking is degree-desc with id-asc ties: [1, 2, 3, 0].
+Graph TinyGraph() {
+  Graph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(1, 3);
+  return g;
+}
+
+TEST(ZipfSampler, DegreeRankingIsDeterministic) {
+  const Graph g = TinyGraph();
+  const ZipfVertexSampler sampler(g, 1.0);
+  const std::vector<Vertex> want = {1, 2, 3, 0};
+  EXPECT_EQ(sampler.by_rank(), want);
+}
+
+TEST(ZipfSampler, ExactInverseCdfBoundaries) {
+  // With s = 1 over 4 ranks the unnormalized masses are 1, 1/2, 1/3, 1/4
+  // (total 25/12). A quantile strictly inside a bucket returns that
+  // bucket's vertex; probe each bucket's interior and both edges.
+  const Graph g = TinyGraph();
+  const ZipfVertexSampler sampler(g, 1.0);
+  const double total = 1.0 + 0.5 + 1.0 / 3.0 + 0.25;
+  const double c1 = 1.0 / total;                    // end of rank 0
+  const double c2 = (1.0 + 0.5) / total;            // end of rank 1
+  const double c3 = (1.0 + 0.5 + 1.0 / 3.0) / total;
+
+  EXPECT_EQ(sampler.SampleAt(0.0), 1u);
+  EXPECT_EQ(sampler.SampleAt(c1 * 0.5), 1u);
+  EXPECT_EQ(sampler.SampleAt(c1 + 1e-9), 2u);
+  EXPECT_EQ(sampler.SampleAt((c1 + c2) / 2), 2u);
+  EXPECT_EQ(sampler.SampleAt(c2 + 1e-9), 3u);
+  EXPECT_EQ(sampler.SampleAt(c3 + 1e-9), 0u);
+  // The last representable quantile below 1 lands in the last bucket.
+  EXPECT_EQ(sampler.SampleAt(std::nextafter(1.0, 0.0)), 0u);
+
+  // ProbabilityOfRank is exactly the bucket widths SampleAt realizes.
+  EXPECT_DOUBLE_EQ(sampler.ProbabilityOfRank(0), c1);
+  EXPECT_DOUBLE_EQ(sampler.ProbabilityOfRank(1), c2 - c1);
+  EXPECT_DOUBLE_EQ(sampler.ProbabilityOfRank(2), c3 - c2);
+  EXPECT_DOUBLE_EQ(sampler.ProbabilityOfRank(3), 1.0 - c3);
+  double sum = 0.0;
+  for (size_t i = 0; i < 4; ++i) sum += sampler.ProbabilityOfRank(i);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(ZipfSampler, FineGridFrequenciesMatchProbabilities) {
+  // Sweep a uniform quantile grid through SampleAt: the realized
+  // frequency of each vertex must match ProbabilityOfRank to within one
+  // grid step. Exact — no randomness involved.
+  const Graph g = GenerateBarabasiAlbert(24, 2, 7);
+  for (const double s : {0.8, 1.1, 1.6}) {
+    const ZipfVertexSampler sampler(g, s);
+    constexpr int kGrid = 200000;
+    std::map<Vertex, int> freq;
+    for (int i = 0; i < kGrid; ++i) {
+      ++freq[sampler.SampleAt((i + 0.5) / kGrid)];
+    }
+    for (size_t rank = 0; rank < sampler.by_rank().size(); ++rank) {
+      const Vertex v = sampler.by_rank()[rank];
+      const double realized =
+          static_cast<double>(freq[v]) / static_cast<double>(kGrid);
+      EXPECT_NEAR(realized, sampler.ProbabilityOfRank(rank), 2.0 / kGrid)
+          << "s=" << s << " rank=" << rank;
+    }
+    // Monotone: a hotter rank never realizes fewer grid points (allowing
+    // the one-step boundary slack).
+    for (size_t rank = 1; rank < sampler.by_rank().size(); ++rank) {
+      EXPECT_GE(freq[sampler.by_rank()[rank - 1]] + 1,
+                freq[sampler.by_rank()[rank]])
+          << "s=" << s << " rank=" << rank;
+    }
+  }
+}
+
+TEST(ZipfSampler, SampleIsDocumentedRngTransform) {
+  // Sample(rng) must be exactly SampleAt((rng.Next() >> 11) * 2^-53) —
+  // the PR 9 bench behavior, bit for bit.
+  const Graph g = GenerateBarabasiAlbert(30, 2, 9);
+  ZipfVertexSampler sampler(g, 1.1);
+  Rng sample_rng(42);
+  Rng mirror_rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    const Vertex got = sampler.Sample(sample_rng);
+    const double u01 =
+        static_cast<double>(mirror_rng.Next() >> 11) * 0x1.0p-53;
+    EXPECT_EQ(got, sampler.SampleAt(u01)) << "i=" << i;
+  }
+}
+
+TEST(ZipfSampler, StrongSkewConcentratesOnHottestVertex) {
+  const Graph g = GenerateBarabasiAlbert(64, 2, 11);
+  const ZipfVertexSampler sampler(g, 2.5);
+  // At s = 2.5 the hottest vertex holds most of the mass.
+  EXPECT_GT(sampler.ProbabilityOfRank(0), 0.5);
+  EXPECT_EQ(sampler.SampleAt(0.3), sampler.by_rank()[0]);
+}
+
+}  // namespace
+}  // namespace dspc
